@@ -1,0 +1,139 @@
+//! Ablation benchmarks for the design choices called out in `DESIGN.md` §4.
+//!
+//! Each group compares the chosen design against its alternative so the
+//! cost/benefit is directly measurable:
+//!
+//! * `pruning_granularity` — matching work under no pruning, section-level
+//!   (rxPower) and subsection-level (ACACIA) pruning.
+//! * `classification_point` — in-modem TFT classification vs a
+//!   middlebox-style per-packet inspection of GTP traffic.
+//! * `bearer_policy` — control-plane cost of an on-demand
+//!   release/re-establish cycle (what always-on bearers would pay per idle
+//!   event).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use acacia::locmgr::{LocalizationManager, LocalizationMetadata};
+use acacia::search::{candidates, SearchContext, SearchStrategy};
+use acacia_d2d::channel::RadioChannel;
+use acacia_d2d::discovery::ProximityWorld;
+use acacia_d2d::modem::Modem;
+use acacia_d2d::service::{Announcement, SubscriptionFilter};
+use acacia_geo::floor::FloorPlan;
+use acacia_geo::pathloss::PathLossModel;
+use acacia_lte::gtpu;
+use acacia_lte::ids::Teid;
+use acacia_lte::network::{LteConfig, LteNetwork};
+use acacia_lte::tft::{Direction, PacketFilter, Tft};
+use acacia_simnet::packet::Packet;
+use acacia_vision::db::ObjectDb;
+use acacia_vision::feature::{object_features, render_view, Similarity, ViewParams};
+use acacia_vision::image::{ImageSpec, Resolution};
+use acacia_vision::matcher::MatcherConfig;
+use std::net::Ipv4Addr;
+
+fn pruning_granularity(c: &mut Criterion) {
+    let floor = FloorPlan::retail_store();
+    let db = ObjectDb::generate_retail(&floor, 5, 3);
+    let model = PathLossModel::indoor_default();
+    let world = ProximityWorld::from_floor(&floor, "acme", RadioChannel::new(model, 3));
+    let cp = &floor.checkpoints[10];
+    let mut modem = Modem::new();
+    modem.subscribe(SubscriptionFilter::service_wide("acme"));
+    let mut locmgr = LocalizationManager::new(LocalizationMetadata::for_floor(&floor, &model));
+    for ev in world.scan_dwell(&mut modem, cp.pos, 0, 4) {
+        locmgr.report(&ev.publisher, ev.rx_power_dbm);
+    }
+    let ctx = SearchContext {
+        rx_readings: locmgr.rx_view(),
+        location: locmgr.estimate(),
+    };
+    let target = &db.objects()[0];
+    let spec = ImageSpec::new(target.id, Resolution::new(960, 720));
+    let base = object_features(target.id, spec.feature_count());
+    let view = render_view(&base, Similarity::from_seed(5), ViewParams::default(), 5);
+    let cfg = MatcherConfig {
+        exec_cap: 24,
+        ..MatcherConfig::default()
+    };
+
+    let mut g = c.benchmark_group("ablation_pruning_granularity");
+    g.sample_size(20);
+    for strategy in [
+        SearchStrategy::Naive,
+        SearchStrategy::RxPower,
+        SearchStrategy::ACACIA_DEFAULT,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("query", strategy.name()),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    let cands = candidates(strategy, &db, &floor, &ctx);
+                    db.match_against(std::hint::black_box(&view), cands, &cfg)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn classification_point(c: &mut Criterion) {
+    // ACACIA: the modem's UL TFT decides the bearer with a couple of
+    // comparisons. Middlebox alternative: decapsulate every GTP packet and
+    // inspect the inner five-tuple.
+    let server = Ipv4Addr::new(10, 4, 0, 1);
+    let tft = Tft::single(PacketFilter::to_host(server));
+    let pkt = Packet::udp((Ipv4Addr::new(10, 10, 0, 1), 9000), (server, 9000), 1_400);
+    let tunneled = gtpu::encapsulate(&pkt, Teid(9), Ipv4Addr::new(10, 1, 0, 1), Ipv4Addr::new(10, 2, 0, 1));
+
+    let mut g = c.benchmark_group("ablation_classification_point");
+    g.bench_function("in_modem_tft", |b| {
+        b.iter(|| tft.matches(std::hint::black_box(&pkt), Direction::Uplink))
+    });
+    g.bench_function("middlebox_inspection", |b| {
+        b.iter(|| {
+            let (_, inner) = gtpu::decapsulate(std::hint::black_box(&tunneled)).unwrap();
+            inner.dst == server
+        })
+    });
+    g.finish();
+
+    // In-modem filtering also applies to discovery: code/mask match vs
+    // waking the application for every broadcast.
+    let filter = SubscriptionFilter::exact("acme", "laptops");
+    let ann = Announcement::new("acme", "laptops");
+    let mut g = c.benchmark_group("ablation_discovery_filtering");
+    g.bench_function("modem_code_mask", |b| {
+        b.iter(|| filter.matches(std::hint::black_box(ann.code)))
+    });
+    g.bench_function("app_string_compare", |b| {
+        b.iter(|| {
+            std::hint::black_box(&ann).service == "acme"
+                && std::hint::black_box(&ann).expression == "laptops"
+        })
+    });
+    g.finish();
+}
+
+fn bearer_policy(c: &mut Criterion) {
+    // Simulation cost of one on-demand release + re-establish cycle — the
+    // §4 control-overhead event. (Always-on dedicated bearers pay this for
+    // both bearers at every idle event; ACACIA pays it once and creates
+    // the second bearer only on a service match.)
+    let mut g = c.benchmark_group("ablation_bearer_policy");
+    g.sample_size(10);
+    g.bench_function("release_reestablish_cycle", |b| {
+        b.iter(|| {
+            let mut net = LteNetwork::new(LteConfig::default());
+            net.attach(0);
+            net.log.clear();
+            net.trigger_idle_release(0);
+            net.service_request(0);
+            net.log.core_bytes()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, pruning_granularity, classification_point, bearer_policy);
+criterion_main!(benches);

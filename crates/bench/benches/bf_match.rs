@@ -1,0 +1,26 @@
+//! Wall-clock benchmark of the four-stage matcher cascade behind
+//! Fig. 3(b): real brute-force 2-NN + ratio + symmetry + RANSAC at several
+//! execution caps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use acacia_vision::feature::{object_features, render_view, Similarity, ViewParams};
+use acacia_vision::matcher::{match_pair, MatcherConfig};
+
+fn bench_match(c: &mut Criterion) {
+    let base = object_features(5, 700);
+    let view = render_view(&base, Similarity::from_seed(2), ViewParams::default(), 9);
+    let mut g = c.benchmark_group("bf_match");
+    for cap in [32usize, 64, 128, 256] {
+        let cfg = MatcherConfig {
+            exec_cap: cap,
+            ..MatcherConfig::default()
+        };
+        g.bench_with_input(BenchmarkId::new("match_pair", cap), &cfg, |b, cfg| {
+            b.iter(|| match_pair(std::hint::black_box(&view), &base, cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_match);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Wall-clock benchmark behind Fig. 3(h): database-size scaling of a real
+//! pruned-database query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use acacia_geo::floor::FloorPlan;
+use acacia_vision::db::ObjectDb;
+use acacia_vision::feature::{object_features, render_view, Similarity, ViewParams};
+use acacia_vision::image::{ImageSpec, Resolution};
+use acacia_vision::matcher::MatcherConfig;
+
+fn bench_db(c: &mut Criterion) {
+    let floor = FloorPlan::retail_store();
+    let db = ObjectDb::generate_retail(&floor, 5, 3);
+    let target = &db.objects()[0];
+    let spec = ImageSpec::new(target.id, Resolution::new(960, 720));
+    let base = object_features(target.id, spec.feature_count());
+    let view = render_view(&base, Similarity::from_seed(4), ViewParams::default(), 4);
+    let cfg = MatcherConfig {
+        exec_cap: 24,
+        ..MatcherConfig::default()
+    };
+    let mut g = c.benchmark_group("db_scaling");
+    g.sample_size(20);
+    for n in [1usize, 5, 10, 25, 50] {
+        g.bench_with_input(BenchmarkId::new("match_against", n), &n, |b, &n| {
+            b.iter(|| db.match_against(std::hint::black_box(&view), db.objects().iter().take(n), &cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_db);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Wall-clock benchmark of a complete end-to-end session (Fig. 13 path):
+//! how long the *simulation* of a full ACACIA session takes on this
+//! machine, per deployment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use acacia::scenario::{Deployment, Scenario, ScenarioConfig};
+
+fn bench_e2e(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end_session");
+    g.sample_size(10);
+    for d in Deployment::ALL {
+        g.bench_with_input(BenchmarkId::new("smoke", d.name()), &d, |b, &d| {
+            b.iter(|| Scenario::build(ScenarioConfig::smoke(d)).run())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_e2e);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Wall-clock benchmark of the GTP-U data path behind Fig. 8: tunnel
+//! encap/decap and flow-switch packet processing throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use acacia_lte::gtpu;
+use acacia_lte::ids::Teid;
+use acacia_lte::switch::{FlowSwitch, SwitchCosts};
+use acacia_lte::wire::{FlowActionSpec, FlowMatchSpec};
+use acacia_simnet::link::LinkConfig;
+use acacia_simnet::packet::Packet;
+use acacia_simnet::sim::Simulator;
+use acacia_simnet::time::{Duration, Instant};
+use acacia_simnet::traffic::Sink;
+use std::net::Ipv4Addr;
+
+fn ip(a: u8) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, 0, a)
+}
+
+fn bench_gtp(c: &mut Criterion) {
+    let inner = Packet::udp((ip(1), 40_000), (ip(2), 9_000), 1_400);
+    let mut g = c.benchmark_group("gtp_datapath");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("encapsulate", |b| {
+        b.iter(|| gtpu::encapsulate(std::hint::black_box(&inner), Teid(7), ip(10), ip(11)))
+    });
+    let outer = gtpu::encapsulate(&inner, Teid(7), ip(10), ip(11));
+    g.bench_function("decapsulate", |b| {
+        b.iter(|| gtpu::decapsulate(std::hint::black_box(&outer)).unwrap())
+    });
+    g.bench_function("peek_teid", |b| {
+        b.iter(|| gtpu::peek_teid(std::hint::black_box(&outer)).unwrap())
+    });
+    g.finish();
+
+    // Push 1000 packets through a switch inside a simulator run.
+    let mut g = c.benchmark_group("flow_switch_1000pkts");
+    g.sample_size(20);
+    for (name, costs) in [
+        ("fast_path", SwitchCosts::acacia_ovs()),
+        ("user_space", SwitchCosts::openepc_userspace()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut sim = Simulator::new(1);
+                let mut sw = FlowSwitch::new(ip(100), costs);
+                sw.install(
+                    1,
+                    FlowMatchSpec {
+                        teid: Some(Teid(7)),
+                        dst: None,
+                        src: None,
+                    },
+                    vec![FlowActionSpec::GtpDecap, FlowActionSpec::Output { port: 2 }],
+                );
+                let sw = sim.add_node(Box::new(sw));
+                let sink = sim.add_node(Box::new(Sink::new()));
+                sim.connect((sw, 2), (sink, 0), LinkConfig::delay_only(Duration::ZERO));
+                for i in 0..1000u64 {
+                    let pkt = gtpu::encapsulate(&inner, Teid(7), ip(10), ip(100));
+                    sim.inject_packet(sw, 1, Instant::from_micros(i * 12), pkt);
+                }
+                sim.run_until_idle();
+                sim.node_ref::<Sink>(sink).packets()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gtp);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Wall-clock benchmark of the synthetic SURF pipeline behind Fig. 3(a):
+//! base-feature generation and view rendering at each sweep resolution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use acacia_vision::feature::{object_features, render_view, Similarity, ViewParams};
+use acacia_vision::image::{ImageSpec, Resolution};
+
+fn bench_extract(c: &mut Criterion) {
+    let mut g = c.benchmark_group("surf_extract");
+    for res in Resolution::SWEEP {
+        let spec = ImageSpec::new(1, res);
+        let n = spec.feature_count();
+        g.bench_with_input(BenchmarkId::new("object_features", res), &n, |b, &n| {
+            b.iter(|| object_features(std::hint::black_box(1), n))
+        });
+        let base = object_features(1, n);
+        g.bench_with_input(BenchmarkId::new("render_view", res), &base, |b, base| {
+            b.iter(|| {
+                render_view(
+                    std::hint::black_box(base),
+                    Similarity::from_seed(3),
+                    ViewParams::default(),
+                    7,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_extract);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Wall-clock benchmark of the localization path behind Fig. 9(b):
+//! path-loss inversion + Gauss-Newton tri-lateration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use acacia_geo::floor::FloorPlan;
+use acacia_geo::pathloss::{FittedPathLoss, PathLossModel};
+use acacia_geo::point::Point;
+use acacia_geo::trilateration::{trilaterate, RangeMeasurement};
+
+fn bench_trilateration(c: &mut Criterion) {
+    let floor = FloorPlan::retail_store();
+    let model = PathLossModel::indoor_default();
+    let fit = FittedPathLoss::fit(
+        &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0]
+            .iter()
+            .map(|&d| (d, model.rx_power_dbm(d)))
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    let truth = Point::new(13.0, 8.0);
+
+    let mut g = c.benchmark_group("trilateration");
+    for k in [3usize, 5, 7] {
+        let ms: Vec<RangeMeasurement> = floor.landmarks[..k]
+            .iter()
+            .map(|lm| {
+                let rx = model.rx_power_dbm(truth.distance(lm.pos));
+                RangeMeasurement::new(lm.pos, fit.predict_distance(rx))
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::new("solve", k), &ms, |b, ms| {
+            b.iter(|| trilaterate(std::hint::black_box(ms)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_trilateration);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! figures <id>...   # one or more of the experiment ids
+//! figures all       # everything, in paper order
+//! figures list      # show available ids
+//! ```
+
+use acacia_bench::{run, ALL_IDS, SLOW_IDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "list" {
+        println!("available experiments:");
+        for id in ALL_IDS.iter().chain(SLOW_IDS.iter()) {
+            println!("  {id}");
+        }
+        println!("  all  (runs everything, in paper order)");
+        return;
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        ALL_IDS.iter().chain(SLOW_IDS.iter()).copied().collect()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    for id in ids {
+        match run(id) {
+            Some(table) => table.print(),
+            None => {
+                eprintln!("unknown experiment id: {id} (try `figures list`)");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! One module per group of paper artifacts. Every public `figXX()`
+//! function regenerates the corresponding table/figure as a printable
+//! [`Table`](crate::table::Table); `*_data` variants expose the raw series
+//! for tests and the Criterion benches.
+
+pub mod application;
+pub mod compute;
+pub mod localization;
+pub mod network;

@@ -1,0 +1,471 @@
+//! The AR front-end node: camera capture → JPEG encode (on the phone) →
+//! windowed chunk upload → result, with per-frame latency breakdown.
+//!
+//! Runs as an app on the UE. When configured with an MRS target it first
+//! performs the ACACIA device-manager handshake (request MEC connectivity,
+//! wait for the ack) before streaming — the paper's on-demand dedicated
+//! bearer. It also pushes periodic LTE-direct rxPower reports to the CI
+//! server for localization.
+
+use crate::msg::{AppMsg, FrameMeta, APP_PORT, AR_PORT, MRS_PORT};
+use acacia_simnet::packet::Packet;
+use acacia_simnet::sim::{Ctx, Node, PortId};
+use acacia_simnet::time::{Duration, Instant};
+use acacia_vision::compress::Codec;
+use acacia_vision::compute::{Device, DeviceProfile};
+use acacia_vision::image::{camera_preview_fps, ImageSpec, Resolution};
+use std::net::Ipv4Addr;
+
+/// Client configuration.
+#[derive(Debug, Clone)]
+pub struct ArFrontendConfig {
+    /// UE IP (source of all packets).
+    pub ue_ip: Ipv4Addr,
+    /// CI (AR) server address.
+    pub server: Ipv4Addr,
+    /// MRS to perform the connectivity handshake with (None = start
+    /// streaming immediately, e.g. the CLOUD baseline).
+    pub mrs: Option<(Ipv4Addr, String)>,
+    /// Camera resolution (§7.4 uses 720×480).
+    pub resolution: Resolution,
+    /// Frame codec.
+    pub codec: Codec,
+    /// Phone compute profile (encode cost).
+    pub device: Device,
+    /// Upload window in bytes (ack-clocked).
+    pub window_bytes: u32,
+    /// Chunk (MTU payload) size in bytes.
+    pub chunk_bytes: u32,
+    /// Frames to capture before stopping.
+    pub frame_count: u64,
+    /// Scene ids (database object ids) the user photographs, cycled.
+    pub scene_ids: Vec<u64>,
+    /// LTE-direct readings to report, re-sent every `report_period`.
+    pub rx_reports: Vec<(String, f64)>,
+    /// A *schedule* of readings for a moving user: entry `i` is sent at
+    /// the `i`-th report tick (the last entry repeats). Takes precedence
+    /// over `rx_reports` when non-empty.
+    pub rx_report_schedule: Vec<Vec<(String, f64)>>,
+    /// Report period (the LTE-direct discovery period).
+    pub report_period: Duration,
+    /// Minimum spacing between captures (None = camera-limited). Models a
+    /// user who points at a new object every so often rather than
+    /// streaming back-to-back.
+    pub min_frame_interval: Option<Duration>,
+}
+
+impl ArFrontendConfig {
+    /// Sensible defaults for the end-to-end experiment.
+    pub fn new(ue_ip: Ipv4Addr, server: Ipv4Addr) -> ArFrontendConfig {
+        ArFrontendConfig {
+            ue_ip,
+            server,
+            mrs: None,
+            resolution: Resolution::E2E,
+            codec: Codec::Jpeg(90),
+            device: Device::OnePlusOne,
+            window_bytes: 16 * 1024,
+            chunk_bytes: 1_400,
+            frame_count: 10,
+            scene_ids: vec![1],
+            rx_reports: Vec::new(),
+            rx_report_schedule: Vec::new(),
+            report_period: Duration::from_secs(5),
+            min_frame_interval: None,
+        }
+    }
+}
+
+/// Per-frame client-side measurements.
+#[derive(Debug, Clone)]
+pub struct FrameStats {
+    /// Frame sequence number.
+    pub seq: u64,
+    /// Capture instant.
+    pub captured_at: Instant,
+    /// Phone-side encode time, seconds (virtual).
+    pub encode_s: f64,
+    /// Result arrival instant.
+    pub result_at: Instant,
+    /// Server-reported decode + SURF time, seconds.
+    pub server_compute_s: f64,
+    /// Server-reported match time, seconds.
+    pub server_match_s: f64,
+    /// Candidates the server examined.
+    pub candidates: usize,
+    /// Matched tag, if any.
+    pub matched: Option<String>,
+}
+
+impl FrameStats {
+    /// End-to-end latency (capture → result).
+    pub fn total_s(&self) -> f64 {
+        (self.result_at - self.captured_at).secs_f64()
+    }
+
+    /// Compute component: client encode + server decode/SURF.
+    pub fn compute_s(&self) -> f64 {
+        self.encode_s + self.server_compute_s
+    }
+
+    /// Match component.
+    pub fn match_s(&self) -> f64 {
+        self.server_match_s
+    }
+
+    /// Network component: what's left after compute and match.
+    pub fn network_s(&self) -> f64 {
+        (self.total_s() - self.compute_s() - self.match_s()).max(0.0)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Boot,
+    AwaitingMrs,
+    Streaming,
+    Done,
+}
+
+mod token {
+    /// Start (MRS handshake or first capture).
+    pub const KICKOFF: u64 = 1;
+    /// Capture the next frame.
+    pub const CAPTURE: u64 = 2;
+    /// Encoding finished; begin upload.
+    pub const ENCODED: u64 = 3;
+    /// Send the periodic rxPower reports.
+    pub const REPORT: u64 = 4;
+    /// Loss-recovery check for the in-flight frame.
+    pub const RETRANSMIT: u64 = 5;
+}
+
+/// The AR front-end node.
+pub struct ArFrontend {
+    cfg: ArFrontendConfig,
+    profile: DeviceProfile,
+    phase: Phase,
+    seq: u64,
+    captured_at: Instant,
+    encode_s: f64,
+    /// Upload state of the in-flight frame.
+    total_chunks: u32,
+    next_chunk: u32,
+    /// Chunks acked by the server for the in-flight frame.
+    acked_chunks: u32,
+    /// Is an upload currently in flight (between ENCODED and the result)?
+    uploading: bool,
+    /// Progress watermark used by the retransmission timer: (seq,
+    /// acked_chunks) at the last check.
+    retx_watermark: (u64, u32),
+    /// Consecutive stalled checks while awaiting the server's result (the
+    /// server may legitimately be computing for a while).
+    result_stall_checks: u32,
+    /// Retransmissions performed (for diagnostics/tests).
+    pub retransmissions: u64,
+    spec: ImageSpec,
+    /// Bearer-setup handshake duration (when MRS is configured).
+    pub bearer_setup: Option<Duration>,
+    mrs_requested_at: Option<Instant>,
+    /// Completed frame statistics.
+    pub frames: Vec<FrameStats>,
+    /// Report ticks emitted so far (indexes the report schedule).
+    report_ticks: usize,
+}
+
+impl ArFrontend {
+    /// The timer token that must be armed to start the client:
+    /// `sim.schedule_timer(node, start, ArFrontend::KICKOFF)`.
+    pub const KICKOFF: u64 = token::KICKOFF;
+
+    /// New client.
+    pub fn new(cfg: ArFrontendConfig) -> ArFrontend {
+        let profile = cfg.device.profile();
+        ArFrontend {
+            cfg,
+            profile,
+            phase: Phase::Boot,
+            seq: 0,
+            captured_at: Instant::ZERO,
+            encode_s: 0.0,
+            total_chunks: 0,
+            next_chunk: 0,
+            acked_chunks: 0,
+            uploading: false,
+            retx_watermark: (u64::MAX, 0),
+            result_stall_checks: 0,
+            retransmissions: 0,
+            spec: ImageSpec::new(0, Resolution::E2E),
+            bearer_setup: None,
+            mrs_requested_at: None,
+            frames: Vec::new(),
+            report_ticks: 0,
+        }
+    }
+
+    /// Has the client finished its configured frame budget?
+    pub fn done(&self) -> bool {
+        self.phase == Phase::Done
+    }
+
+    fn camera_interval(&self) -> Duration {
+        let cam = Duration::from_secs_f64(1.0 / camera_preview_fps(self.cfg.resolution));
+        match self.cfg.min_frame_interval {
+            Some(min) => cam.max(min),
+            None => cam,
+        }
+    }
+
+    fn send_app(&self, ctx: &mut Ctx<'_>, dst: (Ipv4Addr, u16), msg: &AppMsg, extra: u32) {
+        let pkt = msg.into_packet((self.cfg.ue_ip, APP_PORT), dst, extra, ctx.now());
+        ctx.send(0, pkt);
+    }
+
+    fn capture(&mut self, ctx: &mut Ctx<'_>) {
+        if self.seq >= self.cfg.frame_count {
+            self.phase = Phase::Done;
+            return;
+        }
+        let scene = self.cfg.scene_ids[(self.seq as usize) % self.cfg.scene_ids.len()];
+        self.spec = ImageSpec::new(scene, self.cfg.resolution);
+        self.captured_at = ctx.now();
+        self.encode_s = self.cfg.codec.encode_time_s(self.spec, &self.profile);
+        ctx.schedule_in(Duration::from_secs_f64(self.encode_s), token::ENCODED);
+    }
+
+    fn frame_bytes(&self) -> u32 {
+        self.cfg.codec.bytes(self.spec) as u32
+    }
+
+    fn send_chunk(&mut self, ctx: &mut Ctx<'_>, chunk: u32) {
+        let total_bytes = self.frame_bytes();
+        let full = self.cfg.chunk_bytes;
+        let offset = chunk * full;
+        let this = full.min(total_bytes.saturating_sub(offset)).max(1);
+        let meta = (chunk == 0).then(|| FrameMeta {
+            spec: self.spec,
+            codec: self.cfg.codec,
+            view_seed: self.seq.wrapping_mul(0x9e37_79b9) ^ self.spec.scene_id,
+            captured_at_nanos: self.captured_at.nanos(),
+        });
+        let msg = AppMsg::FrameChunk {
+            seq: self.seq,
+            chunk,
+            total_chunks: self.total_chunks,
+            meta,
+        };
+        self.send_app(ctx, (self.cfg.server, AR_PORT), &msg, this);
+    }
+
+    fn begin_upload(&mut self, ctx: &mut Ctx<'_>) {
+        let total_bytes = self.frame_bytes();
+        self.total_chunks = total_bytes.div_ceil(self.cfg.chunk_bytes).max(1);
+        let window_chunks = (self.cfg.window_bytes / self.cfg.chunk_bytes).max(1);
+        let initial = window_chunks.min(self.total_chunks);
+        for c in 0..initial {
+            self.send_chunk(ctx, c);
+        }
+        self.next_chunk = initial;
+        self.acked_chunks = 0;
+        self.uploading = true;
+        self.result_stall_checks = 0;
+        // Arm loss recovery: if neither acks nor a result arrive between
+        // two timer fires, restart the frame upload from scratch.
+        self.retx_watermark = (self.seq, u32::MAX);
+        ctx.schedule_in(self.retx_timeout(), token::RETRANSMIT);
+    }
+
+    /// Retransmission timeout: generous multiple of a worst-case RTT.
+    fn retx_timeout(&self) -> Duration {
+        Duration::from_millis(500)
+    }
+
+    fn check_retransmit(&mut self, ctx: &mut Ctx<'_>) {
+        if self.phase != Phase::Streaming || !self.uploading {
+            return;
+        }
+        let current = (self.seq, self.acked_chunks);
+        let stalled = current == self.retx_watermark;
+        let upload_complete = self.acked_chunks >= self.total_chunks;
+        // While the upload itself is stalled (unacked chunks), resend
+        // promptly. Once everything is acked the server may legitimately
+        // be computing for a long while — only resend after several quiet
+        // periods (a lost FrameResult).
+        let should_resend = if upload_complete {
+            if stalled {
+                self.result_stall_checks += 1;
+            } else {
+                self.result_stall_checks = 0;
+            }
+            self.result_stall_checks >= 8
+        } else {
+            stalled
+        };
+        if should_resend {
+            self.retransmissions += 1;
+            self.result_stall_checks = 0;
+            let window_chunks = (self.cfg.window_bytes / self.cfg.chunk_bytes).max(1);
+            let resend = window_chunks.min(self.total_chunks);
+            for c in 0..resend {
+                self.send_chunk(ctx, c);
+            }
+            self.next_chunk = resend;
+        }
+        self.retx_watermark = (self.seq, self.acked_chunks);
+        ctx.schedule_in(self.retx_timeout(), token::RETRANSMIT);
+    }
+
+    fn on_result(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        seq: u64,
+        matched: Option<String>,
+        compute_s: f64,
+        match_s: f64,
+        cands: usize,
+    ) {
+        if seq != self.seq || self.phase != Phase::Streaming {
+            return;
+        }
+        self.uploading = false;
+        self.frames.push(FrameStats {
+            seq,
+            captured_at: self.captured_at,
+            encode_s: self.encode_s,
+            result_at: ctx.now(),
+            server_compute_s: compute_s,
+            server_match_s: match_s,
+            candidates: cands,
+            matched,
+        });
+        self.seq += 1;
+        if self.seq >= self.cfg.frame_count {
+            self.phase = Phase::Done;
+            return;
+        }
+        // Closed loop, but never faster than the camera.
+        let next = (self.captured_at + self.camera_interval()).max(ctx.now());
+        ctx.schedule_at(next, token::CAPTURE);
+    }
+
+    fn send_reports(&mut self, ctx: &mut Ctx<'_>) {
+        let readings = if self.cfg.rx_report_schedule.is_empty() {
+            self.cfg.rx_reports.clone()
+        } else {
+            let idx = self.report_ticks.min(self.cfg.rx_report_schedule.len() - 1);
+            self.cfg.rx_report_schedule[idx].clone()
+        };
+        self.report_ticks += 1;
+        for (landmark, rx) in readings {
+            let msg = AppMsg::RxReport {
+                landmark,
+                rx_power_dbm: rx,
+            };
+            self.send_app(ctx, (self.cfg.server, AR_PORT), &msg, 0);
+        }
+    }
+
+    /// Are periodic reports configured at all?
+    fn has_reports(&self) -> bool {
+        !self.cfg.rx_reports.is_empty() || !self.cfg.rx_report_schedule.is_empty()
+    }
+}
+
+impl Node for ArFrontend {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, pkt: Packet) {
+        match AppMsg::from_packet(&pkt) {
+            Some(AppMsg::MrsAck { ok, .. })
+                if self.phase == Phase::AwaitingMrs => {
+                    if let Some(t0) = self.mrs_requested_at {
+                        self.bearer_setup = Some(ctx.now() - t0);
+                    }
+                    if ok {
+                        self.phase = Phase::Streaming;
+                        if self.has_reports() {
+                            self.send_reports(ctx);
+                            ctx.schedule_in(self.cfg.report_period, token::REPORT);
+                        }
+                        self.capture(ctx);
+                    } else {
+                        self.phase = Phase::Done;
+                    }
+                }
+            Some(AppMsg::ChunkAck { seq, .. })
+                if seq == self.seq && self.phase == Phase::Streaming => {
+                    self.acked_chunks = self.acked_chunks.saturating_add(1);
+                    if self.next_chunk < self.total_chunks {
+                        let c = self.next_chunk;
+                        self.next_chunk += 1;
+                        self.send_chunk(ctx, c);
+                    }
+                }
+            Some(AppMsg::FrameResult {
+                seq,
+                matched,
+                compute_s,
+                match_s,
+                candidates,
+            }) => self.on_result(ctx, seq, matched, compute_s, match_s, candidates),
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tok: u64) {
+        match tok {
+            token::KICKOFF => match &self.cfg.mrs {
+                Some((mrs_addr, service)) => {
+                    self.phase = Phase::AwaitingMrs;
+                    self.mrs_requested_at = Some(ctx.now());
+                    let msg = AppMsg::MrsRequest {
+                        service: service.clone(),
+                        ue_addr: self.cfg.ue_ip,
+                        create: true,
+                    };
+                    let dst = (*mrs_addr, MRS_PORT);
+                    self.send_app(ctx, dst, &msg, 0);
+                    ctx.schedule_in(self.retx_timeout(), token::RETRANSMIT);
+                }
+                None => {
+                    self.phase = Phase::Streaming;
+                    if self.has_reports() {
+                        self.send_reports(ctx);
+                        ctx.schedule_in(self.cfg.report_period, token::REPORT);
+                    }
+                    self.capture(ctx);
+                }
+            },
+            token::CAPTURE
+                if self.phase == Phase::Streaming => {
+                    self.capture(ctx);
+                }
+            token::ENCODED
+                if self.phase == Phase::Streaming => {
+                    self.begin_upload(ctx);
+                }
+            token::REPORT
+                if self.phase == Phase::Streaming => {
+                    self.send_reports(ctx);
+                    ctx.schedule_in(self.cfg.report_period, token::REPORT);
+                }
+            token::RETRANSMIT => {
+                if self.phase == Phase::AwaitingMrs {
+                    // MRS request or ack lost: ask again (the MRS side is
+                    // idempotent per service).
+                    if let Some((mrs_addr, service)) = self.cfg.mrs.clone() {
+                        self.retransmissions += 1;
+                        let msg = AppMsg::MrsRequest {
+                            service,
+                            ue_addr: self.cfg.ue_ip,
+                            create: true,
+                        };
+                        self.send_app(ctx, (mrs_addr, MRS_PORT), &msg, 0);
+                        ctx.schedule_in(self.retx_timeout(), token::RETRANSMIT);
+                    }
+                } else {
+                    self.check_retransmit(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+}

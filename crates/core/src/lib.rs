@@ -1,0 +1,60 @@
+//! # acacia — context-aware edge computing for continuous interactive apps
+//!
+//! A full reproduction of **ACACIA** (CoNEXT 2016): a service abstraction
+//! framework enabling continuous interactive (CI) applications on mobile
+//! edge clouds in LTE networks. The three pillars, and where they live:
+//!
+//! 1. **User context discovery** — LTE-direct publish/subscribe with
+//!    in-modem interest matching ([`device_manager`], `acacia-d2d`).
+//! 2. **Context-aware traffic redirection** — the [`mrs`] signals the PCRF
+//!    to create on-demand dedicated bearers terminating on *local* MEC
+//!    gateways; the UE's modem TFT steers only CI traffic there
+//!    (`acacia-lte`).
+//! 3. **Context-aware application optimization** — the [`locmgr`]
+//!    tri-laterates LTE-direct rxPower into coarse indoor locations that
+//!    prune the AR object database ([`search`], [`arserver`]).
+//!
+//! [`scenario`] ties everything into the paper's CLOUD / MEC / ACACIA
+//! end-to-end comparisons:
+//!
+//! ```no_run
+//! use acacia::scenario::{Deployment, Scenario, ScenarioConfig};
+//!
+//! let report = Scenario::build(ScenarioConfig::e2e(Deployment::Acacia)).run();
+//! println!("mean end-to-end: {:.0} ms", report.mean_total_s() * 1e3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arclient;
+pub mod arserver;
+pub mod device_manager;
+pub mod locmgr;
+pub mod mrs;
+pub mod msg;
+pub mod retail;
+pub mod scenario;
+pub mod search;
+
+pub use arclient::{ArFrontend, ArFrontendConfig, FrameStats};
+pub use arserver::{ArServer, ArServerConfig, FrameRecord};
+pub use device_manager::{AppId, ConnectivityAction, DeviceManager, ServiceInfo};
+pub use locmgr::{LocalizationManager, LocalizationMetadata};
+pub use mrs::{Mrs, ServerInstance};
+pub use msg::{AppMsg, FrameMeta};
+pub use retail::{CustomerApp, ShopperNotification, StoreApp};
+pub use scenario::{Deployment, Scenario, ScenarioConfig, SessionReport};
+pub use search::{candidates, SearchContext, SearchStrategy};
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::arclient::{ArFrontend, ArFrontendConfig, FrameStats};
+    pub use crate::arserver::{ArServer, ArServerConfig};
+    pub use crate::device_manager::{DeviceManager, ServiceInfo};
+    pub use crate::locmgr::{LocalizationManager, LocalizationMetadata};
+    pub use crate::mrs::{Mrs, ServerInstance};
+    pub use crate::msg::AppMsg;
+    pub use crate::scenario::{Deployment, Scenario, ScenarioConfig, SessionReport};
+    pub use crate::search::{candidates, SearchContext, SearchStrategy};
+}

@@ -1,0 +1,227 @@
+//! The MEC Registration Server (paper §5.3): the core-network Application
+//! Function that CI device managers talk to.
+//!
+//! The MRS keeps a registry of CI services and the MEC servers hosting
+//! them, picks the **closest** CI server for a requesting UE, and signals
+//! the PCRF over Rx to create/delete the dedicated-bearer connectivity.
+
+use crate::msg::{AppMsg, MRS_PORT};
+use acacia_lte::qci::Qci;
+use acacia_lte::wire::{ControlMsg, PolicyRule};
+use acacia_simnet::packet::Packet;
+use acacia_simnet::sim::{Ctx, Node, PortId};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// A CI server instance registered for a service.
+#[derive(Debug, Clone)]
+pub struct ServerInstance {
+    /// Server address.
+    pub addr: Ipv4Addr,
+    /// Network distance score (e.g. hops or measured delay, lower =
+    /// closer to the requesting UE's eNB).
+    pub distance: f64,
+}
+
+/// MRS port map.
+pub mod port {
+    use super::PortId;
+    /// Data-network side (UE requests over the default bearer).
+    pub const DATA: PortId = 0;
+    /// Rx toward the PCRF.
+    pub const RX: PortId = 1;
+}
+
+struct Pending {
+    service: String,
+    reply_to: (Ipv4Addr, u16),
+    server: Ipv4Addr,
+}
+
+/// The MRS node.
+pub struct Mrs {
+    /// Own address.
+    pub addr: Ipv4Addr,
+    /// Dedicated-bearer QCI handed to the PCRF.
+    pub qci: Qci,
+    registry: HashMap<String, Vec<ServerInstance>>,
+    pending: HashMap<u32, Pending>,
+    next_service_id: u32,
+    /// Requests served (create + delete).
+    pub requests: u64,
+    /// Requests rejected (unknown service).
+    pub rejected: u64,
+}
+
+impl Mrs {
+    /// New MRS.
+    pub fn new(addr: Ipv4Addr) -> Mrs {
+        Mrs {
+            addr,
+            qci: Qci(7),
+            registry: HashMap::new(),
+            pending: HashMap::new(),
+            next_service_id: 1,
+            requests: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Register a CI server for `service`.
+    pub fn register_service(&mut self, service: &str, server: ServerInstance) {
+        self.registry
+            .entry(service.to_string())
+            .or_default()
+            .push(server);
+    }
+
+    /// The closest registered server for a service.
+    pub fn closest(&self, service: &str) -> Option<&ServerInstance> {
+        self.registry.get(service)?.iter().min_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .expect("distance is finite")
+        })
+    }
+
+    fn answer(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        reply_to: (Ipv4Addr, u16),
+        service: &str,
+        ok: bool,
+        server: Option<Ipv4Addr>,
+    ) {
+        let msg = AppMsg::MrsAck {
+            service: service.to_string(),
+            ok,
+            server,
+        };
+        let pkt = msg.into_packet((self.addr, MRS_PORT), reply_to, 0, ctx.now());
+        ctx.send(port::DATA, pkt);
+    }
+}
+
+impl Node for Mrs {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, in_port: PortId, pkt: Packet) {
+        match in_port {
+            port::DATA => {
+                let Some(AppMsg::MrsRequest {
+                    service,
+                    ue_addr,
+                    create,
+                }) = AppMsg::from_packet(&pkt)
+                else {
+                    return;
+                };
+                self.requests += 1;
+                let reply_to = (pkt.src, pkt.src_port);
+                let Some(server) = self.closest(&service).map(|s| s.addr) else {
+                    self.rejected += 1;
+                    self.answer(ctx, reply_to, &service, false, None);
+                    return;
+                };
+                let service_id = self.next_service_id;
+                self.next_service_id += 1;
+                self.pending.insert(
+                    service_id,
+                    Pending {
+                        service: service.clone(),
+                        reply_to,
+                        server,
+                    },
+                );
+                let rule = PolicyRule {
+                    service_id,
+                    ue_addr,
+                    server_addr: server,
+                    server_port: 0,
+                    qci: self.qci,
+                    install: create,
+                };
+                let msg = ControlMsg::RxAuthRequest { rule };
+                ctx.send(port::RX, msg.into_packet(self.addr, Ipv4Addr::UNSPECIFIED));
+            }
+            port::RX => {
+                let Some(ControlMsg::RxAuthAnswer { service_id, ok }) =
+                    ControlMsg::from_packet(&pkt)
+                else {
+                    return;
+                };
+                let Some(p) = self.pending.remove(&service_id) else {
+                    return;
+                };
+                let service = p.service.clone();
+                let server = Some(p.server);
+                self.answer(ctx, p.reply_to, &service, ok, server);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(a: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 4, 0, a)
+    }
+
+    #[test]
+    fn closest_server_selection() {
+        let mut mrs = Mrs::new(ip(100));
+        mrs.register_service(
+            "acme",
+            ServerInstance {
+                addr: ip(1),
+                distance: 5.0,
+            },
+        );
+        mrs.register_service(
+            "acme",
+            ServerInstance {
+                addr: ip(2),
+                distance: 1.0,
+            },
+        );
+        mrs.register_service(
+            "acme",
+            ServerInstance {
+                addr: ip(3),
+                distance: 9.0,
+            },
+        );
+        assert_eq!(mrs.closest("acme").unwrap().addr, ip(2));
+        assert!(mrs.closest("unknown").is_none());
+    }
+
+    #[test]
+    fn unknown_service_is_rejected_via_data_port() {
+        use acacia_simnet::sim::Simulator;
+        use acacia_simnet::link::LinkConfig;
+        use acacia_simnet::time::{Duration, Instant};
+        use acacia_simnet::traffic::Sink;
+
+        let mut sim = Simulator::new(1);
+        let mrs = sim.add_node(Box::new(Mrs::new(ip(100))));
+        let sink = sim.add_node(Box::new(Sink::new()));
+        sim.connect(
+            (mrs, port::DATA),
+            (sink, 0),
+            LinkConfig::delay_only(Duration::from_millis(1)),
+        );
+        let req = AppMsg::MrsRequest {
+            service: "nope".into(),
+            ue_addr: ip(9),
+            create: true,
+        }
+        .into_packet((ip(9), 9000), (ip(100), MRS_PORT), 0, Instant::ZERO);
+        sim.inject_packet(mrs, port::DATA, Instant::ZERO, req);
+        sim.run_until_idle();
+        assert_eq!(sim.node_ref::<Sink>(sink).packets(), 1, "a NACK went out");
+        let m = sim.node_ref::<Mrs>(mrs);
+        assert_eq!(m.requests, 1);
+        assert_eq!(m.rejected, 1);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for LTE-direct discovery.
+
+use acacia_d2d::channel::{RadioChannel, SNR_SPAN_DB};
+use acacia_d2d::modem::Modem;
+use acacia_d2d::service::{Announcement, ServiceCode, SubscriptionFilter};
+use acacia_d2d::technology::ProximityTech;
+use acacia_geo::pathloss::PathLossModel;
+use acacia_geo::point::Point;
+use proptest::prelude::*;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,18}"
+}
+
+proptest! {
+    /// Exact filters match exactly their own (service, expression).
+    #[test]
+    fn exact_filter_iff_same_pair(
+        s1 in arb_name(), e1 in arb_name(),
+        s2 in arb_name(), e2 in arb_name(),
+    ) {
+        let f = SubscriptionFilter::exact(&s1, &e1);
+        let code = ServiceCode::derive(&s2, &e2);
+        let same = s1 == s2 && e1 == e2;
+        // FNV collisions across short names are astronomically unlikely;
+        // treat a match as equivalent to equality.
+        prop_assert_eq!(f.matches(code), same);
+    }
+
+    /// Service-wide filters are insensitive to the expression.
+    #[test]
+    fn service_wide_ignores_expression(s in arb_name(), e1 in arb_name(), e2 in arb_name()) {
+        let f = SubscriptionFilter::service_wide(&s);
+        prop_assert!(f.matches(ServiceCode::derive(&s, &e1)));
+        prop_assert!(f.matches(ServiceCode::derive(&s, &e2)));
+    }
+
+    /// A modem with an exact subscription delivers exactly the messages a
+    /// service-wide one would deliver, filtered by expression.
+    #[test]
+    fn modem_delivery_consistency(s in arb_name(), interest in arb_name(), expr in arb_name()) {
+        let reading = acacia_d2d::channel::RadioReading { rx_power_dbm: -70.0, snr_db: 20.0 };
+        let ann = Announcement::new(&s, &expr);
+        let mut exact = Modem::new();
+        exact.subscribe(SubscriptionFilter::exact(&s, &interest));
+        let mut wide = Modem::new();
+        wide.subscribe(SubscriptionFilter::service_wide(&s));
+        let exact_got = exact.receive(&ann, "L", reading, 0).is_some();
+        let wide_got = wide.receive(&ann, "L", reading, 0).is_some();
+        prop_assert!(wide_got, "service-wide must hear its own service");
+        prop_assert_eq!(exact_got, interest == expr);
+    }
+
+    /// Channel readings: SNR is always within its dynamic range and
+    /// consistent with rxPower; readings are deterministic per inputs.
+    #[test]
+    fn channel_reading_invariants(
+        seed in any::<u64>(),
+        pid in 1u64..100,
+        x in 0.5f64..40.0,
+        y in 0.5f64..15.0,
+        tick in 0u64..50,
+    ) {
+        let ch = RadioChannel::new(PathLossModel::indoor_default(), seed);
+        let tx = Point::new(0.0, 0.0);
+        let rx_pos = Point::new(x, y);
+        let a = ch.sample(pid, tx, rx_pos, tick);
+        let b = ch.sample(pid, tx, rx_pos, tick);
+        prop_assert_eq!(a, b);
+        if let Some(r) = a {
+            prop_assert!(r.snr_db >= 0.0 && r.snr_db <= SNR_SPAN_DB);
+            prop_assert!(r.rx_power_dbm >= acacia_d2d::channel::SENSITIVITY_DBM);
+        }
+    }
+
+    /// Mean rxPower decreases with distance for every technology.
+    #[test]
+    fn rx_power_decreasing_all_techs(d1 in 1.0f64..20.0, gap in 5.0f64..60.0) {
+        for tech in ProximityTech::ALL {
+            let pl = tech.pathloss();
+            prop_assert!(pl.rx_power_dbm(d1) > pl.rx_power_dbm(d1 + gap));
+        }
+    }
+}

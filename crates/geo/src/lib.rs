@@ -1,0 +1,48 @@
+//! # acacia-geo — geometry and localization for ACACIA
+//!
+//! Floor plans (sections / subsections / landmarks / checkpoints), the
+//! rxPower→distance path-loss regression, and the tri-lateration solver that
+//! turns LTE-direct readings into coarse indoor locations (paper §5.5).
+//!
+//! ```
+//! use acacia_geo::prelude::*;
+//!
+//! // Fit the one-time calibration regression from (distance, rxPower)
+//! // samples, then localize from three landmark readings.
+//! let model = PathLossModel::indoor_default();
+//! let samples: Vec<(f64, f64)> = [1.0, 2.0, 5.0, 10.0, 20.0]
+//!     .iter().map(|&d| (d, model.rx_power_dbm(d))).collect();
+//! let fit = FittedPathLoss::fit(&samples).unwrap();
+//!
+//! let truth = Point::new(8.0, 5.0);
+//! let landmarks = [Point::new(0.0, 0.0), Point::new(20.0, 0.0), Point::new(10.0, 15.0)];
+//! let ranges: Vec<RangeMeasurement> = landmarks.iter().map(|&l| {
+//!     let rx = model.rx_power_dbm(truth.distance(l));
+//!     RangeMeasurement::new(l, fit.predict_distance(rx))
+//! }).collect();
+//! let est = trilaterate(&ranges).unwrap();
+//! assert!(est.position.distance(truth) < 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod floor;
+pub mod pathloss;
+pub mod point;
+pub mod trilateration;
+
+pub use floor::{Checkpoint, FloorPlan, Landmark, Subsection, WalkPath};
+pub use pathloss::{FitError, FittedPathLoss, PathLossModel};
+pub use point::{Point, Rect};
+pub use trilateration::{
+    trilaterate, RangeMeasurement, TrilaterationError, TrilaterationSolution,
+};
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::floor::{Checkpoint, FloorPlan, Landmark, Subsection, WalkPath};
+    pub use crate::pathloss::{FittedPathLoss, PathLossModel};
+    pub use crate::point::{Point, Rect};
+    pub use crate::trilateration::{trilaterate, RangeMeasurement, TrilaterationSolution};
+}

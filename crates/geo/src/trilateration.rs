@@ -1,0 +1,340 @@
+//! Tri-lateration: estimating a position from ranges to known landmarks.
+//!
+//! ACACIA localizes a subscriber by converting LTE-direct rxPower readings
+//! into distances (via [`FittedPathLoss`](crate::pathloss::FittedPathLoss))
+//! and solving the classic range-intersection problem against landmark
+//! coordinates (§5.5, citing Borenstein et al.'s mobile-robot positioning
+//! survey). We solve the nonlinear least-squares formulation with a damped
+//! Gauss-Newton iteration seeded by a closed-form linearized solution.
+
+use crate::point::Point;
+
+/// A single range observation: a landmark at a known position and the
+/// estimated distance to it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeMeasurement {
+    /// Landmark position.
+    pub landmark: Point,
+    /// Estimated distance to the landmark, metres (non-negative).
+    pub distance: f64,
+}
+
+impl RangeMeasurement {
+    /// Construct a measurement.
+    pub fn new(landmark: Point, distance: f64) -> RangeMeasurement {
+        RangeMeasurement {
+            landmark,
+            distance: distance.max(0.0),
+        }
+    }
+}
+
+/// Why a solve failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrilaterationError {
+    /// Fewer than three range measurements.
+    TooFewMeasurements,
+    /// The landmark geometry is (numerically) degenerate — e.g. all
+    /// landmarks coincide.
+    DegenerateGeometry,
+}
+
+impl std::fmt::Display for TrilaterationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrilaterationError::TooFewMeasurements => {
+                write!(f, "tri-lateration needs at least three landmarks")
+            }
+            TrilaterationError::DegenerateGeometry => {
+                write!(f, "landmark geometry is degenerate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrilaterationError {}
+
+/// Result of a successful solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrilaterationSolution {
+    /// Estimated position.
+    pub position: Point,
+    /// Root-mean-square range residual at the solution, metres. A large
+    /// residual signals inconsistent (noisy) ranges.
+    pub rms_residual: f64,
+    /// Gauss-Newton iterations consumed.
+    pub iterations: usize,
+}
+
+/// Solve for the position that best explains the range measurements, in the
+/// least-squares sense.
+pub fn trilaterate(
+    measurements: &[RangeMeasurement],
+) -> Result<TrilaterationSolution, TrilaterationError> {
+    if measurements.len() < 3 {
+        return Err(TrilaterationError::TooFewMeasurements);
+    }
+    // Degeneracy check: landmarks must span an area, not a single point.
+    let spread = landmark_spread(measurements);
+    if spread < 1e-6 {
+        return Err(TrilaterationError::DegenerateGeometry);
+    }
+
+    let mut x = match linear_seed(measurements) {
+        // Singular linearization (e.g. collinear landmarks): fall back to a
+        // weighted centroid nudged off the landmark line — starting exactly
+        // on a symmetry axis leaves the y-gradient identically zero.
+        None => weighted_centroid(measurements).offset(0.11, 0.13),
+        Some(seed) => seed,
+    };
+    if !x.x.is_finite() || !x.y.is_finite() {
+        x = weighted_centroid(measurements).offset(0.11, 0.13);
+    }
+
+    // Damped Gauss-Newton (Levenberg style): minimize
+    //   f(x) = Σ_i (||x - L_i|| - d_i)^2.
+    let mut lambda = 1e-3;
+    let mut cost = cost_at(measurements, x);
+    let mut iterations = 0;
+    for _ in 0..100 {
+        iterations += 1;
+        // Accumulate J^T J (2x2) and J^T r (2x1).
+        let (mut a11, mut a12, mut a22) = (0.0f64, 0.0, 0.0);
+        let (mut g1, mut g2) = (0.0f64, 0.0);
+        for m in measurements {
+            let dx = x.x - m.landmark.x;
+            let dy = x.y - m.landmark.y;
+            let dist = (dx * dx + dy * dy).sqrt().max(1e-9);
+            let r = dist - m.distance;
+            let jx = dx / dist;
+            let jy = dy / dist;
+            a11 += jx * jx;
+            a12 += jx * jy;
+            a22 += jy * jy;
+            g1 += jx * r;
+            g2 += jy * r;
+        }
+        // Solve (A + λ·diag(A)) Δ = -g.
+        let d11 = a11 * (1.0 + lambda);
+        let d22 = a22 * (1.0 + lambda);
+        let det = d11 * d22 - a12 * a12;
+        if det.abs() < 1e-15 {
+            lambda *= 10.0;
+            if lambda > 1e8 {
+                break;
+            }
+            continue;
+        }
+        let step_x = (-g1 * d22 + g2 * a12) / det;
+        let step_y = (-g2 * d11 + g1 * a12) / det;
+        let candidate = Point::new(x.x + step_x, x.y + step_y);
+        let new_cost = cost_at(measurements, candidate);
+        if new_cost < cost {
+            x = candidate;
+            let improvement = cost - new_cost;
+            cost = new_cost;
+            lambda = (lambda * 0.5).max(1e-12);
+            if improvement < 1e-12 || (step_x * step_x + step_y * step_y) < 1e-16 {
+                break;
+            }
+        } else {
+            lambda *= 10.0;
+            if lambda > 1e8 {
+                break;
+            }
+        }
+    }
+
+    if !x.x.is_finite() || !x.y.is_finite() {
+        return Err(TrilaterationError::DegenerateGeometry);
+    }
+    Ok(TrilaterationSolution {
+        position: x,
+        rms_residual: (cost / measurements.len() as f64).sqrt(),
+        iterations,
+    })
+}
+
+/// Closed-form linearized seed: subtracting the first range equation from
+/// the rest turns circles into lines; solve the resulting overdetermined
+/// linear system via 2x2 normal equations. Returns `None` when singular
+/// (e.g. collinear landmarks).
+fn linear_seed(measurements: &[RangeMeasurement]) -> Option<Point> {
+    let first = measurements[0];
+    let l1 = first.landmark;
+    let k1 = l1.x * l1.x + l1.y * l1.y - first.distance * first.distance;
+    let (mut a11, mut a12, mut a22) = (0.0f64, 0.0, 0.0);
+    let (mut b1, mut b2) = (0.0f64, 0.0);
+    for m in &measurements[1..] {
+        let li = m.landmark;
+        let ax = 2.0 * (li.x - l1.x);
+        let ay = 2.0 * (li.y - l1.y);
+        let ki = li.x * li.x + li.y * li.y - m.distance * m.distance;
+        let b = ki - k1;
+        a11 += ax * ax;
+        a12 += ax * ay;
+        a22 += ay * ay;
+        b1 += ax * b;
+        b2 += ay * b;
+    }
+    let det = a11 * a22 - a12 * a12;
+    if det.abs() < 1e-9 {
+        return None;
+    }
+    Some(Point::new(
+        (b1 * a22 - b2 * a12) / det,
+        (b2 * a11 - b1 * a12) / det,
+    ))
+}
+
+/// Centroid of landmarks weighted by inverse distance — a robust fallback
+/// seed when the linear system is singular.
+fn weighted_centroid(measurements: &[RangeMeasurement]) -> Point {
+    let mut wx = 0.0;
+    let mut wy = 0.0;
+    let mut wsum = 0.0;
+    for m in measurements {
+        let w = 1.0 / (m.distance + 0.5);
+        wx += m.landmark.x * w;
+        wy += m.landmark.y * w;
+        wsum += w;
+    }
+    Point::new(wx / wsum, wy / wsum)
+}
+
+fn cost_at(measurements: &[RangeMeasurement], x: Point) -> f64 {
+    measurements
+        .iter()
+        .map(|m| {
+            let r = x.distance(m.landmark) - m.distance;
+            r * r
+        })
+        .sum()
+}
+
+/// Maximum pairwise landmark separation (degeneracy metric).
+fn landmark_spread(measurements: &[RangeMeasurement]) -> f64 {
+    let mut max = 0.0f64;
+    for (i, a) in measurements.iter().enumerate() {
+        for b in &measurements[i + 1..] {
+            max = max.max(a.landmark.distance(b.landmark));
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranges_from(truth: Point, landmarks: &[Point]) -> Vec<RangeMeasurement> {
+        landmarks
+            .iter()
+            .map(|&l| RangeMeasurement::new(l, truth.distance(l)))
+            .collect()
+    }
+
+    #[test]
+    fn exact_ranges_recover_position() {
+        let truth = Point::new(7.3, 4.1);
+        let landmarks = [
+            Point::new(0.0, 0.0),
+            Point::new(20.0, 0.0),
+            Point::new(10.0, 15.0),
+        ];
+        let sol = trilaterate(&ranges_from(truth, &landmarks)).unwrap();
+        assert!(sol.position.distance(truth) < 1e-6, "{:?}", sol);
+        assert!(sol.rms_residual < 1e-6);
+    }
+
+    #[test]
+    fn more_landmarks_do_not_hurt_exact_case() {
+        let truth = Point::new(13.0, 9.0);
+        let landmarks = [
+            Point::new(2.0, 2.5),
+            Point::new(6.0, 12.5),
+            Point::new(10.0, 7.5),
+            Point::new(14.0, 2.5),
+            Point::new(18.0, 12.5),
+            Point::new(22.0, 7.5),
+            Point::new(26.0, 2.5),
+        ];
+        let sol = trilaterate(&ranges_from(truth, &landmarks)).unwrap();
+        assert!(sol.position.distance(truth) < 1e-6);
+    }
+
+    #[test]
+    fn noisy_ranges_give_bounded_error() {
+        let truth = Point::new(10.0, 5.0);
+        let landmarks = [
+            Point::new(0.0, 0.0),
+            Point::new(20.0, 0.0),
+            Point::new(10.0, 15.0),
+            Point::new(0.0, 15.0),
+        ];
+        // +/- 1 m of alternating bias on the ranges.
+        let ms: Vec<RangeMeasurement> = landmarks
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| {
+                let noise = if i % 2 == 0 { 1.0 } else { -1.0 };
+                RangeMeasurement::new(l, (truth.distance(l) + noise).max(0.0))
+            })
+            .collect();
+        let sol = trilaterate(&ms).unwrap();
+        assert!(
+            sol.position.distance(truth) < 2.5,
+            "error {}",
+            sol.position.distance(truth)
+        );
+        assert!(sol.rms_residual > 0.1, "noise must show up in residual");
+    }
+
+    #[test]
+    fn too_few_measurements_rejected() {
+        let ms = vec![
+            RangeMeasurement::new(Point::new(0.0, 0.0), 5.0),
+            RangeMeasurement::new(Point::new(10.0, 0.0), 5.0),
+        ];
+        assert_eq!(
+            trilaterate(&ms).unwrap_err(),
+            TrilaterationError::TooFewMeasurements
+        );
+    }
+
+    #[test]
+    fn coincident_landmarks_rejected() {
+        let p = Point::new(5.0, 5.0);
+        let ms = vec![
+            RangeMeasurement::new(p, 3.0),
+            RangeMeasurement::new(p, 4.0),
+            RangeMeasurement::new(p, 5.0),
+        ];
+        assert_eq!(
+            trilaterate(&ms).unwrap_err(),
+            TrilaterationError::DegenerateGeometry
+        );
+    }
+
+    #[test]
+    fn collinear_landmarks_still_return_best_effort() {
+        // Collinear geometry has a mirror ambiguity; the solver should still
+        // converge to one of the two mirror solutions.
+        let truth = Point::new(5.0, 3.0);
+        let landmarks = [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(20.0, 0.0),
+        ];
+        let sol = trilaterate(&ranges_from(truth, &landmarks)).unwrap();
+        let mirror = Point::new(truth.x, -truth.y);
+        let err = sol.position.distance(truth).min(sol.position.distance(mirror));
+        assert!(err < 1e-3, "position {:?}", sol.position);
+    }
+
+    #[test]
+    fn negative_distances_are_clamped() {
+        let m = RangeMeasurement::new(Point::new(0.0, 0.0), -3.0);
+        assert_eq!(m.distance, 0.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for geometry, path loss and tri-lateration.
+
+use acacia_geo::floor::{FloorPlan, WalkPath};
+use acacia_geo::pathloss::{FittedPathLoss, PathLossModel};
+use acacia_geo::point::{Point, Rect};
+use acacia_geo::trilateration::{trilaterate, RangeMeasurement};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (0.1f64..27.9, 0.1f64..14.9).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    /// Distance is a metric: symmetric, zero iff equal, triangle holds.
+    #[test]
+    fn distance_metric(a in arb_point(), b in arb_point(), c in arb_point()) {
+        prop_assert!((a.distance(b) - b.distance(a)).abs() < 1e-12);
+        prop_assert!(a.distance(a) < 1e-12);
+        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+    }
+
+    /// Rect::distance_to is zero exactly for contained points.
+    #[test]
+    fn rect_distance_zero_iff_inside(p in arb_point()) {
+        let r = Rect::new(4.0, 5.0, 20.0, 12.0);
+        if r.contains(p) {
+            prop_assert_eq!(r.distance_to(p), 0.0);
+        } else {
+            prop_assert!(r.distance_to(p) > 0.0);
+        }
+    }
+
+    /// Exact ranges from ≥3 spread landmarks recover the position.
+    #[test]
+    fn trilateration_exact_recovery(truth in arb_point(), extra in 0usize..4) {
+        let floor = FloorPlan::retail_store();
+        let landmarks: Vec<Point> = floor.landmarks.iter().take(3 + extra).map(|l| l.pos).collect();
+        let ms: Vec<RangeMeasurement> = landmarks
+            .iter()
+            .map(|&l| RangeMeasurement::new(l, truth.distance(l)))
+            .collect();
+        let sol = trilaterate(&ms).unwrap();
+        prop_assert!(
+            sol.position.distance(truth) < 1e-3,
+            "error {} at {:?}",
+            sol.position.distance(truth),
+            truth
+        );
+    }
+
+    /// Bounded range noise produces bounded position error (stability).
+    #[test]
+    fn trilateration_stability(truth in arb_point(), noise in -1.5f64..1.5) {
+        let floor = FloorPlan::retail_store();
+        let ms: Vec<RangeMeasurement> = floor
+            .landmarks
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+                RangeMeasurement::new(l.pos, (truth.distance(l.pos) + sign * noise).max(0.0))
+            })
+            .collect();
+        let sol = trilaterate(&ms).unwrap();
+        prop_assert!(
+            sol.position.distance(truth) < 6.0 * noise.abs() + 0.5,
+            "error {} for noise {}",
+            sol.position.distance(truth),
+            noise
+        );
+    }
+
+    /// The path-loss fit inverts its own model exactly on clean samples.
+    #[test]
+    fn pathloss_fit_inverts(pl0 in 30.0f64..80.0, n in 2.0f64..4.5, d in 0.5f64..80.0) {
+        let model = PathLossModel { tx_power_dbm: 23.0, pl0_db: pl0, exponent: n };
+        let samples: Vec<(f64, f64)> = [0.5, 1.0, 2.0, 5.0, 12.0, 30.0, 70.0]
+            .iter()
+            .map(|&x| (x, model.rx_power_dbm(x)))
+            .collect();
+        let fit = FittedPathLoss::fit(&samples).unwrap();
+        let rx = model.rx_power_dbm(d);
+        prop_assert!((fit.predict_distance(rx) - d).abs() / d < 1e-6);
+    }
+
+    /// rxPower is strictly decreasing with distance.
+    #[test]
+    fn pathloss_monotone(d1 in 0.2f64..500.0, d2 in 0.2f64..500.0) {
+        prop_assume!(d1 < d2 - 1e-9);
+        let m = PathLossModel::indoor_default();
+        prop_assert!(m.rx_power_dbm(d1) > m.rx_power_dbm(d2));
+    }
+
+    /// Walk paths: position_at is continuous-ish and clamped.
+    #[test]
+    fn walkpath_bounds(t in -100.0f64..1000.0) {
+        let w = WalkPath::fig6_walk();
+        let p = w.position_at(t);
+        // The walkway floor contains the whole path.
+        let floor = FloorPlan::walkway();
+        prop_assert!(floor.bounds.contains(p) || floor.bounds.distance_to(p) < 1e-9);
+        // Small time steps move small distances (max speed bound).
+        let q = w.position_at(t + 1.0);
+        let speed = p.distance(q);
+        prop_assert!(speed <= w.length() / w.duration_s() + 1e-9);
+    }
+
+    /// Every floor point near a subsection set: subsections_near with a
+    /// radius covering the whole floor returns all 21.
+    #[test]
+    fn subsections_near_total_cover(p in arb_point()) {
+        let floor = FloorPlan::retail_store();
+        prop_assert_eq!(floor.subsections_near(p, 100.0).len(), 21);
+        // Zero radius returns exactly the containing subsection.
+        let zero = floor.subsections_near(p, 0.0);
+        let own = floor.subsection_at(p).unwrap();
+        prop_assert!(zero.contains(&own));
+    }
+}

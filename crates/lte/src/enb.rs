@@ -1,0 +1,410 @@
+//! The eNodeB: radio ↔ S1-U forwarding with GTP encapsulation, S1AP
+//! signalling toward the MME, and a priority-scheduled downlink.
+//!
+//! ACACIA requires **no eNB modifications**: the eNB just follows the
+//! standard Bearer Setup Request, which (in ACACIA) carries the *local*
+//! SGW-U address for dedicated MEC bearers — so MEC traffic leaves on a
+//! different S1 port without the eNB knowing anything about MEC (paper
+//! §5.4 step 3).
+
+use crate::ids::{Ebi, Imsi, Teid};
+use crate::log::MsgLog;
+use crate::qci::Qci;
+use crate::radio::{self, port, RadioPayload, RadioScheduler};
+use crate::wire::{ControlMsg, ErabSetup};
+use crate::{gtpu, tft::Tft};
+use acacia_simnet::packet::Packet;
+use acacia_simnet::sim::{Ctx, Node, PortId};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Per-bearer forwarding state at the eNB.
+#[derive(Debug, Clone)]
+pub struct EnbBearer {
+    /// Owner.
+    pub imsi: Imsi,
+    /// Bearer id.
+    pub ebi: Ebi,
+    /// QoS class (drives downlink scheduling priority).
+    pub qci: Qci,
+    /// Uplink tunnel: GW-U address + TEID.
+    pub gw_addr: Ipv4Addr,
+    /// Uplink TEID at the GW-U.
+    pub gw_teid: Teid,
+    /// Downlink TEID terminating here.
+    pub enb_teid: Teid,
+    /// TFT to push to the UE.
+    pub tft: Tft,
+    /// Is the S1 leg currently active (false while RRC-idle)?
+    pub active: bool,
+}
+
+/// A UE known to this eNB.
+#[derive(Debug, Clone)]
+struct UeEntry {
+    imsi: Imsi,
+    radio_addr: Ipv4Addr,
+    radio_port: PortId,
+    ue_addr: Option<Ipv4Addr>,
+    /// Last user-plane activity (for the inactivity timer).
+    last_activity: acacia_simnet::time::Instant,
+    /// Is an automatic idle-check timer armed?
+    idle_check_armed: bool,
+}
+
+/// Timer tokens understood by the eNB.
+pub mod token {
+    /// Downlink radio scheduler release.
+    pub const DL_RELEASE: u64 = 1;
+    /// Declare UE `token - IDLE_BASE` idle and start the release procedure
+    /// (the paper's 11.576 s inactivity event, triggered by the harness).
+    pub const IDLE_BASE: u64 = 1000;
+    /// Automatic inactivity check for UE `token - IDLE_CHECK_BASE`.
+    pub const IDLE_CHECK_BASE: u64 = 2000;
+}
+
+/// The eNB node.
+pub struct Enb {
+    /// Control/S1 address of this eNB.
+    pub addr: Ipv4Addr,
+    /// MME address.
+    pub mme_addr: Ipv4Addr,
+    /// Known S1-U gateway addresses → output port (core SGW-U vs local
+    /// MEC GW-U).
+    pub s1_ports: HashMap<Ipv4Addr, PortId>,
+    ues: Vec<UeEntry>,
+    bearers: Vec<EnbBearer>,
+    next_teid: u32,
+    dl: RadioScheduler,
+    /// Automatic inactivity release: after this much user-plane silence the
+    /// eNB starts the UE-context release (the paper's 11.576 s timer).
+    /// `None` disables the mechanism (procedures driven by the harness).
+    pub auto_idle: Option<acacia_simnet::time::Duration>,
+    log: MsgLog,
+    /// Uplink user packets forwarded onto S1.
+    pub ul_forwarded: u64,
+    /// Downlink user frames scheduled to UEs.
+    pub dl_forwarded: u64,
+    /// Packets dropped for missing bearer state.
+    pub no_bearer: u64,
+}
+
+impl Enb {
+    /// New eNB.
+    pub fn new(addr: Ipv4Addr, mme_addr: Ipv4Addr, dl_rate_bps: u64, log: MsgLog) -> Enb {
+        Enb {
+            addr,
+            mme_addr,
+            s1_ports: HashMap::new(),
+            ues: Vec::new(),
+            bearers: Vec::new(),
+            next_teid: 0x3000,
+            dl: RadioScheduler::new(dl_rate_bps),
+            auto_idle: None,
+            log,
+            ul_forwarded: 0,
+            dl_forwarded: 0,
+            no_bearer: 0,
+        }
+    }
+
+    /// Register a UE served by this eNB; returns its radio port.
+    pub fn add_ue(&mut self, imsi: Imsi, radio_addr: Ipv4Addr) -> PortId {
+        let radio_port = port::ENB_RADIO_BASE + self.ues.len();
+        self.ues.push(UeEntry {
+            imsi,
+            radio_addr,
+            radio_port,
+            ue_addr: None,
+            last_activity: acacia_simnet::time::Instant::ZERO,
+            idle_check_armed: false,
+        });
+        radio_port
+    }
+
+    /// Register an S1-U gateway reachable via `out_port`.
+    pub fn add_s1_gateway(&mut self, gw_addr: Ipv4Addr, out_port: PortId) {
+        self.s1_ports.insert(gw_addr, out_port);
+    }
+
+    /// Bearer state for inspection.
+    pub fn bearers(&self) -> &[EnbBearer] {
+        &self.bearers
+    }
+
+    fn ue_by_radio_port(&self, p: PortId) -> Option<&UeEntry> {
+        self.ues.iter().find(|u| u.radio_port == p)
+    }
+
+    fn ue_by_imsi(&self, imsi: Imsi) -> Option<&UeEntry> {
+        self.ues.iter().find(|u| u.imsi == imsi)
+    }
+
+    fn alloc_teid(&mut self) -> Teid {
+        let t = Teid(self.next_teid);
+        self.next_teid += 1;
+        t
+    }
+
+    fn send_s1ap(&mut self, ctx: &mut Ctx<'_>, msg: ControlMsg) {
+        self.log.record(ctx.now(), &msg);
+        ctx.send(port::ENB_S1AP, msg.into_packet(self.addr, self.mme_addr));
+    }
+
+    fn send_rrc(&mut self, ctx: &mut Ctx<'_>, imsi: Imsi, msg: ControlMsg) {
+        let Some(ue) = self.ue_by_imsi(imsi) else {
+            return;
+        };
+        let (radio_port, radio_addr) = (ue.radio_port, ue.radio_addr);
+        self.log.record(ctx.now(), &msg);
+        let frame = radio::rrc_frame(&msg, self.addr, radio_addr);
+        // Control frames bypass the data scheduler (SRBs have absolute
+        // priority); model as direct send.
+        ctx.send(radio_port, frame);
+    }
+
+    fn handle_radio(&mut self, ctx: &mut Ctx<'_>, in_port: PortId, pkt: Packet) {
+        let Some(ue) = self.ue_by_radio_port(in_port) else {
+            return;
+        };
+        let imsi = ue.imsi;
+        match radio::parse_frame(&pkt) {
+            Some(RadioPayload::Rrc(msg)) => {
+                self.log.record(ctx.now(), &msg); // UE-originated RRC
+                match msg {
+                    ControlMsg::RrcAttachRequest { .. } => {
+                        self.send_s1ap(ctx, ControlMsg::InitialUeAttach { imsi });
+                    }
+                    ControlMsg::RrcServiceRequest { .. } => {
+                        self.send_s1ap(ctx, ControlMsg::InitialUeServiceRequest { imsi });
+                    }
+                    _ => {}
+                }
+            }
+            Some(RadioPayload::Data { ebi, inner }) => {
+                self.touch_activity(ctx, imsi);
+                let Some(bearer) = self
+                    .bearers
+                    .iter()
+                    .find(|b| b.imsi == imsi && b.ebi == ebi && b.active)
+                else {
+                    self.no_bearer += 1;
+                    return;
+                };
+                let Some(&out_port) = self.s1_ports.get(&bearer.gw_addr) else {
+                    self.no_bearer += 1;
+                    return;
+                };
+                let outer = gtpu::encapsulate(&inner, bearer.gw_teid, self.addr, bearer.gw_addr);
+                self.ul_forwarded += 1;
+                ctx.send(out_port, outer);
+            }
+            None => {}
+        }
+    }
+
+    fn handle_s1u(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+        let Some((teid, inner)) = gtpu::decapsulate(&pkt) else {
+            return;
+        };
+        let Some(bearer) = self.bearers.iter().find(|b| b.enb_teid == teid) else {
+            self.no_bearer += 1;
+            return;
+        };
+        let (imsi, ebi, prio) = (bearer.imsi, bearer.ebi, radio::sched_priority(bearer.qci.tos()));
+        self.touch_activity(ctx, imsi);
+        let Some(ue) = self.ue_by_imsi(imsi) else {
+            return;
+        };
+        let frame = radio::data_frame(ebi, &inner, self.addr, ue.radio_addr);
+        self.dl_forwarded += 1;
+        self.dl.offer(ctx, prio, frame, token::DL_RELEASE);
+    }
+
+    /// Record user-plane activity and (re)arm the inactivity timer.
+    fn touch_activity(&mut self, ctx: &mut Ctx<'_>, imsi: Imsi) {
+        let Some(timeout) = self.auto_idle else {
+            return;
+        };
+        let Some(idx) = self.ues.iter().position(|u| u.imsi == imsi) else {
+            return;
+        };
+        self.ues[idx].last_activity = ctx.now();
+        if !self.ues[idx].idle_check_armed {
+            self.ues[idx].idle_check_armed = true;
+            ctx.schedule_in(timeout, token::IDLE_CHECK_BASE + idx as u64);
+        }
+    }
+
+    fn setup_erab(&mut self, erab: &ErabSetup, imsi: Imsi) -> Teid {
+        let enb_teid = self.alloc_teid();
+        // Replace any stale state for the same (imsi, ebi).
+        self.bearers
+            .retain(|b| !(b.imsi == imsi && b.ebi == erab.ebi));
+        self.bearers.push(EnbBearer {
+            imsi,
+            ebi: erab.ebi,
+            qci: erab.qci,
+            gw_addr: erab.gw_addr,
+            gw_teid: erab.gw_teid,
+            enb_teid,
+            tft: erab.tft.clone(),
+            active: true,
+        });
+        enb_teid
+    }
+
+    fn handle_s1ap(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+        let Some(msg) = ControlMsg::from_packet(&pkt) else {
+            return;
+        };
+        match msg {
+            ControlMsg::InitialContextSetupRequest { imsi, erabs } => {
+                let mut enb_teids = Vec::new();
+                if erabs.is_empty() {
+                    // Service-request restoration: reactivate stored
+                    // bearers and report their (fresh) TEIDs.
+                    let stored: Vec<(Ebi, Teid)> = self
+                        .bearers
+                        .iter_mut()
+                        .filter(|b| b.imsi == imsi)
+                        .map(|b| {
+                            b.active = true;
+                            (b.ebi, b.enb_teid)
+                        })
+                        .collect();
+                    enb_teids = stored;
+                } else {
+                    for erab in &erabs {
+                        let teid = self.setup_erab(erab, imsi);
+                        enb_teids.push((erab.ebi, teid));
+                    }
+                }
+                self.send_s1ap(
+                    ctx,
+                    ControlMsg::InitialContextSetupResponse { imsi, enb_teids },
+                );
+            }
+            ControlMsg::DownlinkNasAccept { imsi, ue_addr } => {
+                if let Some(addr) = ue_addr {
+                    if let Some(ue) = self.ues.iter_mut().find(|u| u.imsi == imsi) {
+                        ue.ue_addr = Some(addr);
+                    }
+                }
+                // Push (or refresh) RRC configuration for every active
+                // bearer of this UE.
+                let ue_addr = self.ue_by_imsi(imsi).and_then(|u| u.ue_addr);
+                let configs: Vec<(Ebi, Qci, Tft)> = self
+                    .bearers
+                    .iter()
+                    .filter(|b| b.imsi == imsi && b.active)
+                    .map(|b| (b.ebi, b.qci, b.tft.clone()))
+                    .collect();
+                for (ebi, qci, tft) in configs {
+                    self.send_rrc(
+                        ctx,
+                        imsi,
+                        ControlMsg::RrcReconfiguration {
+                            ebi,
+                            qci,
+                            tft,
+                            ue_addr,
+                        },
+                    );
+                }
+            }
+            ControlMsg::ErabSetupRequest { imsi, erab } => {
+                let enb_teid = self.setup_erab(&erab, imsi);
+                self.send_rrc(
+                    ctx,
+                    imsi,
+                    ControlMsg::RrcReconfiguration {
+                        ebi: erab.ebi,
+                        qci: erab.qci,
+                        tft: erab.tft.clone(),
+                        ue_addr: None,
+                    },
+                );
+                self.send_s1ap(
+                    ctx,
+                    ControlMsg::ErabSetupResponse {
+                        imsi,
+                        ebi: erab.ebi,
+                        enb_teid,
+                    },
+                );
+            }
+            ControlMsg::ErabReleaseCommand { imsi, ebi } => {
+                self.bearers.retain(|b| !(b.imsi == imsi && b.ebi == ebi));
+                self.send_rrc(ctx, imsi, ControlMsg::RrcBearerRelease { ebi });
+                self.send_s1ap(ctx, ControlMsg::ErabReleaseResponse { imsi, ebi });
+            }
+            ControlMsg::Paging { imsi } => {
+                self.send_rrc(ctx, imsi, ControlMsg::RrcPaging { imsi });
+            }
+            ControlMsg::UeContextReleaseCommand { imsi } => {
+                for b in self.bearers.iter_mut().filter(|b| b.imsi == imsi) {
+                    b.active = false;
+                }
+                self.send_rrc(ctx, imsi, ControlMsg::RrcRelease { imsi });
+                self.send_s1ap(ctx, ControlMsg::UeContextReleaseComplete { imsi });
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Node for Enb {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, in_port: PortId, pkt: Packet) {
+        if in_port >= port::ENB_RADIO_BASE {
+            self.handle_radio(ctx, in_port, pkt);
+        } else if in_port == port::ENB_S1AP {
+            self.handle_s1ap(ctx, pkt);
+        } else {
+            self.handle_s1u(ctx, pkt);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tok: u64) {
+        if tok == token::DL_RELEASE {
+            if let Some(frame) = self.dl.pop() {
+                if let Some(ue) = self.ues.iter().find(|u| u.radio_addr == frame.dst) {
+                    let p = ue.radio_port;
+                    ctx.send(p, frame);
+                }
+            }
+            return;
+        }
+        if tok >= token::IDLE_CHECK_BASE {
+            let idx = (tok - token::IDLE_CHECK_BASE) as usize;
+            let Some(timeout) = self.auto_idle else {
+                return;
+            };
+            let Some(ue) = self.ues.get_mut(idx) else {
+                return;
+            };
+            let idle_for = ctx.now().saturating_since(ue.last_activity);
+            if idle_for >= timeout {
+                ue.idle_check_armed = false;
+                let imsi = ue.imsi;
+                // Only release if the UE still has an active bearer.
+                if self.bearers.iter().any(|b| b.imsi == imsi && b.active) {
+                    self.send_s1ap(ctx, ControlMsg::UeContextReleaseRequest { imsi });
+                }
+            } else {
+                // Activity happened since; re-check when the remaining
+                // window elapses.
+                let remaining = timeout - idle_for;
+                ctx.schedule_in(remaining, tok);
+            }
+            return;
+        }
+        if tok >= token::IDLE_BASE {
+            let idx = (tok - token::IDLE_BASE) as usize;
+            if let Some(ue) = self.ues.get(idx) {
+                let imsi = ue.imsi;
+                self.send_s1ap(ctx, ControlMsg::UeContextReleaseRequest { imsi });
+            }
+        }
+    }
+}

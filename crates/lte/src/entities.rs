@@ -1,0 +1,925 @@
+//! EPC control-plane entities: MME, HSS, PCRF and the combined split-GW
+//! controller (SGW-C + PGW-C + PCEF) that programs the GW-U data planes
+//! over OpenFlow.
+//!
+//! The GW-C "decouples the 3GPP control plane and the OpenFlow control
+//! plane" (paper §5.4): it speaks GTPv2-C with the MME on one side and
+//! pushes flow rules to the user-plane switches on the other.
+
+use crate::ids::{Allocator, Ebi, Imsi, Teid};
+use crate::log::MsgLog;
+use crate::qci::Qci;
+use crate::tft::{PacketFilter, Tft};
+use crate::wire::{ControlMsg, ErabSetup, FlowActionSpec, FlowMatchSpec, PolicyRule};
+use acacia_simnet::packet::Packet;
+use acacia_simnet::sim::{Ctx, Node, PortId};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// MME port map.
+pub mod mme_port {
+    use super::PortId;
+    /// S1AP to the eNB.
+    pub const ENB: PortId = 0;
+    /// GTP-C to the GW-C.
+    pub const GWC: PortId = 1;
+    /// S6a to the HSS.
+    pub const HSS: PortId = 2;
+}
+
+/// Per-UE attachment state at the MME.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MmeUeState {
+    /// Nothing yet.
+    Unknown,
+    /// Waiting for HSS authentication.
+    AuthWait,
+    /// Waiting for the GW-C session.
+    SessionWait,
+    /// Waiting for the eNB context setup.
+    CtxSetupWait,
+    /// Waiting for Modify Bearer completion.
+    ModifyWait,
+    /// Fully attached and RRC-connected.
+    Attached,
+    /// Release in progress.
+    ReleaseWait,
+    /// Attached but RRC-idle.
+    Idle,
+    /// Service request in progress.
+    ServiceWait,
+}
+
+#[derive(Debug, Clone)]
+struct MmeUeCtx {
+    state: MmeUeState,
+    ue_addr: Option<Ipv4Addr>,
+    default_erab: Option<ErabSetup>,
+    enb_teid: Option<Teid>,
+}
+
+/// The Mobility Management Entity.
+pub struct Mme {
+    /// Own address.
+    pub addr: Ipv4Addr,
+    enb_addr: Ipv4Addr,
+    gwc_addr: Ipv4Addr,
+    hss_addr: Ipv4Addr,
+    ues: HashMap<Imsi, MmeUeCtx>,
+    log: MsgLog,
+}
+
+impl Mme {
+    /// New MME.
+    pub fn new(
+        addr: Ipv4Addr,
+        enb_addr: Ipv4Addr,
+        gwc_addr: Ipv4Addr,
+        hss_addr: Ipv4Addr,
+        log: MsgLog,
+    ) -> Mme {
+        Mme {
+            addr,
+            enb_addr,
+            gwc_addr,
+            hss_addr,
+            ues: HashMap::new(),
+            log,
+        }
+    }
+
+    /// Attachment state of a UE.
+    pub fn ue_state(&self, imsi: Imsi) -> MmeUeState {
+        self.ues
+            .get(&imsi)
+            .map(|c| c.state.clone())
+            .unwrap_or(MmeUeState::Unknown)
+    }
+
+    fn send(&mut self, ctx: &mut Ctx<'_>, port: PortId, dst: Ipv4Addr, msg: ControlMsg) {
+        self.log.record(ctx.now(), &msg);
+        ctx.send(port, msg.into_packet(self.addr, dst));
+    }
+
+    fn ctx_mut(&mut self, imsi: Imsi) -> &mut MmeUeCtx {
+        self.ues.entry(imsi).or_insert(MmeUeCtx {
+            state: MmeUeState::Unknown,
+            ue_addr: None,
+            default_erab: None,
+            enb_teid: None,
+        })
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: ControlMsg) {
+        use ControlMsg::*;
+        match msg {
+            InitialUeAttach { imsi } => {
+                self.ctx_mut(imsi).state = MmeUeState::AuthWait;
+                let m = S6aAuthInfoRequest { imsi };
+                let hss = self.hss_addr;
+                self.send(ctx, mme_port::HSS, hss, m);
+            }
+            S6aAuthInfoAnswer { imsi, ok } => {
+                if !ok {
+                    self.ctx_mut(imsi).state = MmeUeState::Unknown;
+                    return;
+                }
+                self.ctx_mut(imsi).state = MmeUeState::SessionWait;
+                let gwc = self.gwc_addr;
+                self.send(ctx, mme_port::GWC, gwc, CreateSessionRequest { imsi });
+            }
+            CreateSessionResponse {
+                imsi,
+                ue_addr,
+                erab,
+            } => {
+                {
+                    let c = self.ctx_mut(imsi);
+                    c.ue_addr = Some(ue_addr);
+                    c.default_erab = Some(erab.clone());
+                    c.state = MmeUeState::CtxSetupWait;
+                }
+                let enb = self.enb_addr;
+                self.send(
+                    ctx,
+                    mme_port::ENB,
+                    enb,
+                    InitialContextSetupRequest {
+                        imsi,
+                        erabs: vec![erab],
+                    },
+                );
+            }
+            InitialUeServiceRequest { imsi } => {
+                self.ctx_mut(imsi).state = MmeUeState::ServiceWait;
+                let enb = self.enb_addr;
+                // Empty E-RAB list = restore stored bearers at the eNB.
+                self.send(
+                    ctx,
+                    mme_port::ENB,
+                    enb,
+                    InitialContextSetupRequest {
+                        imsi,
+                        erabs: vec![],
+                    },
+                );
+            }
+            InitialContextSetupResponse { imsi, enb_teids } => {
+                let default_teid = enb_teids
+                    .iter()
+                    .find(|(ebi, _)| *ebi == Ebi::DEFAULT)
+                    .map(|&(_, t)| t);
+                {
+                    let c = self.ctx_mut(imsi);
+                    c.enb_teid = default_teid.or(c.enb_teid);
+                    c.state = MmeUeState::ModifyWait;
+                }
+                let Some(teid) = self.ues[&imsi].enb_teid else {
+                    return;
+                };
+                let (gwc, enb) = (self.gwc_addr, self.enb_addr);
+                self.send(
+                    ctx,
+                    mme_port::GWC,
+                    gwc,
+                    ModifyBearerRequest {
+                        imsi,
+                        enb_teid: teid,
+                        enb_addr: enb,
+                    },
+                );
+            }
+            ModifyBearerResponse { imsi } => {
+                let ue_addr = {
+                    let c = self.ctx_mut(imsi);
+                    let addr = if c.state == MmeUeState::ServiceWait
+                        || c.state == MmeUeState::ModifyWait && c.ue_addr.is_none()
+                    {
+                        None
+                    } else {
+                        c.ue_addr
+                    };
+                    c.state = MmeUeState::Attached;
+                    addr
+                };
+                let enb = self.enb_addr;
+                self.send(ctx, mme_port::ENB, enb, DownlinkNasAccept { imsi, ue_addr });
+            }
+            // Dedicated bearer: GW-C initiated.
+            CreateBearerRequest { imsi, erab } => {
+                let enb = self.enb_addr;
+                self.send(ctx, mme_port::ENB, enb, ErabSetupRequest { imsi, erab });
+            }
+            ErabSetupResponse {
+                imsi,
+                ebi,
+                enb_teid,
+            } => {
+                let (gwc, enb) = (self.gwc_addr, self.enb_addr);
+                self.send(
+                    ctx,
+                    mme_port::GWC,
+                    gwc,
+                    CreateBearerResponse {
+                        imsi,
+                        ebi,
+                        enb_teid,
+                        enb_addr: enb,
+                    },
+                );
+            }
+            DeleteBearerRequest { imsi, ebi } => {
+                let enb = self.enb_addr;
+                self.send(ctx, mme_port::ENB, enb, ErabReleaseCommand { imsi, ebi });
+            }
+            ErabReleaseResponse { imsi, ebi } => {
+                let gwc = self.gwc_addr;
+                self.send(ctx, mme_port::GWC, gwc, DeleteBearerResponse { imsi, ebi });
+            }
+            // Idle release.
+            UeContextReleaseRequest { imsi } => {
+                self.ctx_mut(imsi).state = MmeUeState::ReleaseWait;
+                let gwc = self.gwc_addr;
+                self.send(
+                    ctx,
+                    mme_port::GWC,
+                    gwc,
+                    ReleaseAccessBearersRequest { imsi },
+                );
+            }
+            ReleaseAccessBearersResponse { imsi } => {
+                let enb = self.enb_addr;
+                self.send(ctx, mme_port::ENB, enb, UeContextReleaseCommand { imsi });
+            }
+            UeContextReleaseComplete { imsi } => {
+                self.ctx_mut(imsi).state = MmeUeState::Idle;
+            }
+            // Downlink data pending for an idle UE: page it.
+            DownlinkDataNotification { imsi }
+                if self.ctx_mut(imsi).state == MmeUeState::Idle => {
+                    let enb = self.enb_addr;
+                    self.send(ctx, mme_port::ENB, enb, Paging { imsi });
+                }
+            _ => {}
+        }
+    }
+}
+
+impl Node for Mme {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, pkt: Packet) {
+        if let Some(msg) = ControlMsg::from_packet(&pkt) {
+            self.handle(ctx, msg);
+        }
+    }
+}
+
+/// The Home Subscriber Server: a subscriber database answering S6a
+/// authentication-information requests.
+pub struct Hss {
+    /// Own address.
+    pub addr: Ipv4Addr,
+    subscribers: Vec<Imsi>,
+    log: MsgLog,
+    /// Requests answered.
+    pub answered: u64,
+}
+
+impl Hss {
+    /// New HSS with a subscriber list.
+    pub fn new(addr: Ipv4Addr, subscribers: Vec<Imsi>, log: MsgLog) -> Hss {
+        Hss {
+            addr,
+            subscribers,
+            log,
+            answered: 0,
+        }
+    }
+
+    /// Provision another subscriber.
+    pub fn add_subscriber(&mut self, imsi: Imsi) {
+        self.subscribers.push(imsi);
+    }
+}
+
+impl Node for Hss {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: PortId, pkt: Packet) {
+        let Some(ControlMsg::S6aAuthInfoRequest { imsi }) = ControlMsg::from_packet(&pkt) else {
+            return;
+        };
+        let ok = self.subscribers.contains(&imsi);
+        self.answered += 1;
+        let msg = ControlMsg::S6aAuthInfoAnswer { imsi, ok };
+        self.log.record(ctx.now(), &msg);
+        ctx.send(port, msg.into_packet(self.addr, pkt.src));
+    }
+}
+
+/// PCRF port map.
+pub mod pcrf_port {
+    use super::PortId;
+    /// Gx toward the PCEF (GW-C).
+    pub const GWC: PortId = 0;
+    /// Rx toward application functions (ACACIA's MRS).
+    pub const AF: PortId = 1;
+}
+
+/// The Policy and Charging Rules Function: turns Rx requests from
+/// application functions into Gx rule pushes toward the PCEF.
+pub struct Pcrf {
+    /// Own address.
+    pub addr: Ipv4Addr,
+    gwc_addr: Ipv4Addr,
+    /// service_id → AF address awaiting an answer.
+    pending: HashMap<u32, Ipv4Addr>,
+    log: MsgLog,
+    /// Rules pushed so far.
+    pub rules_pushed: u64,
+}
+
+impl Pcrf {
+    /// New PCRF.
+    pub fn new(addr: Ipv4Addr, gwc_addr: Ipv4Addr, log: MsgLog) -> Pcrf {
+        Pcrf {
+            addr,
+            gwc_addr,
+            pending: HashMap::new(),
+            log,
+            rules_pushed: 0,
+        }
+    }
+
+    fn send(&mut self, ctx: &mut Ctx<'_>, port: PortId, dst: Ipv4Addr, msg: ControlMsg) {
+        self.log.record(ctx.now(), &msg);
+        ctx.send(port, msg.into_packet(self.addr, dst));
+    }
+}
+
+impl Node for Pcrf {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, pkt: Packet) {
+        match ControlMsg::from_packet(&pkt) {
+            Some(ControlMsg::RxAuthRequest { rule }) => {
+                self.pending.insert(rule.service_id, pkt.src);
+                self.rules_pushed += 1;
+                let gwc = self.gwc_addr;
+                self.send(ctx, pcrf_port::GWC, gwc, ControlMsg::GxReauthRequest { rule });
+            }
+            Some(ControlMsg::GxReauthAnswer { service_id, ok }) => {
+                if let Some(af) = self.pending.remove(&service_id) {
+                    self.send(
+                        ctx,
+                        pcrf_port::AF,
+                        af,
+                        ControlMsg::RxAuthAnswer { service_id, ok },
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// GW-C port map.
+pub mod gwc_port {
+    use super::PortId;
+    /// GTP-C to the MME.
+    pub const MME: PortId = 0;
+    /// Gx to the PCRF.
+    pub const PCRF: PortId = 1;
+    /// OpenFlow to the core SGW-U.
+    pub const SGW_U: PortId = 2;
+    /// OpenFlow to the core PGW-U.
+    pub const PGW_U: PortId = 3;
+    /// OpenFlow to the local (MEC) GW-U.
+    pub const LOCAL_GWU: PortId = 4;
+}
+
+/// Static data-plane topology the GW-C programs against.
+#[derive(Debug, Clone)]
+pub struct GwTopology {
+    /// Core SGW-U tunnel address.
+    pub sgw_u: Ipv4Addr,
+    /// Core PGW-U tunnel address.
+    pub pgw_u: Ipv4Addr,
+    /// Local (MEC) combined S/PGW-U tunnel address.
+    pub local_gwu: Ipv4Addr,
+    /// SGW-U port toward the eNB.
+    pub sgw_port_enb: usize,
+    /// SGW-U port toward the PGW-U.
+    pub sgw_port_pgw: usize,
+    /// PGW-U port toward the SGW-U.
+    pub pgw_port_sgw: usize,
+    /// PGW-U port toward the Internet.
+    pub pgw_port_inet: usize,
+    /// Local GW-U port toward the eNB.
+    pub local_port_enb: usize,
+    /// Local GW-U port toward the MEC server(s).
+    pub local_port_mec: usize,
+    /// Addresses served by the MEC cloud behind the local GW-U.
+    pub mec_servers: Vec<Ipv4Addr>,
+    /// Base address for UE IP assignment (host part increments).
+    pub ue_ip_base: Ipv4Addr,
+}
+
+#[derive(Debug, Clone)]
+struct Session {
+    ue_addr: Ipv4Addr,
+    teid_sgw_ul: Teid,
+    teid_sgw_dl: Teid,
+    teid_pgw_ul: Teid,
+    enb_teid: Option<Teid>,
+    enb_addr: Option<Ipv4Addr>,
+    /// Dedicated bearers: ebi → (local UL teid, rule).
+    dedicated: HashMap<u8, (Teid, PolicyRule)>,
+    /// Pending dedicated-bearer activations: ebi → (rule, local teid).
+    pending_dedicated: HashMap<u8, (PolicyRule, Teid)>,
+}
+
+/// The combined SGW-C + PGW-C (+ PCEF) controller.
+pub struct GwControl {
+    /// Own control address.
+    pub addr: Ipv4Addr,
+    topo: GwTopology,
+    alloc: Allocator,
+    sessions: HashMap<Imsi, Session>,
+    next_ue_host: u32,
+    log: MsgLog,
+    /// Dedicated bearers activated.
+    pub dedicated_active: u64,
+}
+
+impl GwControl {
+    /// New GW-C over the given data-plane topology.
+    pub fn new(addr: Ipv4Addr, topo: GwTopology, log: MsgLog) -> GwControl {
+        GwControl {
+            addr,
+            topo,
+            alloc: Allocator::new(),
+            sessions: HashMap::new(),
+            next_ue_host: 1,
+            log,
+            dedicated_active: 0,
+        }
+    }
+
+    /// The UE address assigned to `imsi`, if attached.
+    pub fn ue_addr(&self, imsi: Imsi) -> Option<Ipv4Addr> {
+        self.sessions.get(&imsi).map(|s| s.ue_addr)
+    }
+
+    /// Mutable access to the data-plane topology (used when servers are
+    /// added after construction).
+    pub fn topology_mut(&mut self) -> &mut GwTopology {
+        &mut self.topo
+    }
+
+    fn send(&mut self, ctx: &mut Ctx<'_>, port: PortId, dst: Ipv4Addr, msg: ControlMsg) {
+        self.log.record(ctx.now(), &msg);
+        ctx.send(port, msg.into_packet(self.addr, dst));
+    }
+
+    fn flowmod(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        port: PortId,
+        sw_addr: Ipv4Addr,
+        add: bool,
+        mtch: FlowMatchSpec,
+        actions: Vec<FlowActionSpec>,
+    ) {
+        let msg = ControlMsg::FlowMod {
+            add,
+            priority: 100,
+            mtch,
+            actions,
+        };
+        self.send(ctx, port, sw_addr, msg);
+    }
+
+    fn alloc_ue_ip(&mut self) -> Ipv4Addr {
+        let base = u32::from(self.topo.ue_ip_base);
+        let ip = Ipv4Addr::from(base + self.next_ue_host);
+        self.next_ue_host += 1;
+        ip
+    }
+
+    /// Program the SGW-U legs (UL toward PGW, DL toward eNB). Used both at
+    /// attach (Modify Bearer) and at service-request re-establishment.
+    fn install_sgw_rules(&mut self, ctx: &mut Ctx<'_>, imsi: Imsi) {
+        let Some(s) = self.sessions.get(&imsi).cloned() else {
+            return;
+        };
+        let (Some(enb_teid), Some(enb_addr)) = (s.enb_teid, s.enb_addr) else {
+            return;
+        };
+        let topo = self.topo.clone();
+        // UL: arriving tunnelled with teid_sgw_ul → re-tunnel to the PGW-U.
+        self.flowmod(
+            ctx,
+            gwc_port::SGW_U,
+            topo.sgw_u,
+            true,
+            FlowMatchSpec {
+                teid: Some(s.teid_sgw_ul),
+                dst: None,
+                src: None,
+            },
+            vec![
+                FlowActionSpec::GtpDecap,
+                FlowActionSpec::GtpEncap {
+                    peer: topo.pgw_u,
+                    teid: s.teid_pgw_ul,
+                },
+                FlowActionSpec::Output {
+                    port: topo.sgw_port_pgw,
+                },
+            ],
+        );
+        // DL: arriving tunnelled with teid_sgw_dl → re-tunnel to the eNB.
+        self.flowmod(
+            ctx,
+            gwc_port::SGW_U,
+            topo.sgw_u,
+            true,
+            FlowMatchSpec {
+                teid: Some(s.teid_sgw_dl),
+                dst: None,
+                src: None,
+            },
+            vec![
+                FlowActionSpec::GtpDecap,
+                FlowActionSpec::GtpEncap {
+                    peer: enb_addr,
+                    teid: enb_teid,
+                },
+                FlowActionSpec::Output {
+                    port: topo.sgw_port_enb,
+                },
+            ],
+        );
+    }
+
+    fn remove_sgw_rules(&mut self, ctx: &mut Ctx<'_>, imsi: Imsi) {
+        let Some(s) = self.sessions.get(&imsi).cloned() else {
+            return;
+        };
+        let topo = self.topo.clone();
+        for teid in [s.teid_sgw_ul, s.teid_sgw_dl] {
+            self.flowmod(
+                ctx,
+                gwc_port::SGW_U,
+                topo.sgw_u,
+                false,
+                FlowMatchSpec {
+                    teid: Some(teid),
+                    dst: None,
+                    src: None,
+                },
+                vec![],
+            );
+        }
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: ControlMsg) {
+        use ControlMsg::*;
+        match msg {
+            CreateSessionRequest { imsi } => {
+                let ue_addr = self.alloc_ue_ip();
+                let session = Session {
+                    ue_addr,
+                    teid_sgw_ul: self.alloc.teid(),
+                    teid_sgw_dl: self.alloc.teid(),
+                    teid_pgw_ul: self.alloc.teid(),
+                    enb_teid: None,
+                    enb_addr: None,
+                    dedicated: HashMap::new(),
+                    pending_dedicated: HashMap::new(),
+                };
+                let topo = self.topo.clone();
+                // PGW-U UL: decap to the Internet.
+                self.flowmod(
+                    ctx,
+                    gwc_port::PGW_U,
+                    topo.pgw_u,
+                    true,
+                    FlowMatchSpec {
+                        teid: Some(session.teid_pgw_ul),
+                        dst: None,
+                        src: None,
+                    },
+                    vec![
+                        FlowActionSpec::GtpDecap,
+                        FlowActionSpec::Output {
+                            port: topo.pgw_port_inet,
+                        },
+                    ],
+                );
+                // PGW-U DL: plain packets to the UE → tunnel to the SGW-U.
+                self.flowmod(
+                    ctx,
+                    gwc_port::PGW_U,
+                    topo.pgw_u,
+                    true,
+                    FlowMatchSpec {
+                        teid: None,
+                        dst: Some(ue_addr),
+                        src: None,
+                    },
+                    vec![
+                        FlowActionSpec::GtpEncap {
+                            peer: topo.sgw_u,
+                            teid: session.teid_sgw_dl,
+                        },
+                        FlowActionSpec::Output {
+                            port: topo.pgw_port_sgw,
+                        },
+                    ],
+                );
+                let erab = ErabSetup {
+                    ebi: Ebi::DEFAULT,
+                    qci: Qci::DEFAULT_BEARER,
+                    gw_teid: session.teid_sgw_ul,
+                    gw_addr: topo.sgw_u,
+                    tft: Tft::new(),
+                };
+                self.sessions.insert(imsi, session);
+                self.send(
+                    ctx,
+                    gwc_port::MME,
+                    pkt_peer(ctx),
+                    CreateSessionResponse {
+                        imsi,
+                        ue_addr,
+                        erab,
+                    },
+                );
+            }
+            ModifyBearerRequest {
+                imsi,
+                enb_teid,
+                enb_addr,
+            } => {
+                if let Some(s) = self.sessions.get_mut(&imsi) {
+                    s.enb_teid = Some(enb_teid);
+                    s.enb_addr = Some(enb_addr);
+                }
+                self.install_sgw_rules(ctx, imsi);
+                self.send(
+                    ctx,
+                    gwc_port::MME,
+                    pkt_peer(ctx),
+                    ModifyBearerResponse { imsi },
+                );
+            }
+            ReleaseAccessBearersRequest { imsi } => {
+                self.remove_sgw_rules(ctx, imsi);
+                self.send(
+                    ctx,
+                    gwc_port::MME,
+                    pkt_peer(ctx),
+                    ReleaseAccessBearersResponse { imsi },
+                );
+            }
+            // SGW-U saw downlink data for a released session → page.
+            DownlinkDataByTeid { teid } => {
+                let Some((&imsi, _)) = self
+                    .sessions
+                    .iter()
+                    .find(|(_, s)| s.teid_sgw_dl == teid)
+                else {
+                    return;
+                };
+                self.send(
+                    ctx,
+                    gwc_port::MME,
+                    self.addr,
+                    DownlinkDataNotification { imsi },
+                );
+            }
+            // PCEF side: a policy rule arrives from the PCRF.
+            GxReauthRequest { rule } => {
+                let Some((&imsi, _)) = self
+                    .sessions
+                    .iter()
+                    .find(|(_, s)| s.ue_addr == rule.ue_addr)
+                else {
+                    let sid = rule.service_id;
+                    self.send(
+                        ctx,
+                        gwc_port::PCRF,
+                        pkt_peer(ctx),
+                        GxReauthAnswer {
+                            service_id: sid,
+                            ok: false,
+                        },
+                    );
+                    return;
+                };
+                if rule.install {
+                    if !self.topo.mec_servers.contains(&rule.server_addr) {
+                        let sid = rule.service_id;
+                        self.send(
+                            ctx,
+                            gwc_port::PCRF,
+                            pkt_peer(ctx),
+                            GxReauthAnswer {
+                                service_id: sid,
+                                ok: false,
+                            },
+                        );
+                        return;
+                    }
+                    // Network-initiated dedicated bearer with the *local*
+                    // GW-U as the F-TEID target (paper step 3).
+                    let ebi = Ebi(6 + (self.sessions[&imsi].dedicated.len() as u8
+                        + self.sessions[&imsi].pending_dedicated.len() as u8));
+                    let teid_local_ul = self.alloc.teid();
+                    let tft = Tft::single(if rule.server_port == 0 {
+                        PacketFilter::to_host(rule.server_addr)
+                    } else {
+                        let mut f = PacketFilter::to_host(rule.server_addr);
+                        f.remote_port = Some((rule.server_port, rule.server_port));
+                        f
+                    });
+                    let erab = ErabSetup {
+                        ebi,
+                        qci: rule.qci,
+                        gw_teid: teid_local_ul,
+                        gw_addr: self.topo.local_gwu,
+                        tft,
+                    };
+                    self.sessions
+                        .get_mut(&imsi)
+                        .expect("session exists")
+                        .pending_dedicated
+                        .insert(ebi.0, (rule, teid_local_ul));
+                    let mme = pkt_peer_or(ctx, self.addr);
+                    let _ = mme;
+                    self.send(
+                        ctx,
+                        gwc_port::MME,
+                        self.addr, // dst resolved by port topology
+                        CreateBearerRequest { imsi, erab },
+                    );
+                } else {
+                    // Removal: find the bearer serving this service.
+                    let Some((&ebi, _)) = self.sessions[&imsi]
+                        .dedicated
+                        .iter()
+                        .find(|(_, (_, r))| r.service_id == rule.service_id)
+                    else {
+                        let sid = rule.service_id;
+                        self.send(
+                            ctx,
+                            gwc_port::PCRF,
+                            pkt_peer(ctx),
+                            GxReauthAnswer {
+                                service_id: sid,
+                                ok: false,
+                            },
+                        );
+                        return;
+                    };
+                    self.send(
+                        ctx,
+                        gwc_port::MME,
+                        self.addr,
+                        DeleteBearerRequest {
+                            imsi,
+                            ebi: Ebi(ebi),
+                        },
+                    );
+                }
+            }
+            CreateBearerResponse {
+                imsi,
+                ebi,
+                enb_teid,
+                enb_addr,
+            } => {
+                let Some(session) = self.sessions.get_mut(&imsi) else {
+                    return;
+                };
+                let Some((rule, teid_local_ul)) = session.pending_dedicated.remove(&ebi.0) else {
+                    return;
+                };
+                let ue_addr = session.ue_addr;
+                session.dedicated.insert(ebi.0, (teid_local_ul, rule.clone()));
+                self.dedicated_active += 1;
+                let topo = self.topo.clone();
+                // Local GW-U UL: tunnel from the eNB → decap to MEC.
+                self.flowmod(
+                    ctx,
+                    gwc_port::LOCAL_GWU,
+                    topo.local_gwu,
+                    true,
+                    FlowMatchSpec {
+                        teid: Some(teid_local_ul),
+                        dst: None,
+                        src: None,
+                    },
+                    vec![
+                        FlowActionSpec::GtpDecap,
+                        FlowActionSpec::Output {
+                            port: topo.local_port_mec,
+                        },
+                    ],
+                );
+                // Local GW-U DL: MEC server → tunnel to the eNB.
+                self.flowmod(
+                    ctx,
+                    gwc_port::LOCAL_GWU,
+                    topo.local_gwu,
+                    true,
+                    FlowMatchSpec {
+                        teid: None,
+                        dst: Some(ue_addr),
+                        src: None,
+                    },
+                    vec![
+                        FlowActionSpec::GtpEncap {
+                            peer: enb_addr,
+                            teid: enb_teid,
+                        },
+                        FlowActionSpec::Output {
+                            port: topo.local_port_enb,
+                        },
+                    ],
+                );
+                let sid = rule.service_id;
+                self.send(
+                    ctx,
+                    gwc_port::PCRF,
+                    self.addr,
+                    GxReauthAnswer {
+                        service_id: sid,
+                        ok: true,
+                    },
+                );
+            }
+            DeleteBearerResponse { imsi, ebi } => {
+                let Some(session) = self.sessions.get_mut(&imsi) else {
+                    return;
+                };
+                let Some((teid_local_ul, rule)) = session.dedicated.remove(&ebi.0) else {
+                    return;
+                };
+                let ue_addr = session.ue_addr;
+                let topo = self.topo.clone();
+                self.flowmod(
+                    ctx,
+                    gwc_port::LOCAL_GWU,
+                    topo.local_gwu,
+                    false,
+                    FlowMatchSpec {
+                        teid: Some(teid_local_ul),
+                        dst: None,
+                        src: None,
+                    },
+                    vec![],
+                );
+                self.flowmod(
+                    ctx,
+                    gwc_port::LOCAL_GWU,
+                    topo.local_gwu,
+                    false,
+                    FlowMatchSpec {
+                        teid: None,
+                        dst: Some(ue_addr),
+                        src: None,
+                    },
+                    vec![],
+                );
+                let sid = rule.service_id;
+                self.send(
+                    ctx,
+                    gwc_port::PCRF,
+                    self.addr,
+                    GxReauthAnswer {
+                        service_id: sid,
+                        ok: true,
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The GW-C learns peers from topology wiring; packet source addressing is
+/// only used for logging, so a placeholder destination is acceptable on
+/// point-to-point control links. These helpers document that intent.
+fn pkt_peer(_ctx: &Ctx<'_>) -> Ipv4Addr {
+    Ipv4Addr::UNSPECIFIED
+}
+
+fn pkt_peer_or(_ctx: &Ctx<'_>, fallback: Ipv4Addr) -> Ipv4Addr {
+    fallback
+}
+
+impl Node for GwControl {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, pkt: Packet) {
+        if let Some(msg) = ControlMsg::from_packet(&pkt) {
+            self.handle(ctx, msg);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Shared control-plane message accounting.
+//!
+//! Every control message sent by any entity is recorded here, giving the
+//! per-protocol message and byte counts the paper reports in §4 (control
+//! overhead of bearer release/re-establishment).
+
+use crate::wire::{ControlMsg, Protocol};
+use acacia_simnet::time::Instant;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One recorded control message.
+#[derive(Debug, Clone)]
+pub struct LogEntry {
+    /// When it was sent.
+    pub at: Instant,
+    /// Message name.
+    pub name: &'static str,
+    /// Protocol family.
+    pub protocol: Protocol,
+    /// On-the-wire bytes.
+    pub bytes: u32,
+}
+
+/// A cheaply cloneable, shared message log (single-threaded simulation).
+#[derive(Clone, Default)]
+pub struct MsgLog {
+    inner: Rc<RefCell<Vec<LogEntry>>>,
+}
+
+impl MsgLog {
+    /// New empty log.
+    pub fn new() -> MsgLog {
+        MsgLog::default()
+    }
+
+    /// Record a message about to be sent.
+    pub fn record(&self, at: Instant, msg: &ControlMsg) {
+        self.inner.borrow_mut().push(LogEntry {
+            at,
+            name: msg.name(),
+            protocol: msg.protocol(),
+            bytes: msg.wire_size_spec(),
+        });
+    }
+
+    /// Number of messages of a protocol family.
+    pub fn count(&self, protocol: Protocol) -> u64 {
+        self.inner
+            .borrow()
+            .iter()
+            .filter(|e| e.protocol == protocol)
+            .count() as u64
+    }
+
+    /// Bytes of a protocol family.
+    pub fn bytes(&self, protocol: Protocol) -> u64 {
+        self.inner
+            .borrow()
+            .iter()
+            .filter(|e| e.protocol == protocol)
+            .map(|e| e.bytes as u64)
+            .sum()
+    }
+
+    /// Total messages across core-network protocols (excludes radio RRC,
+    /// matching the paper's §4 accounting).
+    pub fn core_count(&self) -> u64 {
+        self.inner
+            .borrow()
+            .iter()
+            .filter(|e| e.protocol != Protocol::Rrc)
+            .count() as u64
+    }
+
+    /// Total bytes across core-network protocols.
+    pub fn core_bytes(&self) -> u64 {
+        self.inner
+            .borrow()
+            .iter()
+            .filter(|e| e.protocol != Protocol::Rrc)
+            .map(|e| e.bytes as u64)
+            .sum()
+    }
+
+    /// All entries (cloned snapshot).
+    pub fn entries(&self) -> Vec<LogEntry> {
+        self.inner.borrow().clone()
+    }
+
+    /// Forget everything (e.g. after the attach phase, before measuring a
+    /// release/re-establish cycle).
+    pub fn clear(&self) {
+        self.inner.borrow_mut().clear();
+    }
+
+    /// Total message count (all protocols).
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().is_empty()
+    }
+
+    /// One-line-per-protocol summary (messages / bytes), core protocols
+    /// first, radio RRC last.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for p in [
+            Protocol::S1apSctp,
+            Protocol::Gtpv2,
+            Protocol::OpenFlow,
+            Protocol::Diameter,
+            Protocol::Rrc,
+        ] {
+            let n = self.count(p);
+            if n > 0 {
+                out.push_str(&format!("{:>9}: {:>3} msgs {:>6} B\n", p.name(), n, self.bytes(p)));
+            }
+        }
+        out.push_str(&format!(
+            "{:>9}: {:>3} msgs {:>6} B\n",
+            "core",
+            self.core_count(),
+            self.core_bytes()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Imsi;
+
+    #[test]
+    fn log_aggregates_by_protocol() {
+        let log = MsgLog::new();
+        log.record(
+            Instant::ZERO,
+            &ControlMsg::UeContextReleaseRequest { imsi: Imsi(1) },
+        );
+        log.record(
+            Instant::ZERO,
+            &ControlMsg::ReleaseAccessBearersRequest { imsi: Imsi(1) },
+        );
+        log.record(
+            Instant::ZERO,
+            &ControlMsg::RrcAttachRequest { imsi: Imsi(1) },
+        );
+        assert_eq!(log.count(Protocol::S1apSctp), 1);
+        assert_eq!(log.count(Protocol::Gtpv2), 1);
+        assert_eq!(log.count(Protocol::Rrc), 1);
+        assert_eq!(log.core_count(), 2);
+        assert_eq!(log.bytes(Protocol::S1apSctp), 140);
+        assert!(log.core_bytes() > 0);
+        assert_eq!(log.len(), 3);
+    }
+
+    #[test]
+    fn summary_lists_used_protocols_only() {
+        let log = MsgLog::new();
+        log.record(
+            Instant::ZERO,
+            &ControlMsg::UeContextReleaseRequest { imsi: Imsi(1) },
+        );
+        let s = log.summary();
+        assert!(s.contains("SCTP"));
+        assert!(!s.contains("OpenFlow"));
+        assert!(s.contains("core"));
+    }
+
+    #[test]
+    fn clones_share_state_and_clear_works() {
+        let a = MsgLog::new();
+        let b = a.clone();
+        b.record(
+            Instant::ZERO,
+            &ControlMsg::ModifyBearerResponse { imsi: Imsi(2) },
+        );
+        assert_eq!(a.len(), 1);
+        a.clear();
+        assert!(b.is_empty());
+    }
+}

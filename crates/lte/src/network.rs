@@ -1,0 +1,545 @@
+//! Assembles the full LTE/EPC topology of the paper's Fig. 5 and drives
+//! the standard procedures: attach, network-initiated dedicated bearer
+//! activation, idle release and service-request re-establishment.
+//!
+//! ```text
+//!  apps ── UE ──radio── eNB ──S1-U── SGW-U ──S5── PGW-U ── internet ── cloud
+//!                        │  └─S1-U── local GW-U ── MEC servers
+//!                        └──S1AP── MME ──GTP-C── GW-C ──OF── {GW-Us}
+//!                                   │              │
+//!                                  HSS           PCRF ──Rx── (MRS, in acacia core)
+//! ```
+
+use crate::entities::{gwc_port, mme_port, pcrf_port, GwControl, GwTopology, Hss, Mme, MmeUeState, Pcrf};
+use crate::enb::{token as enb_token, Enb};
+use crate::ids::Imsi;
+use crate::log::MsgLog;
+use crate::radio::{params, port};
+use crate::switch::{FlowSwitch, SwitchCosts};
+use crate::ue::{token as ue_token, AppSelector, Ue, UeState};
+use crate::wire::{ControlMsg, FlowActionSpec, FlowMatchSpec, PolicyRule};
+use acacia_simnet::link::LinkConfig;
+use acacia_simnet::sim::{Node, NodeId, PortId, Simulator};
+use acacia_simnet::time::{Duration, Instant};
+use std::net::Ipv4Addr;
+
+/// Well-known addresses in the reproduction's core network.
+pub mod addr {
+    use std::net::Ipv4Addr;
+
+    /// eNB S1/control address.
+    pub const ENB: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 1);
+    /// eNB radio-side address.
+    pub const ENB_RADIO: Ipv4Addr = Ipv4Addr::new(192, 168, 0, 1);
+    /// First UE radio-side address (host part increments per UE).
+    pub const UE_RADIO_BASE: Ipv4Addr = Ipv4Addr::new(192, 168, 0, 100);
+    /// Core SGW-U.
+    pub const SGW_U: Ipv4Addr = Ipv4Addr::new(10, 2, 0, 1);
+    /// Core PGW-U.
+    pub const PGW_U: Ipv4Addr = Ipv4Addr::new(10, 2, 0, 2);
+    /// Local (MEC) combined S/PGW-U.
+    pub const LOCAL_GWU: Ipv4Addr = Ipv4Addr::new(10, 2, 1, 1);
+    /// MME.
+    pub const MME: Ipv4Addr = Ipv4Addr::new(10, 3, 0, 1);
+    /// GW-C (SGW-C + PGW-C + PCEF).
+    pub const GWC: Ipv4Addr = Ipv4Addr::new(10, 3, 0, 2);
+    /// PCRF.
+    pub const PCRF: Ipv4Addr = Ipv4Addr::new(10, 3, 0, 3);
+    /// HSS.
+    pub const HSS: Ipv4Addr = Ipv4Addr::new(10, 3, 0, 4);
+    /// UE IP pool base (PGW assigns base+1, base+2, ...).
+    pub const UE_POOL: Ipv4Addr = Ipv4Addr::new(10, 10, 0, 0);
+    /// First MEC server address.
+    pub const MEC_BASE: Ipv4Addr = Ipv4Addr::new(10, 4, 0, 1);
+    /// First cloud server address.
+    pub const CLOUD_BASE: Ipv4Addr = Ipv4Addr::new(52, 0, 0, 1);
+    /// Background traffic source.
+    pub const BG_SOURCE: Ipv4Addr = Ipv4Addr::new(10, 9, 0, 1);
+}
+
+/// Tunable parameters of the topology.
+#[derive(Debug, Clone)]
+pub struct LteConfig {
+    /// Simulation seed.
+    pub seed: u64,
+    /// Uplink air rate, bits/s.
+    pub ul_rate_bps: u64,
+    /// Downlink air rate, bits/s.
+    pub dl_rate_bps: u64,
+    /// One-way eNB ↔ SGW-U backhaul delay.
+    pub backhaul_delay: Duration,
+    /// One-way SGW-U ↔ PGW-U delay (the paper's "hierarchical routing in
+    /// the core network" inflation).
+    pub core_delay: Duration,
+    /// One-way PGW-U ↔ Internet-exchange delay.
+    pub inet_delay: Duration,
+    /// Capacity of the SGW↔PGW and PGW↔internet links, bits/s.
+    pub core_rate_bps: u64,
+    /// Queue bound on the core links, bytes (bufferbloat knob for
+    /// Fig. 3(g)/10(b)).
+    pub core_queue_bytes: u64,
+    /// One-way eNB ↔ local GW-U delay (MEC placement: paper measures the
+    /// eNB↔MEC RTT at ~1.6 ms).
+    pub mec_delay: Duration,
+    /// Processing model of the core GW-Us.
+    pub core_switch_costs: SwitchCosts,
+    /// Processing model of the local GW-U.
+    pub local_switch_costs: SwitchCosts,
+    /// Subscribers to provision (one UE node each).
+    pub ue_count: usize,
+    /// Independent per-frame loss probability on the radio links (fault
+    /// injection; residual loss after HARQ in a real deployment). Note:
+    /// real LTE carries RRC/NAS on acknowledged-mode RLC, so prefer
+    /// attaching first and injecting loss afterwards via
+    /// [`LteNetwork::set_radio_loss`].
+    pub radio_loss: f64,
+    /// Automatic inactivity release at the eNB (the paper's 11.576 s
+    /// timer; see [`crate::overhead::IDLE_TIMEOUT`]). `None` = procedures
+    /// are driven explicitly by the harness.
+    pub auto_idle: Option<Duration>,
+}
+
+impl Default for LteConfig {
+    fn default() -> LteConfig {
+        LteConfig {
+            seed: 1,
+            ul_rate_bps: params::UL_RATE_EXCELLENT,
+            dl_rate_bps: params::DL_RATE,
+            backhaul_delay: Duration::from_micros(1_000),
+            core_delay: Duration::from_micros(5_000),
+            inet_delay: Duration::from_micros(500),
+            core_rate_bps: 1_000_000_000,
+            core_queue_bytes: 4 * 1024 * 1024,
+            mec_delay: Duration::from_micros(400),
+            core_switch_costs: SwitchCosts::acacia_ovs(),
+            local_switch_costs: SwitchCosts::acacia_ovs(),
+            ue_count: 1,
+            radio_loss: 0.0,
+            auto_idle: None,
+        }
+    }
+}
+
+/// The assembled network with handles to every element.
+pub struct LteNetwork {
+    /// The underlying simulator.
+    pub sim: Simulator,
+    /// Shared control-plane message log.
+    pub log: MsgLog,
+    /// Configuration used to build it.
+    pub cfg: LteConfig,
+    /// UE node ids (one per subscriber).
+    pub ues: Vec<NodeId>,
+    /// eNB node id.
+    pub enb: NodeId,
+    /// MME node id.
+    pub mme: NodeId,
+    /// HSS node id.
+    pub hss: NodeId,
+    /// PCRF node id.
+    pub pcrf: NodeId,
+    /// GW-C node id.
+    pub gwc: NodeId,
+    /// Core SGW-U node id.
+    pub sgw_u: NodeId,
+    /// Core PGW-U node id.
+    pub pgw_u: NodeId,
+    /// Local (MEC) GW-U node id.
+    pub local_gwu: NodeId,
+    /// Router fanning out to MEC servers.
+    pub mec_router: NodeId,
+    /// Router fanning out to cloud servers (the Internet).
+    pub inet_router: NodeId,
+    next_ue_app_port: Vec<PortId>,
+    mec_servers: usize,
+    cloud_servers: usize,
+    bg_installed: bool,
+}
+
+impl LteNetwork {
+    /// Build the topology.
+    pub fn new(cfg: LteConfig) -> LteNetwork {
+        let mut sim = Simulator::new(cfg.seed);
+        let log = MsgLog::new();
+
+        let mut enb_node = Enb::new(addr::ENB, addr::MME, cfg.dl_rate_bps, log.clone());
+        enb_node.auto_idle = cfg.auto_idle;
+        enb_node.add_s1_gateway(addr::SGW_U, port::ENB_S1_CORE);
+        enb_node.add_s1_gateway(addr::LOCAL_GWU, port::ENB_S1_MEC);
+
+        // Subscribers.
+        let mut imsis = Vec::new();
+        let mut ue_nodes = Vec::new();
+        for i in 0..cfg.ue_count {
+            let imsi = Imsi(310_410_000_000_001 + i as u64);
+            let radio_addr = Ipv4Addr::from(u32::from(addr::UE_RADIO_BASE) + i as u32);
+            let radio_port = enb_node.add_ue(imsi, radio_addr);
+            imsis.push(imsi);
+            ue_nodes.push((imsi, radio_addr, radio_port));
+        }
+
+        let enb = sim.add_node(Box::new(enb_node));
+        let mut ues = Vec::new();
+        for &(imsi, radio_addr, radio_port) in &ue_nodes {
+            let ue = sim.add_node(Box::new(Ue::new(
+                imsi,
+                radio_addr,
+                addr::ENB_RADIO,
+                cfg.ul_rate_bps,
+            )));
+            // The air interface: pure latency + jitter; serialization is
+            // handled by the UE/eNB radio schedulers.
+            sim.connect(
+                (ue, port::UE_RADIO),
+                (enb, radio_port),
+                LinkConfig::delay_only(params::AIR_LATENCY)
+                    .with_jitter(params::AIR_JITTER)
+                    .with_loss(cfg.radio_loss),
+            );
+            ues.push(ue);
+        }
+
+        let mme = sim.add_node(Box::new(Mme::new(
+            addr::MME,
+            addr::ENB,
+            addr::GWC,
+            addr::HSS,
+            log.clone(),
+        )));
+        let hss = sim.add_node(Box::new(Hss::new(addr::HSS, imsis.clone(), log.clone())));
+        let pcrf = sim.add_node(Box::new(Pcrf::new(addr::PCRF, addr::GWC, log.clone())));
+
+        let topo = GwTopology {
+            sgw_u: addr::SGW_U,
+            pgw_u: addr::PGW_U,
+            local_gwu: addr::LOCAL_GWU,
+            sgw_port_enb: 1,
+            sgw_port_pgw: 2,
+            pgw_port_sgw: 1,
+            pgw_port_inet: 2,
+            local_port_enb: 1,
+            local_port_mec: 2,
+            mec_servers: Vec::new(),
+            ue_ip_base: addr::UE_POOL,
+        };
+        let gwc = sim.add_node(Box::new(GwControl::new(addr::GWC, topo, log.clone())));
+
+        let mut sgw_u_node = FlowSwitch::new(addr::SGW_U, cfg.core_switch_costs);
+        // The SGW buffers downlink data for idle UEs and raises Downlink
+        // Data Notifications (its paging role).
+        sgw_u_node.paging_enabled = true;
+        let sgw_u = sim.add_node(Box::new(sgw_u_node));
+        let pgw_u = sim.add_node(Box::new(FlowSwitch::new(addr::PGW_U, cfg.core_switch_costs)));
+        let local_gwu =
+            sim.add_node(Box::new(FlowSwitch::new(addr::LOCAL_GWU, cfg.local_switch_costs)));
+
+        let mec_router = sim.add_node(Box::new(acacia_simnet::router::Router::new(
+            acacia_simnet::router::RouteTable::new(),
+        )));
+        let inet_router = sim.add_node(Box::new(acacia_simnet::router::Router::new(
+            acacia_simnet::router::RouteTable::new(),
+        )));
+
+        let ctrl = LinkConfig::delay_only(Duration::from_micros(500));
+        // S1AP + core control mesh.
+        sim.connect((enb, port::ENB_S1AP), (mme, mme_port::ENB), ctrl.clone());
+        sim.connect((mme, mme_port::GWC), (gwc, gwc_port::MME), ctrl.clone());
+        sim.connect((mme, mme_port::HSS), (hss, 0), ctrl.clone());
+        sim.connect((gwc, gwc_port::PCRF), (pcrf, pcrf_port::GWC), ctrl.clone());
+        sim.connect(
+            (gwc, gwc_port::SGW_U),
+            (sgw_u, FlowSwitch::CONTROL_PORT),
+            ctrl.clone(),
+        );
+        sim.connect(
+            (gwc, gwc_port::PGW_U),
+            (pgw_u, FlowSwitch::CONTROL_PORT),
+            ctrl.clone(),
+        );
+        sim.connect(
+            (gwc, gwc_port::LOCAL_GWU),
+            (local_gwu, FlowSwitch::CONTROL_PORT),
+            ctrl,
+        );
+
+        // User plane.
+        let backhaul = LinkConfig::rate_limited(cfg.core_rate_bps, cfg.backhaul_delay)
+            .with_queue(cfg.core_queue_bytes);
+        let core = LinkConfig::rate_limited(cfg.core_rate_bps, cfg.core_delay)
+            .with_queue(cfg.core_queue_bytes);
+        let inet = LinkConfig::rate_limited(cfg.core_rate_bps, cfg.inet_delay)
+            .with_queue(cfg.core_queue_bytes);
+        let mec = LinkConfig::rate_limited(1_000_000_000, cfg.mec_delay).with_queue(4 * 1024 * 1024);
+        sim.connect((enb, port::ENB_S1_CORE), (sgw_u, 1), backhaul);
+        sim.connect((sgw_u, 2), (pgw_u, 1), core);
+        sim.connect((pgw_u, 2), (inet_router, 0), inet);
+        sim.connect((enb, port::ENB_S1_MEC), (local_gwu, 1), mec.clone());
+        sim.connect((local_gwu, 2), (mec_router, 0), mec);
+
+        LteNetwork {
+            sim,
+            log,
+            cfg,
+            ues,
+            enb,
+            mme,
+            hss,
+            pcrf,
+            gwc,
+            sgw_u,
+            pgw_u,
+            local_gwu,
+            mec_router,
+            inet_router,
+            next_ue_app_port: vec![port::UE_APP_BASE; ue_nodes.len()],
+            mec_servers: 0,
+            cloud_servers: 0,
+            bg_installed: false,
+        }
+    }
+
+    /// IMSI of UE `i`.
+    pub fn imsi(&self, i: usize) -> Imsi {
+        Imsi(310_410_000_000_001 + i as u64)
+    }
+
+    /// Connect an application node (its port 0) to UE `ue_idx`, receiving
+    /// downlink traffic selected by `selector`.
+    pub fn connect_ue_app(
+        &mut self,
+        ue_idx: usize,
+        app: Box<dyn Node>,
+        selector: AppSelector,
+    ) -> NodeId {
+        let app_id = self.sim.add_node(app);
+        let ue = self.ues[ue_idx];
+        let ue_port = self.next_ue_app_port[ue_idx];
+        self.next_ue_app_port[ue_idx] += 1;
+        self.sim
+            .connect((app_id, 0), (ue, ue_port), crate::ue::loopback());
+        self.sim
+            .node_mut::<Ue>(ue)
+            .register_app(selector, ue_port);
+        app_id
+    }
+
+    /// Add a MEC server behind the local GW-U; returns `(node, address)`.
+    pub fn add_mec_server(&mut self, server: Box<dyn Node>) -> (NodeId, Ipv4Addr) {
+        let id = self.sim.add_node(server);
+        let server_addr = Ipv4Addr::from(u32::from(addr::MEC_BASE) + self.mec_servers as u32);
+        self.mec_servers += 1;
+        let router_port = self.mec_servers; // ports 1..
+        self.sim.connect(
+            (self.mec_router, router_port),
+            (id, 0),
+            LinkConfig::delay_only(Duration::from_micros(100)),
+        );
+        // Route server-bound traffic out, and UE-bound responses back into
+        // the local GW-U (default route on port 0).
+        {
+            let mec_router = self.mec_router;
+            let mut t = acacia_simnet::router::RouteTable::new();
+            t.add(acacia_simnet::router::Ipv4Net::default_route(), 0);
+            for i in 0..self.mec_servers {
+                let a = Ipv4Addr::from(u32::from(addr::MEC_BASE) + i as u32);
+                t.add(acacia_simnet::router::Ipv4Net::host(a), i + 1);
+            }
+            self.sim
+                .node_mut::<acacia_simnet::router::Router>(mec_router)
+                .set_table(t);
+        }
+        // Tell the GW-C this address lives on the MEC.
+        // (GwTopology is owned by the GW-C node.)
+        self.with_gwc_topology(|topo| topo.mec_servers.push(server_addr));
+        (id, server_addr)
+    }
+
+    /// Add a cloud server behind the Internet router over `wan` link
+    /// characteristics; returns `(node, address)`.
+    pub fn add_cloud_server(&mut self, server: Box<dyn Node>, wan: LinkConfig) -> (NodeId, Ipv4Addr) {
+        let id = self.sim.add_node(server);
+        let server_addr = Ipv4Addr::from(u32::from(addr::CLOUD_BASE) + self.cloud_servers as u32);
+        self.cloud_servers += 1;
+        let router_port = self.cloud_servers;
+        self.sim.connect((self.inet_router, router_port), (id, 0), wan);
+        {
+            let inet_router = self.inet_router;
+            let r = self.sim.node_mut::<acacia_simnet::router::Router>(inet_router);
+            let mut t = acacia_simnet::router::RouteTable::new();
+            t.add(acacia_simnet::router::Ipv4Net::default_route(), 0);
+            for i in 0..self.cloud_servers {
+                let a = Ipv4Addr::from(u32::from(addr::CLOUD_BASE) + i as u32);
+                t.add(acacia_simnet::router::Ipv4Net::host(a), i + 1);
+            }
+            r.set_table(t);
+        }
+        (id, server_addr)
+    }
+
+    fn with_gwc_topology(&mut self, f: impl FnOnce(&mut GwTopology)) {
+        let gwc = self.gwc;
+        let node = self.sim.node_mut::<GwControl>(gwc);
+        f(node.topology_mut());
+    }
+
+    /// Attach UE `ue_idx`: runs the full attach procedure and returns the
+    /// assigned UE IP. Panics if attachment does not complete within 5 s of
+    /// simulated time (a protocol bug, not an environmental condition).
+    pub fn attach(&mut self, ue_idx: usize) -> Ipv4Addr {
+        let start = self.sim.now();
+        self.sim
+            .schedule_timer(self.ues[ue_idx], start, ue_token::ATTACH);
+        let imsi = self.imsi(ue_idx);
+        let deadline = start + Duration::from_secs(5);
+        while self.sim.now() < deadline {
+            self.sim.run_until(self.sim.now() + Duration::from_millis(10));
+            let attached = self.sim.node_ref::<Mme>(self.mme).ue_state(imsi)
+                == MmeUeState::Attached
+                && self.sim.node_ref::<Ue>(self.ues[ue_idx]).state == UeState::Connected
+                && self.sim.node_ref::<Ue>(self.ues[ue_idx]).ip.is_some();
+            if attached {
+                return self.sim.node_ref::<Ue>(self.ues[ue_idx]).ip.expect("checked");
+            }
+        }
+        panic!("UE {ue_idx} failed to attach within 5s of simulated time");
+    }
+
+    /// Request a dedicated bearer by injecting an Rx request at the PCRF
+    /// (in the full ACACIA stack the MRS sends this; `acacia` core wires a
+    /// real MRS node to the PCRF's AF port). Waits for activation.
+    pub fn activate_dedicated_bearer(&mut self, ue_idx: usize, rule: PolicyRule) {
+        let before = self.sim.node_ref::<GwControl>(self.gwc).dedicated_active;
+        let now = self.sim.now();
+        let msg = ControlMsg::RxAuthRequest { rule };
+        // Record the AF-side (MRS) send; the PCRF and friends record their
+        // own downstream messages.
+        self.log.record(now, &msg);
+        let pkt = msg.into_packet(Ipv4Addr::UNSPECIFIED, addr::PCRF);
+        self.sim.inject_packet(self.pcrf, pcrf_port::AF, now, pkt);
+        let deadline = now + Duration::from_secs(5);
+        while self.sim.now() < deadline {
+            self.sim.run_until(self.sim.now() + Duration::from_millis(10));
+            let active = self.sim.node_ref::<GwControl>(self.gwc).dedicated_active > before
+                && self.sim.node_ref::<Ue>(self.ues[ue_idx]).has_dedicated_bearer();
+            if active {
+                return;
+            }
+        }
+        panic!("dedicated bearer activation did not complete within 5s");
+    }
+
+    /// Trigger the idle-timeout release for UE `ue_idx` (the paper's
+    /// 11.576 s inactivity event) and wait for the release to finish.
+    pub fn trigger_idle_release(&mut self, ue_idx: usize) {
+        let now = self.sim.now();
+        self.sim.schedule_timer(
+            self.enb,
+            now,
+            enb_token::IDLE_BASE + ue_idx as u64,
+        );
+        let imsi = self.imsi(ue_idx);
+        let deadline = now + Duration::from_secs(5);
+        while self.sim.now() < deadline {
+            self.sim.run_until(self.sim.now() + Duration::from_millis(10));
+            if self.sim.node_ref::<Mme>(self.mme).ue_state(imsi) == MmeUeState::Idle {
+                return;
+            }
+        }
+        panic!("idle release did not complete within 5s");
+    }
+
+    /// Issue a service request for an idle UE and wait for reconnection.
+    pub fn service_request(&mut self, ue_idx: usize) {
+        let now = self.sim.now();
+        self.sim
+            .schedule_timer(self.ues[ue_idx], now, ue_token::SERVICE_REQUEST);
+        let imsi = self.imsi(ue_idx);
+        let deadline = now + Duration::from_secs(5);
+        while self.sim.now() < deadline {
+            self.sim.run_until(self.sim.now() + Duration::from_millis(10));
+            let done = self.sim.node_ref::<Mme>(self.mme).ue_state(imsi) == MmeUeState::Attached
+                && self.sim.node_ref::<Ue>(self.ues[ue_idx]).state == UeState::Connected;
+            if done {
+                return;
+            }
+        }
+        panic!("service request did not complete within 5s");
+    }
+
+    /// Start a background traffic source pushing `rate_bps` of UDP through
+    /// the core SGW-U → PGW-U → Internet path (the competing load of
+    /// Figs. 3(g)/10(b)). Returns the sink node on the Internet side.
+    pub fn start_background_traffic(
+        &mut self,
+        rate_bps: u64,
+        start: Instant,
+        stop: Instant,
+    ) -> NodeId {
+        use acacia_simnet::traffic::{Sink, UdpSource};
+        let (sink, sink_addr) =
+            self.add_cloud_server(Box::new(Sink::new()), LinkConfig::delay_only(Duration::from_micros(200)));
+        let src = self.sim.add_node(Box::new(
+            UdpSource::cbr(
+                (addr::BG_SOURCE, 7000),
+                (sink_addr, 7001),
+                rate_bps,
+                1_400,
+            )
+            .window(start, stop),
+        ));
+        // Background traffic enters the SGW-U on a dedicated port and is
+        // switched toward the PGW-U / Internet with plain output rules.
+        const SGW_BG_PORT: usize = 3;
+        self.sim.connect(
+            (src, 0),
+            (self.sgw_u, SGW_BG_PORT),
+            LinkConfig::delay_only(Duration::from_micros(200)),
+        );
+        if !self.bg_installed {
+            self.bg_installed = true;
+            let sgw = self.sgw_u;
+            self.sim.node_mut::<FlowSwitch>(sgw).install(
+                1,
+                FlowMatchSpec {
+                    teid: None,
+                    dst: None,
+                    src: Some(addr::BG_SOURCE),
+                },
+                vec![FlowActionSpec::Output { port: 2 }],
+            );
+            let pgw = self.pgw_u;
+            self.sim.node_mut::<FlowSwitch>(pgw).install(
+                1,
+                FlowMatchSpec {
+                    teid: None,
+                    dst: None,
+                    src: Some(addr::BG_SOURCE),
+                },
+                vec![FlowActionSpec::Output { port: 2 }],
+            );
+        }
+        self.sim.schedule_timer(src, start, UdpSource::KICKOFF);
+        sink
+    }
+
+    /// Run the simulation for `d`.
+    pub fn run_for(&mut self, d: Duration) {
+        let t = self.sim.now() + d;
+        self.sim.run_until(t);
+    }
+
+    /// Set the per-frame loss probability on every radio link (both
+    /// directions, every UE). Use after attach/bearer setup to model
+    /// residual air-interface loss on the data path (control signalling
+    /// rides acknowledged-mode RLC in real LTE).
+    pub fn set_radio_loss(&mut self, loss: f64) {
+        for (i, &ue) in self.ues.clone().iter().enumerate() {
+            let radio_port = port::ENB_RADIO_BASE + i;
+            self.sim
+                .reconfigure_link((ue, port::UE_RADIO), |cfg| cfg.loss = loss);
+            let enb = self.enb;
+            self.sim
+                .reconfigure_link((enb, radio_port), |cfg| cfg.loss = loss);
+        }
+    }
+}

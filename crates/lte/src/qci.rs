@@ -1,0 +1,128 @@
+//! QoS Class Identifiers (3GPP TS 23.203 table 6.1.7).
+//!
+//! A bearer carries a QCI that fixes its scheduling priority, packet delay
+//! budget and loss-rate target. ACACIA's dedicated MEC bearers use the
+//! non-GBR QCIs 5–9 (paper Fig. 10(a) sweeps exactly those).
+
+use serde::{Deserialize, Serialize};
+
+/// A QoS Class Identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Qci(pub u8);
+
+impl Qci {
+    /// Default-bearer QCI in commercial LTE deployments.
+    pub const DEFAULT_BEARER: Qci = Qci(9);
+
+    /// The non-GBR QCIs swept in the paper's Fig. 10(a).
+    pub const NON_GBR: [Qci; 5] = [Qci(5), Qci(6), Qci(7), Qci(8), Qci(9)];
+
+    /// Scheduling priority (lower = served first), per TS 23.203.
+    pub fn priority(&self) -> u8 {
+        match self.0 {
+            1 => 2,
+            2 => 4,
+            3 => 3,
+            4 => 5,
+            5 => 1,
+            6 => 6,
+            7 => 7,
+            8 => 8,
+            9 => 9,
+            _ => 9,
+        }
+    }
+
+    /// Packet delay budget in milliseconds, per TS 23.203.
+    pub fn delay_budget_ms(&self) -> u32 {
+        match self.0 {
+            1 => 100,
+            2 => 150,
+            3 => 50,
+            4 => 300,
+            5 => 100,
+            6 => 300,
+            7 => 100,
+            8 | 9 => 300,
+            _ => 300,
+        }
+    }
+
+    /// Packet error loss rate target (as a fraction), per TS 23.203.
+    pub fn loss_rate(&self) -> f64 {
+        match self.0 {
+            1 => 1e-2,
+            2 => 1e-3,
+            3 => 1e-3,
+            4 => 1e-6,
+            5 => 1e-6,
+            6 => 1e-6,
+            7 => 1e-3,
+            8 | 9 => 1e-6,
+            _ => 1e-6,
+        }
+    }
+
+    /// Is this a guaranteed-bit-rate class?
+    pub fn is_gbr(&self) -> bool {
+        (1..=4).contains(&self.0)
+    }
+
+    /// DSCP/TOS byte used to mark this class's packets in the data plane.
+    pub fn tos(&self) -> u8 {
+        // Simple monotone mapping: higher priority ⇒ higher DSCP.
+        (10 - self.priority().min(9)) << 2
+    }
+}
+
+impl std::fmt::Display for Qci {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "QCI {}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qci5_has_highest_non_gbr_priority() {
+        let mut best = Qci(5);
+        for q in Qci::NON_GBR {
+            if q.priority() < best.priority() {
+                best = q;
+            }
+        }
+        assert_eq!(best, Qci(5));
+    }
+
+    #[test]
+    fn priorities_strictly_ordered_across_fig10a_sweep() {
+        let ps: Vec<u8> = Qci::NON_GBR.iter().map(|q| q.priority()).collect();
+        for w in ps.windows(2) {
+            assert!(w[0] < w[1], "priorities {ps:?} must increase 5→9");
+        }
+    }
+
+    #[test]
+    fn gbr_classification() {
+        assert!(Qci(1).is_gbr());
+        assert!(Qci(4).is_gbr());
+        for q in Qci::NON_GBR {
+            assert!(!q.is_gbr());
+        }
+    }
+
+    #[test]
+    fn tos_is_monotone_in_priority() {
+        assert!(Qci(5).tos() > Qci(9).tos());
+        assert!(Qci(7).tos() > Qci(8).tos());
+    }
+
+    #[test]
+    fn delay_budgets_match_spec_anchors() {
+        assert_eq!(Qci(5).delay_budget_ms(), 100);
+        assert_eq!(Qci(9).delay_budget_ms(), 300);
+        assert_eq!(Qci(3).delay_budget_ms(), 50);
+    }
+}

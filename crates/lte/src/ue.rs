@@ -1,0 +1,442 @@
+//! The UE: radio attachment, modem-resident UL-TFT classification, and an
+//! app-side port mux so ordinary simnet agents (ping, sources, AR apps)
+//! can run "on the phone".
+//!
+//! Apps connect to the UE over zero-delay loopback links (processes talking
+//! to the modem). Uplink packets are classified against the installed
+//! bearer TFTs **in the modem** — ACACIA's source-side traffic steering
+//! (paper §5.4) — and ride the matching bearer's radio frames; everything
+//! else uses the default bearer.
+
+use crate::ids::{Ebi, Imsi};
+use crate::qci::Qci;
+use crate::radio::{self, port, RadioPayload, RadioScheduler};
+use crate::tft::{Direction, Tft};
+use crate::wire::ControlMsg;
+use acacia_simnet::packet::Packet;
+use acacia_simnet::sim::{Ctx, Node, PortId};
+use acacia_simnet::time::Duration;
+use std::net::Ipv4Addr;
+
+/// How downlink packets find their way to the right app port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppSelector {
+    /// Match on IP protocol (None = any).
+    pub protocol: Option<u8>,
+    /// Match on destination (UE-side) port (None = any).
+    pub dst_port: Option<u16>,
+}
+
+impl AppSelector {
+    /// Deliver everything of one protocol.
+    pub fn protocol(p: u8) -> AppSelector {
+        AppSelector {
+            protocol: Some(p),
+            dst_port: None,
+        }
+    }
+
+    /// Deliver one local port.
+    pub fn port(p: u16) -> AppSelector {
+        AppSelector {
+            protocol: None,
+            dst_port: Some(p),
+        }
+    }
+
+    fn matches(&self, pkt: &Packet) -> bool {
+        if let Some(p) = self.protocol {
+            if pkt.protocol != p {
+                return false;
+            }
+        }
+        if let Some(dp) = self.dst_port {
+            if pkt.dst_port != dp {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// An installed bearer on the UE.
+#[derive(Debug, Clone)]
+pub struct UeBearer {
+    /// Bearer id.
+    pub ebi: Ebi,
+    /// QoS class.
+    pub qci: Qci,
+    /// Uplink TFT (empty for the default bearer).
+    pub tft: Tft,
+}
+
+/// Attachment state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UeState {
+    /// Powered on, not attached.
+    Detached,
+    /// Attach in progress.
+    Attaching,
+    /// Attached with an active RRC connection.
+    Connected,
+    /// Attached but RRC-idle (bearers released at the eNB).
+    Idle,
+}
+
+/// Timer tokens understood by the UE node.
+pub mod token {
+    /// Start the attach procedure.
+    pub const ATTACH: u64 = 1;
+    /// Issue a service request (idle → connected).
+    pub const SERVICE_REQUEST: u64 = 2;
+    /// Internal: uplink radio scheduler release.
+    pub const UL_RELEASE: u64 = 3;
+}
+
+/// The UE node.
+pub struct Ue {
+    /// Subscriber identity.
+    pub imsi: Imsi,
+    /// Radio-link-local address used for frames before an IP is assigned.
+    pub radio_addr: Ipv4Addr,
+    /// eNB radio address.
+    pub enb_addr: Ipv4Addr,
+    /// Assigned IP (after attach).
+    pub ip: Option<Ipv4Addr>,
+    /// Current state.
+    pub state: UeState,
+    /// Installed bearers.
+    pub bearers: Vec<UeBearer>,
+    apps: Vec<(AppSelector, PortId)>,
+    ul: RadioScheduler,
+    /// Uplink packets buffered while idle, flushed after the service
+    /// request completes (LTE "radio promotion").
+    idle_buffer: Vec<Packet>,
+    /// Service requests triggered automatically by data-while-idle.
+    pub promotions: u64,
+    /// Uplink packets classified onto a dedicated bearer.
+    pub ul_dedicated: u64,
+    /// Uplink packets sent on the default bearer.
+    pub ul_default: u64,
+    /// Downlink user packets delivered to apps.
+    pub dl_delivered: u64,
+    /// Downlink packets with no matching app (dropped).
+    pub dl_unclaimed: u64,
+}
+
+impl Ue {
+    /// New detached UE.
+    pub fn new(imsi: Imsi, radio_addr: Ipv4Addr, enb_addr: Ipv4Addr, ul_rate_bps: u64) -> Ue {
+        Ue {
+            imsi,
+            radio_addr,
+            enb_addr,
+            ip: None,
+            state: UeState::Detached,
+            bearers: Vec::new(),
+            apps: Vec::new(),
+            ul: RadioScheduler::new(ul_rate_bps),
+            idle_buffer: Vec::new(),
+            promotions: 0,
+            ul_dedicated: 0,
+            ul_default: 0,
+            dl_delivered: 0,
+            dl_unclaimed: 0,
+        }
+    }
+
+    /// Register an app connected on UE port `ue_port` to receive downlink
+    /// packets matching `selector`.
+    pub fn register_app(&mut self, selector: AppSelector, ue_port: PortId) {
+        assert!(ue_port >= port::UE_APP_BASE, "app ports start at 1");
+        self.apps.push((selector, ue_port));
+    }
+
+    /// The bearer a packet would ride (dedicated TFT match first,
+    /// default otherwise).
+    pub fn classify_uplink(&self, pkt: &Packet) -> Option<&UeBearer> {
+        let dedicated = self
+            .bearers
+            .iter()
+            .filter(|b| b.ebi != Ebi::DEFAULT)
+            .find(|b| b.tft.matches(pkt, Direction::Uplink));
+        dedicated.or_else(|| self.bearers.iter().find(|b| b.ebi == Ebi::DEFAULT))
+    }
+
+    /// Does the UE currently hold a dedicated bearer?
+    pub fn has_dedicated_bearer(&self) -> bool {
+        self.bearers.iter().any(|b| b.ebi != Ebi::DEFAULT)
+    }
+
+    fn send_rrc(&mut self, ctx: &mut Ctx<'_>, msg: ControlMsg) {
+        let frame = radio::rrc_frame(&msg, self.radio_addr, self.enb_addr);
+        self.ul.offer(ctx, 0, frame, token::UL_RELEASE);
+    }
+
+    /// Apply an RRC message's state changes (pure; testable without a
+    /// simulator context).
+    fn apply_rrc(&mut self, msg: ControlMsg) {
+        match msg {
+            ControlMsg::RrcReconfiguration {
+                ebi,
+                qci,
+                tft,
+                ue_addr,
+            } => {
+                if let Some(addr) = ue_addr {
+                    self.ip = Some(addr);
+                }
+                self.bearers.retain(|b| b.ebi != ebi);
+                self.bearers.push(UeBearer { ebi, qci, tft });
+                self.state = UeState::Connected;
+            }
+            ControlMsg::RrcRelease { .. } => {
+                self.state = UeState::Idle;
+            }
+            ControlMsg::RrcBearerRelease { ebi } => {
+                self.remove_bearer(ebi);
+            }
+            _ => {}
+        }
+    }
+
+    fn handle_rrc(&mut self, ctx: &mut Ctx<'_>, msg: ControlMsg) {
+        if let ControlMsg::RrcPaging { imsi } = msg {
+            // Paged while idle: answer with a service request.
+            if imsi == self.imsi && self.state == UeState::Idle {
+                self.promotions += 1;
+                self.send_rrc(ctx, ControlMsg::RrcServiceRequest { imsi: self.imsi });
+            }
+            return;
+        }
+        self.apply_rrc(msg);
+        if self.state == UeState::Connected {
+            self.flush_idle_buffer(ctx);
+        }
+    }
+
+    /// Send packets buffered during the idle period now that the RRC
+    /// connection is back.
+    fn flush_idle_buffer(&mut self, ctx: &mut Ctx<'_>) {
+        if self.idle_buffer.is_empty() {
+            return;
+        }
+        let buffered = std::mem::take(&mut self.idle_buffer);
+        for pkt in buffered {
+            self.send_uplink(ctx, pkt);
+        }
+    }
+
+    /// Classify an uplink packet in the modem and put it on the air.
+    fn send_uplink(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+        let Some(bearer) = self.classify_uplink(&pkt) else {
+            return;
+        };
+        let (ebi, prio) = (bearer.ebi, radio::sched_priority(bearer.qci.tos()));
+        if ebi == Ebi::DEFAULT {
+            self.ul_default += 1;
+        } else {
+            self.ul_dedicated += 1;
+        }
+        let mut inner = pkt;
+        if let Some(ip) = self.ip {
+            inner.src = ip;
+        }
+        inner.tos = match self.bearers.iter().find(|b| b.ebi == ebi) {
+            Some(b) => b.qci.tos(),
+            None => inner.tos,
+        };
+        let frame = radio::data_frame(ebi, &inner, self.radio_addr, self.enb_addr);
+        self.ul.offer(ctx, prio, frame, token::UL_RELEASE);
+    }
+
+    /// Remove a dedicated bearer (driven by an E-RAB release relayed over
+    /// RRC as a reconfiguration with a match-nothing TFT in real LTE; the
+    /// harness calls this directly via the eNB).
+    pub fn remove_bearer(&mut self, ebi: Ebi) {
+        self.bearers.retain(|b| b.ebi != ebi);
+    }
+}
+
+impl Node for Ue {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, in_port: PortId, pkt: Packet) {
+        if in_port == port::UE_RADIO {
+            match radio::parse_frame(&pkt) {
+                Some(RadioPayload::Rrc(msg)) => self.handle_rrc(ctx, msg),
+                Some(RadioPayload::Data { inner, .. }) => {
+                    // Deliver to every matching app (e.g. several ICMP
+                    // agents); apps discard traffic that isn't theirs.
+                    let targets: Vec<PortId> = self
+                        .apps
+                        .iter()
+                        .filter(|(sel, _)| sel.matches(&inner))
+                        .map(|&(_, p)| p)
+                        .collect();
+                    if targets.is_empty() {
+                        self.dl_unclaimed += 1;
+                    } else {
+                        self.dl_delivered += 1;
+                        for app_port in targets {
+                            ctx.send(app_port, inner.clone());
+                        }
+                    }
+                }
+                None => {}
+            }
+            return;
+        }
+        // Uplink from an app: classify in the modem and ride a bearer.
+        if self.state == UeState::Idle {
+            // Data while idle triggers an LTE radio promotion: buffer the
+            // packet, issue a service request, flush once reconnected.
+            if self.idle_buffer.is_empty() {
+                self.promotions += 1;
+                self.send_rrc(ctx, ControlMsg::RrcServiceRequest { imsi: self.imsi });
+            }
+            if self.idle_buffer.len() < 32 {
+                self.idle_buffer.push(pkt);
+            }
+            return;
+        }
+        if self.state != UeState::Connected {
+            return;
+        }
+        self.send_uplink(ctx, pkt);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tok: u64) {
+        match tok {
+            token::ATTACH
+                if self.state == UeState::Detached => {
+                    self.state = UeState::Attaching;
+                    self.send_rrc(ctx, ControlMsg::RrcAttachRequest { imsi: self.imsi });
+                }
+            token::SERVICE_REQUEST
+                if self.state == UeState::Idle => {
+                    self.send_rrc(ctx, ControlMsg::RrcServiceRequest { imsi: self.imsi });
+                }
+            token::UL_RELEASE => {
+                if let Some(frame) = self.ul.pop() {
+                    ctx.send(port::UE_RADIO, frame);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Extra latency knob: zero-delay loopback config for app↔UE links.
+pub fn loopback() -> acacia_simnet::link::LinkConfig {
+    acacia_simnet::link::LinkConfig::delay_only(Duration::from_micros(50))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tft::PacketFilter;
+    use acacia_simnet::packet::proto;
+
+    fn ue() -> Ue {
+        let mut ue = Ue::new(
+            Imsi(1),
+            Ipv4Addr::new(192, 168, 0, 2),
+            Ipv4Addr::new(192, 168, 0, 1),
+            radio::params::UL_RATE_EXCELLENT,
+        );
+        ue.ip = Some(Ipv4Addr::new(10, 10, 0, 1));
+        ue.state = UeState::Connected;
+        ue.bearers.push(UeBearer {
+            ebi: Ebi::DEFAULT,
+            qci: Qci::DEFAULT_BEARER,
+            tft: Tft::new(),
+        });
+        ue
+    }
+
+    fn mec_ip() -> Ipv4Addr {
+        Ipv4Addr::new(10, 4, 0, 1)
+    }
+
+    #[test]
+    fn classification_prefers_dedicated_tft() {
+        let mut u = ue();
+        u.bearers.push(UeBearer {
+            ebi: Ebi(6),
+            qci: Qci(7),
+            tft: Tft::single(PacketFilter::to_host(mec_ip())),
+        });
+        let to_mec = Packet::udp((Ipv4Addr::UNSPECIFIED, 1), (mec_ip(), 9000), 10);
+        let to_web = Packet::udp((Ipv4Addr::UNSPECIFIED, 1), (Ipv4Addr::new(8, 8, 8, 8), 80), 10);
+        assert_eq!(u.classify_uplink(&to_mec).unwrap().ebi, Ebi(6));
+        assert_eq!(u.classify_uplink(&to_web).unwrap().ebi, Ebi::DEFAULT);
+    }
+
+    #[test]
+    fn without_dedicated_bearer_everything_rides_default() {
+        let u = ue();
+        let to_mec = Packet::udp((Ipv4Addr::UNSPECIFIED, 1), (mec_ip(), 9000), 10);
+        assert_eq!(u.classify_uplink(&to_mec).unwrap().ebi, Ebi::DEFAULT);
+        assert!(!u.has_dedicated_bearer());
+    }
+
+    #[test]
+    fn rrc_reconfiguration_installs_bearer_and_ip() {
+        let mut u = Ue::new(
+            Imsi(1),
+            Ipv4Addr::new(192, 168, 0, 2),
+            Ipv4Addr::new(192, 168, 0, 1),
+            1_000_000,
+        );
+        u.apply_rrc(ControlMsg::RrcReconfiguration {
+            ebi: Ebi::DEFAULT,
+            qci: Qci::DEFAULT_BEARER,
+            tft: Tft::new(),
+            ue_addr: Some(Ipv4Addr::new(10, 10, 0, 7)),
+        });
+        assert_eq!(u.ip, Some(Ipv4Addr::new(10, 10, 0, 7)));
+        assert_eq!(u.state, UeState::Connected);
+        assert_eq!(u.bearers.len(), 1);
+        // Re-configuring the same EBI replaces, not duplicates.
+        u.apply_rrc(ControlMsg::RrcReconfiguration {
+            ebi: Ebi::DEFAULT,
+            qci: Qci(8),
+            tft: Tft::new(),
+            ue_addr: None,
+        });
+        assert_eq!(u.bearers.len(), 1);
+        assert_eq!(u.bearers[0].qci, Qci(8));
+    }
+
+    #[test]
+    fn rrc_release_moves_to_idle() {
+        let mut u = ue();
+        u.apply_rrc(ControlMsg::RrcRelease { imsi: Imsi(1) });
+        assert_eq!(u.state, UeState::Idle);
+    }
+
+    #[test]
+    fn app_selector_matching() {
+        let icmp = AppSelector::protocol(proto::ICMP);
+        let p9000 = AppSelector::port(9000);
+        let ping = Packet::icmp(Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED, 56);
+        let udp = Packet::udp((Ipv4Addr::UNSPECIFIED, 1), (Ipv4Addr::UNSPECIFIED, 9000), 1);
+        assert!(icmp.matches(&ping));
+        assert!(!icmp.matches(&udp));
+        assert!(p9000.matches(&udp));
+        assert!(!p9000.matches(&ping));
+    }
+
+    #[test]
+    fn remove_bearer_drops_dedicated() {
+        let mut u = ue();
+        u.bearers.push(UeBearer {
+            ebi: Ebi(6),
+            qci: Qci(7),
+            tft: Tft::single(PacketFilter::to_host(mec_ip())),
+        });
+        assert!(u.has_dedicated_bearer());
+        u.remove_bearer(Ebi(6));
+        assert!(!u.has_dedicated_bearer());
+        assert_eq!(u.bearers.len(), 1);
+    }
+}

@@ -1,0 +1,262 @@
+//! Focused tests of the EPC control-plane entities, driven by injecting
+//! individual control messages (no full network needed).
+
+use acacia_lte::entities::{gwc_port, mme_port, pcrf_port, GwControl, GwTopology, Hss, Mme, MmeUeState, Pcrf};
+use acacia_lte::ids::Imsi;
+use acacia_lte::log::MsgLog;
+use acacia_lte::network::addr;
+use acacia_lte::qci::Qci;
+use acacia_lte::wire::{ControlMsg, PolicyRule};
+use acacia_simnet::link::LinkConfig;
+use acacia_simnet::sim::{NodeId, Simulator};
+use acacia_simnet::time::{Duration, Instant};
+use acacia_simnet::traffic::Sink;
+use std::net::Ipv4Addr;
+
+fn imsi() -> Imsi {
+    Imsi(310_410_000_000_001)
+}
+
+fn ctrl_link() -> LinkConfig {
+    LinkConfig::delay_only(Duration::from_micros(100))
+}
+
+fn inject(sim: &mut Simulator, node: NodeId, port: usize, at_us: u64, msg: ControlMsg) {
+    let pkt = msg.into_packet(Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED);
+    sim.inject_packet(node, port, Instant::from_micros(at_us), pkt);
+}
+
+#[test]
+fn hss_rejects_unknown_subscribers() {
+    let mut sim = Simulator::new(1);
+    let hss = sim.add_node(Box::new(Hss::new(addr::HSS, vec![imsi()], MsgLog::new())));
+    let sink = sim.add_node(Box::new(Sink::new()));
+    sim.connect((hss, 0), (sink, 0), ctrl_link());
+    inject(&mut sim, hss, 0, 0, ControlMsg::S6aAuthInfoRequest { imsi: imsi() });
+    inject(
+        &mut sim,
+        hss,
+        0,
+        10,
+        ControlMsg::S6aAuthInfoRequest { imsi: Imsi(999) },
+    );
+    sim.run_until_idle();
+    assert_eq!(sim.node_ref::<Hss>(hss).answered, 2);
+    // Both answers went out; decode them at the sink side is not possible
+    // (Sink drops payloads), so assert via packet count.
+    assert_eq!(sim.node_ref::<Sink>(sink).packets(), 2);
+}
+
+#[test]
+fn mme_walks_the_attach_state_machine() {
+    let mut sim = Simulator::new(1);
+    let log = MsgLog::new();
+    let mme = sim.add_node(Box::new(Mme::new(
+        addr::MME,
+        addr::ENB,
+        addr::GWC,
+        addr::HSS,
+        log.clone(),
+    )));
+    // Sinks on every interface.
+    for p in [mme_port::ENB, mme_port::GWC, mme_port::HSS] {
+        let sink = sim.add_node(Box::new(Sink::new()));
+        sim.connect((mme, p), (sink, 0), ctrl_link());
+    }
+    let m = |sim: &Simulator| sim.node_ref::<Mme>(mme).ue_state(imsi());
+
+    assert_eq!(m(&sim), MmeUeState::Unknown);
+    inject(&mut sim, mme, mme_port::ENB, 0, ControlMsg::InitialUeAttach { imsi: imsi() });
+    sim.run_until_idle();
+    assert_eq!(m(&sim), MmeUeState::AuthWait);
+
+    inject(
+        &mut sim,
+        mme,
+        mme_port::HSS,
+        1_000,
+        ControlMsg::S6aAuthInfoAnswer {
+            imsi: imsi(),
+            ok: true,
+        },
+    );
+    sim.run_until_idle();
+    assert_eq!(m(&sim), MmeUeState::SessionWait);
+
+    // Auth failure path on a different subscriber resets to Unknown.
+    inject(&mut sim, mme, mme_port::ENB, 2_000, ControlMsg::InitialUeAttach { imsi: Imsi(2) });
+    inject(
+        &mut sim,
+        mme,
+        mme_port::HSS,
+        3_000,
+        ControlMsg::S6aAuthInfoAnswer {
+            imsi: Imsi(2),
+            ok: false,
+        },
+    );
+    sim.run_until_idle();
+    assert_eq!(
+        sim.node_ref::<Mme>(mme).ue_state(Imsi(2)),
+        MmeUeState::Unknown
+    );
+}
+
+#[test]
+fn pcrf_relays_rx_to_gx_and_back() {
+    let mut sim = Simulator::new(1);
+    let pcrf = sim.add_node(Box::new(Pcrf::new(addr::PCRF, addr::GWC, MsgLog::new())));
+    let gx_sink = sim.add_node(Box::new(Sink::new()));
+    let af_sink = sim.add_node(Box::new(Sink::new()));
+    sim.connect((pcrf, pcrf_port::GWC), (gx_sink, 0), ctrl_link());
+    sim.connect((pcrf, pcrf_port::AF), (af_sink, 0), ctrl_link());
+
+    let rule = PolicyRule {
+        service_id: 42,
+        ue_addr: Ipv4Addr::new(10, 10, 0, 1),
+        server_addr: Ipv4Addr::new(10, 4, 0, 1),
+        server_port: 0,
+        qci: Qci(7),
+        install: true,
+    };
+    inject(&mut sim, pcrf, pcrf_port::AF, 0, ControlMsg::RxAuthRequest { rule });
+    sim.run_until_idle();
+    assert_eq!(sim.node_ref::<Sink>(gx_sink).packets(), 1, "Gx RAR out");
+    assert_eq!(sim.node_ref::<Pcrf>(pcrf).rules_pushed, 1);
+
+    inject(
+        &mut sim,
+        pcrf,
+        pcrf_port::GWC,
+        1_000,
+        ControlMsg::GxReauthAnswer {
+            service_id: 42,
+            ok: true,
+        },
+    );
+    sim.run_until_idle();
+    assert_eq!(sim.node_ref::<Sink>(af_sink).packets(), 1, "Rx AAA back");
+
+    // An answer for an unknown service id is ignored.
+    inject(
+        &mut sim,
+        pcrf,
+        pcrf_port::GWC,
+        2_000,
+        ControlMsg::GxReauthAnswer {
+            service_id: 77,
+            ok: true,
+        },
+    );
+    sim.run_until_idle();
+    assert_eq!(sim.node_ref::<Sink>(af_sink).packets(), 1, "no spurious AAA");
+}
+
+fn topo() -> GwTopology {
+    GwTopology {
+        sgw_u: addr::SGW_U,
+        pgw_u: addr::PGW_U,
+        local_gwu: addr::LOCAL_GWU,
+        sgw_port_enb: 1,
+        sgw_port_pgw: 2,
+        pgw_port_sgw: 1,
+        pgw_port_inet: 2,
+        local_port_enb: 1,
+        local_port_mec: 2,
+        mec_servers: vec![addr::MEC_BASE],
+        ue_ip_base: addr::UE_POOL,
+    }
+}
+
+#[test]
+fn gwc_creates_sessions_and_programs_the_pgw() {
+    let mut sim = Simulator::new(1);
+    let gwc = sim.add_node(Box::new(GwControl::new(addr::GWC, topo(), MsgLog::new())));
+    let sinks: Vec<NodeId> = (0..5)
+        .map(|p| {
+            let s = sim.add_node(Box::new(Sink::new()));
+            sim.connect((gwc, p), (s, 0), ctrl_link());
+            s
+        })
+        .collect();
+
+    inject(&mut sim, gwc, gwc_port::MME, 0, ControlMsg::CreateSessionRequest { imsi: imsi() });
+    sim.run_until_idle();
+    // Response to the MME plus two PGW-U flow-mods.
+    assert_eq!(sim.node_ref::<Sink>(sinks[gwc_port::MME]).packets(), 1);
+    assert_eq!(sim.node_ref::<Sink>(sinks[gwc_port::PGW_U]).packets(), 2);
+    assert_eq!(sim.node_ref::<Sink>(sinks[gwc_port::SGW_U]).packets(), 0);
+    let assigned = sim.node_ref::<GwControl>(gwc).ue_addr(imsi());
+    assert!(assigned.is_some());
+
+    // Modify Bearer installs the two SGW-U legs.
+    inject(
+        &mut sim,
+        gwc,
+        gwc_port::MME,
+        1_000,
+        ControlMsg::ModifyBearerRequest {
+            imsi: imsi(),
+            enb_teid: acacia_lte::ids::Teid(0x3001),
+            enb_addr: addr::ENB,
+        },
+    );
+    sim.run_until_idle();
+    assert_eq!(sim.node_ref::<Sink>(sinks[gwc_port::SGW_U]).packets(), 2);
+    assert_eq!(sim.node_ref::<Sink>(sinks[gwc_port::MME]).packets(), 2);
+}
+
+#[test]
+fn gwc_rejects_rules_for_unknown_ues_and_non_mec_servers() {
+    let mut sim = Simulator::new(1);
+    let gwc = sim.add_node(Box::new(GwControl::new(addr::GWC, topo(), MsgLog::new())));
+    let pcrf_sink = sim.add_node(Box::new(Sink::new()));
+    let mme_sink = sim.add_node(Box::new(Sink::new()));
+    sim.connect((gwc, gwc_port::PCRF), (pcrf_sink, 0), ctrl_link());
+    sim.connect((gwc, gwc_port::MME), (mme_sink, 0), ctrl_link());
+
+    // Unknown UE: immediate NACK on Gx.
+    inject(
+        &mut sim,
+        gwc,
+        gwc_port::PCRF,
+        0,
+        ControlMsg::GxReauthRequest {
+            rule: PolicyRule {
+                service_id: 1,
+                ue_addr: Ipv4Addr::new(10, 10, 0, 99),
+                server_addr: addr::MEC_BASE,
+                server_port: 0,
+                qci: Qci(7),
+                install: true,
+            },
+        },
+    );
+    sim.run_until_idle();
+    assert_eq!(sim.node_ref::<Sink>(pcrf_sink).packets(), 1);
+    assert_eq!(sim.node_ref::<Sink>(mme_sink).packets(), 0, "no bearer attempt");
+
+    // Known UE but a server that is not on the MEC: also a NACK.
+    inject(&mut sim, gwc, gwc_port::MME, 1_000, ControlMsg::CreateSessionRequest { imsi: imsi() });
+    sim.run_until_idle();
+    let ue_addr = sim.node_ref::<GwControl>(gwc).ue_addr(imsi()).unwrap();
+    inject(
+        &mut sim,
+        gwc,
+        gwc_port::PCRF,
+        2_000,
+        ControlMsg::GxReauthRequest {
+            rule: PolicyRule {
+                service_id: 2,
+                ue_addr,
+                server_addr: Ipv4Addr::new(52, 0, 0, 1),
+                server_port: 0,
+                qci: Qci(7),
+                install: true,
+            },
+        },
+    );
+    sim.run_until_idle();
+    assert_eq!(sim.node_ref::<Sink>(pcrf_sink).packets(), 2);
+    assert_eq!(sim.node_ref::<Sink>(mme_sink).packets(), 1, "only the session response");
+}

@@ -1,0 +1,104 @@
+//! The automatic LTE idle/promotion cycle: a device with intermittent
+//! traffic is released after the inactivity timeout and promoted back by
+//! the next uplink packet — paying the §4 control cost each time.
+
+use acacia_lte::network::{LteConfig, LteNetwork};
+use acacia_lte::overhead;
+use acacia_lte::prelude::*;
+use acacia_lte::ue::Ue;
+use acacia_simnet::link::LinkConfig;
+use acacia_simnet::packet::proto;
+use acacia_simnet::time::Duration;
+use acacia_simnet::traffic::Reflector;
+use acacia_simnet::transport::PingAgent;
+
+#[test]
+fn automatic_idle_release_and_data_driven_promotion() {
+    // Shorten the inactivity timer so the test stays fast; the production
+    // value is overhead::IDLE_TIMEOUT (11.576 s).
+    let mut net = LteNetwork::new(LteConfig {
+        auto_idle: Some(Duration::from_millis(800)),
+        ..LteConfig::default()
+    });
+    let (_, cloud_addr) = net.add_cloud_server(
+        Box::new(Reflector::new()),
+        LinkConfig::delay_only(Duration::from_millis(2)),
+    );
+    let ue_ip = net.attach(0);
+
+    // Sparse pings: bursts spaced wider than the idle timeout.
+    let agent = net.connect_ue_app(
+        0,
+        Box::new(PingAgent::new(ue_ip, cloud_addr, Duration::from_secs(3), 4)),
+        AppSelector::protocol(proto::ICMP),
+    );
+    let t0 = net.sim.now();
+    net.sim.schedule_timer(agent, t0, PingAgent::KICKOFF);
+    net.log.clear();
+    net.run_for(Duration::from_secs(14));
+
+    let ue = net.sim.node_ref::<Ue>(net.ues[0]);
+    // Each gap exceeded the timeout: the eNB released the context, and the
+    // next ping triggered an automatic service request.
+    assert!(
+        ue.promotions >= 2,
+        "expected repeated radio promotions, saw {}",
+        ue.promotions
+    );
+    // The buffered ping was flushed after each promotion: all pings that
+    // got replies (the first of each burst rides the promotion).
+    let rtts = net.sim.node_ref::<PingAgent>(agent).rtts();
+    assert!(rtts.len() >= 3, "only {} pings survived the cycles", rtts.len());
+
+    // Each release+re-establish cycle costs the §4 batch.
+    let cycles = ue.promotions;
+    let bytes = net.log.core_bytes();
+    assert!(
+        bytes >= cycles * overhead::CYCLE_BYTES,
+        "log has {bytes} B for {cycles} cycles"
+    );
+}
+
+#[test]
+fn steady_traffic_never_goes_idle() {
+    let mut net = LteNetwork::new(LteConfig {
+        auto_idle: Some(Duration::from_millis(800)),
+        ..LteConfig::default()
+    });
+    let (_, cloud_addr) = net.add_cloud_server(
+        Box::new(Reflector::new()),
+        LinkConfig::delay_only(Duration::from_millis(2)),
+    );
+    let ue_ip = net.attach(0);
+    // Pings every 200 ms — well inside the timeout.
+    let agent = net.connect_ue_app(
+        0,
+        Box::new(PingAgent::new(ue_ip, cloud_addr, Duration::from_millis(200), 40)),
+        AppSelector::protocol(proto::ICMP),
+    );
+    let t0 = net.sim.now();
+    net.sim.schedule_timer(agent, t0, PingAgent::KICKOFF);
+    net.run_for(Duration::from_secs(10));
+
+    let ue = net.sim.node_ref::<Ue>(net.ues[0]);
+    assert_eq!(ue.promotions, 0, "steady traffic must keep the UE connected");
+    assert_eq!(
+        net.sim.node_ref::<PingAgent>(agent).rtts().len(),
+        40,
+        "no pings lost to idle cycles"
+    );
+    // Once the traffic stops (pings end at ~8 s) the inactivity timer
+    // correctly demotes the UE before the 10 s horizon.
+    assert_eq!(ue.state, UeState::Idle, "post-traffic demotion expected");
+}
+
+#[test]
+fn production_timeout_constant_is_wired() {
+    assert_eq!(overhead::IDLE_TIMEOUT.millis(), 11_576);
+    // The config accepts it directly.
+    let cfg = LteConfig {
+        auto_idle: Some(overhead::IDLE_TIMEOUT),
+        ..LteConfig::default()
+    };
+    assert_eq!(cfg.auto_idle.unwrap().millis(), 11_576);
+}

@@ -1,0 +1,208 @@
+//! Property-based tests for the LTE wire formats, tunnelling and TFTs.
+
+use acacia_lte::gtpu;
+use acacia_lte::ids::{Ebi, Imsi, Teid};
+use acacia_lte::qci::Qci;
+use acacia_lte::tft::{Direction, PacketFilter, Tft};
+use acacia_lte::wire::{ControlMsg, ErabSetup, FlowActionSpec, FlowMatchSpec, PolicyRule};
+use acacia_simnet::packet::Packet;
+use acacia_simnet::time::Instant;
+use bytes::Bytes;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_ip() -> BoxedStrategy<Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from).boxed()
+}
+
+fn arb_packet() -> BoxedStrategy<Packet> {
+    (
+        arb_ip(),
+        arb_ip(),
+        any::<u16>(),
+        any::<u16>(),
+        prop::sample::select(vec![1u8, 6, 17, 132]),
+        any::<u8>(),
+        0u32..100_000,
+        prop::collection::vec(any::<u8>(), 0..128),
+        any::<u64>(),
+    )
+        .prop_map(|(src, dst, sp, dp, proto, tos, app_len, payload, id)| Packet {
+            src,
+            dst,
+            src_port: sp,
+            dst_port: dp,
+            protocol: proto,
+            tos,
+            payload: Bytes::from(payload),
+            app_len,
+            id,
+            created: Instant::from_nanos(42),
+        })
+        .boxed()
+}
+
+fn arb_tft() -> BoxedStrategy<Tft> {
+    prop::collection::vec(
+        (
+            any::<u8>(),
+            prop::sample::select(vec![
+                Direction::Uplink,
+                Direction::Downlink,
+                Direction::Bidirectional,
+            ]),
+            prop::option::of((arb_ip(), 0u8..=32)),
+            prop::option::of((any::<u16>(), any::<u16>())),
+            prop::option::of(prop::sample::select(vec![1u8, 6, 17])),
+        )
+            .prop_map(|(precedence, direction, remote_addr, ports, protocol)| PacketFilter {
+                precedence,
+                direction,
+                remote_addr,
+                remote_port: ports.map(|(a, b)| (a.min(b), a.max(b))),
+                protocol,
+            }),
+        0..4,
+    )
+    .prop_map(|filters| Tft { filters })
+    .boxed()
+}
+
+fn arb_msg() -> BoxedStrategy<ControlMsg> {
+    let imsi = any::<u64>().prop_map(Imsi).boxed();
+    let erab = (any::<u8>(), 1u8..10, any::<u32>(), arb_ip(), arb_tft()).prop_map(
+        |(ebi, qci, teid, addr, tft)| ErabSetup {
+            ebi: Ebi(ebi),
+            qci: Qci(qci),
+            gw_teid: Teid(teid),
+            gw_addr: addr,
+            tft,
+        },
+    ).boxed();
+    prop_oneof![
+        imsi.clone().prop_map(|i| ControlMsg::InitialUeAttach { imsi: i }),
+        imsi.clone()
+            .prop_map(|i| ControlMsg::UeContextReleaseRequest { imsi: i }),
+        (imsi.clone(), erab.clone())
+            .prop_map(|(i, e)| ControlMsg::ErabSetupRequest { imsi: i, erab: e }),
+        (imsi.clone(), prop::collection::vec(erab, 0..2))
+            .prop_map(|(i, es)| ControlMsg::InitialContextSetupRequest { imsi: i, erabs: es }),
+        (imsi.clone(), any::<u32>(), arb_ip()).prop_map(|(i, t, a)| {
+            ControlMsg::ModifyBearerRequest {
+                imsi: i,
+                enb_teid: Teid(t),
+                enb_addr: a,
+            }
+        }),
+        (any::<u32>(), arb_ip(), arb_ip(), any::<u16>(), 1u8..10, any::<bool>()).prop_map(
+            |(sid, ue, srv, port, qci, install)| ControlMsg::RxAuthRequest {
+                rule: PolicyRule {
+                    service_id: sid,
+                    ue_addr: ue,
+                    server_addr: srv,
+                    server_port: port,
+                    qci: Qci(qci),
+                    install,
+                }
+            }
+        ),
+        (any::<bool>(), any::<u16>(), prop::option::of(any::<u32>()), prop::option::of(arb_ip()))
+            .prop_map(|(add, prio, teid, dst)| ControlMsg::FlowMod {
+                add,
+                priority: prio,
+                mtch: FlowMatchSpec {
+                    teid: teid.map(Teid),
+                    dst,
+                    src: None,
+                },
+                actions: vec![FlowActionSpec::GtpDecap, FlowActionSpec::Output { port: 2 }],
+            }),
+    ]
+    .boxed()
+}
+
+proptest! {
+    /// Control messages survive encode → packet → decode.
+    #[test]
+    fn control_roundtrip(msg in arb_msg(), src in arb_ip(), dst in arb_ip()) {
+        let pkt = msg.into_packet(src, dst);
+        let back = ControlMsg::from_packet(&pkt).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    /// GTP-U encapsulation round-trips any packet and always adds exactly
+    /// the tunnel overhead.
+    #[test]
+    fn gtpu_roundtrip(inner in arb_packet(), teid in any::<u32>(), a in arb_ip(), b in arb_ip()) {
+        let outer = gtpu::encapsulate(&inner, Teid(teid), a, b);
+        prop_assert_eq!(outer.wire_size(), inner.wire_size() + 36);
+        prop_assert_eq!(gtpu::peek_teid(&outer), Some(Teid(teid)));
+        let (t, back) = gtpu::decapsulate(&outer).unwrap();
+        prop_assert_eq!(t, Teid(teid));
+        prop_assert_eq!(back.wire_size(), inner.wire_size());
+        prop_assert_eq!(back.src, inner.src);
+        prop_assert_eq!(back.dst, inner.dst);
+        prop_assert_eq!(back.src_port, inner.src_port);
+        prop_assert_eq!(back.dst_port, inner.dst_port);
+        prop_assert_eq!(back.protocol, inner.protocol);
+        prop_assert_eq!(back.tos, inner.tos);
+        prop_assert_eq!(back.payload, inner.payload);
+        prop_assert_eq!(back.id, inner.id);
+    }
+
+    /// Double encapsulation (S1-in-S5) unwraps in order.
+    #[test]
+    fn gtpu_nesting(inner in arb_packet(), t1 in any::<u32>(), t2 in any::<u32>()) {
+        let a = Ipv4Addr::new(10, 0, 0, 1);
+        let once = gtpu::encapsulate(&inner, Teid(t1), a, a);
+        let twice = gtpu::encapsulate(&once, Teid(t2), a, a);
+        let (got2, mid) = gtpu::decapsulate(&twice).unwrap();
+        let (got1, back) = gtpu::decapsulate(&mid).unwrap();
+        prop_assert_eq!(got2, Teid(t2));
+        prop_assert_eq!(got1, Teid(t1));
+        prop_assert_eq!(back.wire_size(), inner.wire_size());
+    }
+
+    /// TFT matching is consistent with its filters: a packet matches the
+    /// TFT iff it matches at least one filter.
+    #[test]
+    fn tft_matches_any(tft in arb_tft(), pkt in arb_packet()) {
+        for dir in [Direction::Uplink, Direction::Downlink] {
+            let whole = tft.matches(&pkt, dir);
+            let any = tft.filters.iter().any(|f| f.matches(&pkt, dir));
+            prop_assert_eq!(whole, any);
+        }
+    }
+
+    /// A host filter built from the packet's own destination always
+    /// matches uplink.
+    #[test]
+    fn tft_host_filter_matches_self(pkt in arb_packet()) {
+        let f = PacketFilter::to_host(pkt.dst);
+        prop_assert!(f.matches(&pkt, Direction::Uplink));
+    }
+
+    /// TFT wire length equals the sum of its parts.
+    #[test]
+    fn tft_wire_len(tft in arb_tft()) {
+        let total: u32 = 1 + tft.filters.iter().map(|f| f.wire_len()).sum::<u32>();
+        prop_assert_eq!(tft.wire_len(), total);
+    }
+
+    /// QCI table invariants hold for every byte value.
+    #[test]
+    fn qci_invariants(q in any::<u8>()) {
+        let qci = Qci(q);
+        prop_assert!((1..=9).contains(&qci.priority()));
+        prop_assert!(qci.delay_budget_ms() >= 50);
+        prop_assert!(qci.loss_rate() > 0.0 && qci.loss_rate() <= 1e-2);
+    }
+
+    /// Encoded wire size never falls below the calibrated spec (padding
+    /// rounds up; unusually dense messages may legitimately exceed it).
+    #[test]
+    fn wire_size_at_least_spec(msg in arb_msg()) {
+        let pkt = msg.into_packet(Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED);
+        prop_assert!(pkt.wire_size() >= msg.wire_size_spec());
+    }
+}

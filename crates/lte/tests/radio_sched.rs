@@ -1,0 +1,129 @@
+//! The radio scheduler's strict-priority behaviour, observed through a
+//! minimal host node.
+
+use acacia_lte::ids::Ebi;
+use acacia_lte::radio::{data_frame, parse_frame, RadioPayload, RadioScheduler};
+use acacia_simnet::link::LinkConfig;
+use acacia_simnet::packet::Packet;
+use acacia_simnet::sim::{Ctx, Node, PortId, Simulator};
+use acacia_simnet::time::{Duration, Instant};
+use acacia_simnet::traffic::Sink;
+use std::net::Ipv4Addr;
+
+fn ip(a: u8) -> Ipv4Addr {
+    Ipv4Addr::new(192, 168, 0, a)
+}
+
+/// A node that enqueues a batch of frames with given priorities at t=0 and
+/// transmits them through a RadioScheduler.
+struct TxHost {
+    sched: RadioScheduler,
+    batch: Vec<(u8, Packet)>,
+}
+
+const RELEASE: u64 = 1;
+const START: u64 = 2;
+
+impl Node for TxHost {
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, _pkt: Packet) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        match token {
+            START => {
+                for (prio, frame) in std::mem::take(&mut self.batch) {
+                    self.sched.offer(ctx, prio, frame, RELEASE);
+                }
+            }
+            RELEASE => {
+                if let Some(frame) = self.sched.pop() {
+                    ctx.send(0, frame);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn high_priority_frames_jump_the_queue() {
+    let mut sim = Simulator::new(3);
+    // 1 Mbps transmitter: 5 same-size frames serialize over ~46 ms.
+    let mut batch = Vec::new();
+    for (i, prio) in [(0u64, 9u8), (1, 9), (2, 1), (3, 9), (4, 1)] {
+        let inner = Packet::udp((ip(2), 1000), (ip(1), 2000), 1_100).with_id(i);
+        batch.push((prio, data_frame(Ebi(5), &inner, ip(2), ip(1))));
+    }
+    let tx = sim.add_node(Box::new(TxHost {
+        sched: RadioScheduler::new(1_000_000),
+        batch,
+    }));
+    let rx = sim.add_node(Box::new(Sink::new()));
+    sim.connect((tx, 0), (rx, 0), LinkConfig::delay_only(Duration::ZERO));
+    sim.schedule_timer(tx, Instant::ZERO, START);
+    sim.run_until_idle();
+    assert_eq!(sim.node_ref::<Sink>(rx).packets(), 5);
+    // Delivery order favours priority 1 (ids 2 and 4) over priority 9.
+    // We can't read ids from the Sink, so check via delays: priorities
+    // reorder *which* frame pops at each serialization slot — re-run with
+    // a recording sink instead.
+    struct Recorder {
+        ids: Vec<u64>,
+    }
+    impl Node for Recorder {
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _p: PortId, pkt: Packet) {
+            if let Some(RadioPayload::Data { inner, .. }) = parse_frame(&pkt) {
+                self.ids.push(inner.id);
+            }
+        }
+    }
+    let mut sim = Simulator::new(3);
+    let mut batch = Vec::new();
+    for (i, prio) in [(0u64, 9u8), (1, 9), (2, 1), (3, 9), (4, 1)] {
+        let inner = Packet::udp((ip(2), 1000), (ip(1), 2000), 1_100).with_id(i);
+        batch.push((prio, data_frame(Ebi(5), &inner, ip(2), ip(1))));
+    }
+    let tx = sim.add_node(Box::new(TxHost {
+        sched: RadioScheduler::new(1_000_000),
+        batch,
+    }));
+    let rec = sim.add_node(Box::new(Recorder { ids: Vec::new() }));
+    sim.connect((tx, 0), (rec, 0), LinkConfig::delay_only(Duration::ZERO));
+    sim.schedule_timer(tx, Instant::ZERO, START);
+    sim.run_until_idle();
+    let ids = &sim.node_ref::<Recorder>(rec).ids;
+    assert_eq!(ids.len(), 5);
+    // Priority-1 frames (ids 2, 4) are served first, in FIFO order within
+    // the class; then the priority-9 frames in FIFO order.
+    assert_eq!(&ids[..], &[2, 4, 0, 1, 3], "service order {ids:?}");
+}
+
+#[test]
+fn queue_bound_drops_excess_frames() {
+    struct Host {
+        sched: RadioScheduler,
+    }
+    impl Node for Host {
+        fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortId, _: Packet) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+            if token == START {
+                for i in 0..100u64 {
+                    let inner = Packet::udp((ip(2), 1), (ip(1), 2), 60_000).with_id(i);
+                    let frame = data_frame(Ebi(5), &inner, ip(2), ip(1));
+                    self.sched.offer(ctx, 5, frame, RELEASE);
+                }
+            } else if let Some(f) = self.sched.pop() {
+                ctx.send(0, f);
+            }
+        }
+    }
+    let mut sim = Simulator::new(1);
+    let mut sched = RadioScheduler::new(1_000_000);
+    sched.queue_limit = 256 * 1024; // fits ~4 of the 60 KB frames
+    let tx = sim.add_node(Box::new(Host { sched }));
+    let rx = sim.add_node(Box::new(Sink::new()));
+    sim.connect((tx, 0), (rx, 0), LinkConfig::delay_only(Duration::ZERO));
+    sim.schedule_timer(tx, Instant::ZERO, START);
+    sim.run_until_idle();
+    let delivered = sim.node_ref::<Sink>(rx).packets();
+    assert!((3..=5).contains(&delivered), "delivered {delivered}");
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the simulator substrate.
+
+use acacia_simnet::link::LinkConfig;
+use acacia_simnet::packet::{l4_header_len, Packet};
+use acacia_simnet::prelude::*;
+use acacia_simnet::stats::Series;
+use acacia_simnet::time::serialization_time;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+proptest! {
+    /// Instant/Duration arithmetic round-trips.
+    #[test]
+    fn time_roundtrip(base in 0u64..u64::MAX / 4, delta in 0u64..u64::MAX / 4) {
+        let t = Instant::from_nanos(base);
+        let d = Duration::from_nanos(delta);
+        prop_assert_eq!((t + d) - d, t);
+        prop_assert_eq!((t + d) - t, d);
+    }
+
+    /// Serialization time is monotone in size and antitone in rate.
+    #[test]
+    fn serialization_monotone(bytes in 1u64..10_000_000, rate in 1_000u64..10_000_000_000) {
+        let t = serialization_time(bytes, rate);
+        prop_assert!(serialization_time(bytes + 1, rate) >= t);
+        prop_assert!(serialization_time(bytes, rate * 2) <= t);
+        // Exact formula within a nanosecond of rounding.
+        let expect = bytes as f64 * 8.0 / rate as f64;
+        prop_assert!((t.secs_f64() - expect).abs() < 1e-6 + expect * 1e-9);
+    }
+
+    /// Wire size always covers headers + both payload kinds.
+    #[test]
+    fn wire_size_composition(app_len in 0u32..100_000, proto_byte in 0u8..255, payload_len in 0usize..512) {
+        let mut p = Packet::udp((Ipv4Addr::UNSPECIFIED, 0), (Ipv4Addr::UNSPECIFIED, 0), app_len);
+        p.protocol = proto_byte;
+        p.payload = bytes::Bytes::from(vec![0u8; payload_len]);
+        prop_assert_eq!(
+            p.wire_size(),
+            20 + l4_header_len(proto_byte) + payload_len as u32 + app_len
+        );
+    }
+
+    /// FiveTuple reversal is an involution.
+    #[test]
+    fn five_tuple_involution(a in any::<u32>(), b in any::<u32>(), pa in any::<u16>(), pb in any::<u16>()) {
+        let p = Packet::udp((Ipv4Addr::from(a), pa), (Ipv4Addr::from(b), pb), 1);
+        let ft = p.five_tuple();
+        prop_assert_eq!(ft.reversed().reversed(), ft);
+    }
+
+    /// Longest-prefix match: a /32 host route always beats anything else.
+    #[test]
+    fn lpm_host_route_wins(addr in any::<u32>(), plen in 0u8..=24) {
+        let ip = Ipv4Addr::from(addr);
+        let mut t = RouteTable::new();
+        t.add(Ipv4Net::new(ip, plen), 1);
+        t.add(Ipv4Net::host(ip), 2);
+        prop_assert_eq!(t.lookup(ip), Some(2));
+    }
+
+    /// Series percentiles are monotone and bounded by min/max.
+    #[test]
+    fn percentiles_monotone(values in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Series::from_iter(values.clone());
+        let mut last = f64::NEG_INFINITY;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0] {
+            let v = s.percentile(p);
+            prop_assert!(v >= last);
+            prop_assert!(v >= s.min() && v <= s.max());
+            last = v;
+        }
+        let cdf = s.cdf();
+        prop_assert_eq!(cdf.len(), values.len());
+        prop_assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    /// Links conserve packets: delivered + dropped = offered, and
+    /// deliveries never beat propagation delay.
+    #[test]
+    fn link_conservation(
+        n in 1usize..60,
+        rate in 100_000u64..100_000_000,
+        delay_us in 0u64..50_000,
+        loss in 0.0f64..0.3,
+        queue in 2_000u64..2_000_000,
+    ) {
+        let mut sim = Simulator::new(7);
+        let src = sim.add_node(Box::new(
+            UdpSource::cbr(
+                (Ipv4Addr::new(10, 0, 0, 1), 1),
+                (Ipv4Addr::new(10, 0, 0, 2), 2),
+                10_000_000,
+                1_000,
+            )
+            .window(Instant::ZERO, Instant::from_millis(n as u64)),
+        ));
+        let sink = sim.add_node(Box::new(Sink::new()));
+        let cfg = LinkConfig::rate_limited(rate, Duration::from_micros(delay_us))
+            .with_loss(loss)
+            .with_queue(queue);
+        sim.connect_simplex((src, 0), (sink, 0), cfg);
+        sim.schedule_timer(src, Instant::ZERO, UdpSource::KICKOFF);
+        sim.run_until_idle();
+
+        let stats = sim.link_stats((src, 0)).unwrap().clone();
+        let sent = sim.node_ref::<acacia_simnet::traffic::UdpSource>(src).sent;
+        let delivered = sim.node_ref::<Sink>(sink).packets();
+        prop_assert_eq!(stats.tx_packets, delivered);
+        prop_assert_eq!(delivered + stats.drops(), sent);
+        for d in sim.node_ref::<Sink>(sink).delays() {
+            prop_assert!(*d >= Duration::from_micros(delay_us));
+        }
+    }
+
+    /// Simulation runs are deterministic functions of the seed.
+    #[test]
+    fn determinism(seed in any::<u64>()) {
+        let run = |seed: u64| {
+            let mut sim = Simulator::new(seed);
+            let ping = sim.add_node(Box::new(PingAgent::new(
+                Ipv4Addr::new(1, 1, 1, 1),
+                Ipv4Addr::new(2, 2, 2, 2),
+                Duration::from_millis(7),
+                20,
+            )));
+            let refl = sim.add_node(Box::new(Reflector::new()));
+            sim.connect(
+                (ping, 0),
+                (refl, 0),
+                LinkConfig::delay_only(Duration::from_millis(1))
+                    .with_jitter(Duration::from_millis(2))
+                    .with_loss(0.1),
+            );
+            sim.schedule_timer(ping, Instant::ZERO, PingAgent::KICKOFF);
+            sim.run_until_idle();
+            sim.node_ref::<PingAgent>(ping).rtts().to_vec()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}

@@ -1,0 +1,2 @@
+//! Shared helpers for the workspace integration tests.
+#![allow(missing_docs)]

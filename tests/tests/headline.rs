@@ -1,0 +1,98 @@
+//! The paper's headline claims, asserted end-to-end across all crates
+//! (abstract + §7.4). Run at reduced-but-realistic scale so they hold in
+//! debug builds; `cargo run -p acacia-bench --release --bin figures -- fig13`
+//! produces the full-scale numbers.
+
+use acacia::scenario::{Deployment, Scenario, ScenarioConfig};
+use acacia::SessionReport;
+
+fn session(deployment: Deployment) -> SessionReport {
+    Scenario::build(ScenarioConfig {
+        frame_count: 4,
+        exec_cap: 24,
+        ..ScenarioConfig::e2e(deployment)
+    })
+    .run()
+}
+
+#[test]
+fn headline_latency_reductions() {
+    let acacia = session(Deployment::Acacia);
+    let mec = session(Deployment::Mec);
+    let cloud = session(Deployment::Cloud);
+
+    let (a, m, c) = (
+        acacia.mean_total_s(),
+        mec.mean_total_s(),
+        cloud.mean_total_s(),
+    );
+    // "ACACIA provides a 70% end-to-end application level latency
+    // reduction when compared with existing cloud and mobile solutions,
+    // and a 60% reduction compared with a mobile edge cloud solution that
+    // only optimizes network latencies."
+    let vs_cloud = 1.0 - a / c;
+    let vs_mec = 1.0 - a / m;
+    assert!(
+        (0.55..0.85).contains(&vs_cloud),
+        "ACACIA vs CLOUD reduction {vs_cloud:.2} (paper 0.70); totals {a:.3}/{m:.3}/{c:.3}"
+    );
+    assert!(
+        (0.45..0.80).contains(&vs_mec),
+        "ACACIA vs MEC reduction {vs_mec:.2} (paper 0.60)"
+    );
+    // "MEC shows a 25% end-to-end reduction compared to CLOUD."
+    let mec_vs_cloud = 1.0 - m / c;
+    assert!(
+        (0.08..0.40).contains(&mec_vs_cloud),
+        "MEC vs CLOUD reduction {mec_vs_cloud:.2} (paper 0.25)"
+    );
+
+    // "ACACIA shows a 7.7x reduction for match compared to the other
+    // approaches" — ours lands lower (≈5x) because our pruning radius is
+    // the mean localization error; assert the band.
+    let match_ratio = cloud.mean_match_s() / acacia.mean_match_s();
+    assert!(
+        (3.0..10.0).contains(&match_ratio),
+        "match reduction {match_ratio:.1}x (paper 7.7x)"
+    );
+
+    // "...and a 3.15x reduction for network latency compared to CLOUD."
+    let net_ratio = cloud.mean_network_s() / acacia.mean_network_s();
+    assert!(
+        (2.2..6.0).contains(&net_ratio),
+        "network reduction {net_ratio:.2}x (paper 3.15x)"
+    );
+
+    // "Compute ... no significant difference between the different
+    // approaches."
+    let compute_spread = (acacia.mean_compute_s() - cloud.mean_compute_s()).abs()
+        / cloud.mean_compute_s();
+    assert!(compute_spread < 0.2, "compute spread {compute_spread:.2}");
+}
+
+#[test]
+fn all_deployments_answer_all_frames_correctly() {
+    for d in Deployment::ALL {
+        let r = session(d);
+        assert_eq!(r.frames.len(), 4, "{}", d.name());
+        assert!(
+            r.accuracy >= 0.75,
+            "{} accuracy {:.2}",
+            d.name(),
+            r.accuracy
+        );
+    }
+}
+
+#[test]
+fn bearer_setup_is_on_demand_and_fast() {
+    let acacia = session(Deployment::Acacia);
+    let cloud = session(Deployment::Cloud);
+    assert!(acacia.bearer_setup.is_some(), "ACACIA uses the MRS");
+    assert!(cloud.bearer_setup.is_none(), "CLOUD never touches the MRS");
+    let setup = acacia.bearer_setup.unwrap();
+    assert!(
+        setup.millis() >= 5 && setup.millis() < 300,
+        "bearer setup {setup}"
+    );
+}
