@@ -11,7 +11,6 @@
 //!   release/re-establish cycle (what always-on bearers would pay per idle
 //!   event).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use acacia::locmgr::{LocalizationManager, LocalizationMetadata};
 use acacia::search::{candidates, SearchContext, SearchStrategy};
 use acacia_d2d::channel::RadioChannel;
@@ -29,6 +28,7 @@ use acacia_vision::db::ObjectDb;
 use acacia_vision::feature::{object_features, render_view, Similarity, ViewParams};
 use acacia_vision::image::{ImageSpec, Resolution};
 use acacia_vision::matcher::MatcherConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::net::Ipv4Addr;
 
 fn pruning_granularity(c: &mut Criterion) {
@@ -84,7 +84,12 @@ fn classification_point(c: &mut Criterion) {
     let server = Ipv4Addr::new(10, 4, 0, 1);
     let tft = Tft::single(PacketFilter::to_host(server));
     let pkt = Packet::udp((Ipv4Addr::new(10, 10, 0, 1), 9000), (server, 9000), 1_400);
-    let tunneled = gtpu::encapsulate(&pkt, Teid(9), Ipv4Addr::new(10, 1, 0, 1), Ipv4Addr::new(10, 2, 0, 1));
+    let tunneled = gtpu::encapsulate(
+        &pkt,
+        Teid(9),
+        Ipv4Addr::new(10, 1, 0, 1),
+        Ipv4Addr::new(10, 2, 0, 1),
+    );
 
     let mut g = c.benchmark_group("ablation_classification_point");
     g.bench_function("in_modem_tft", |b| {
@@ -135,5 +140,10 @@ fn bearer_policy(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, pruning_granularity, classification_point, bearer_policy);
+criterion_group!(
+    benches,
+    pruning_granularity,
+    classification_point,
+    bearer_policy
+);
 criterion_main!(benches);

@@ -2,9 +2,9 @@
 //! Fig. 3(b): real brute-force 2-NN + ratio + symmetry + RANSAC at several
 //! execution caps.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use acacia_vision::feature::{object_features, render_view, Similarity, ViewParams};
 use acacia_vision::matcher::{match_pair, MatcherConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_match(c: &mut Criterion) {
     let base = object_features(5, 700);

@@ -1,12 +1,12 @@
 //! Wall-clock benchmark behind Fig. 3(h): database-size scaling of a real
 //! pruned-database query.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use acacia_geo::floor::FloorPlan;
 use acacia_vision::db::ObjectDb;
 use acacia_vision::feature::{object_features, render_view, Similarity, ViewParams};
 use acacia_vision::image::{ImageSpec, Resolution};
 use acacia_vision::matcher::MatcherConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_db(c: &mut Criterion) {
     let floor = FloorPlan::retail_store();
@@ -23,7 +23,13 @@ fn bench_db(c: &mut Criterion) {
     g.sample_size(20);
     for n in [1usize, 5, 10, 25, 50] {
         g.bench_with_input(BenchmarkId::new("match_against", n), &n, |b, &n| {
-            b.iter(|| db.match_against(std::hint::black_box(&view), db.objects().iter().take(n), &cfg))
+            b.iter(|| {
+                db.match_against(
+                    std::hint::black_box(&view),
+                    db.objects().iter().take(n),
+                    &cfg,
+                )
+            })
         });
     }
     g.finish();

@@ -2,8 +2,8 @@
 //! how long the *simulation* of a full ACACIA session takes on this
 //! machine, per deployment.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use acacia::scenario::{Deployment, Scenario, ScenarioConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_e2e(c: &mut Criterion) {
     let mut g = c.benchmark_group("end_to_end_session");

@@ -1,7 +1,6 @@
 //! Wall-clock benchmark of the GTP-U data path behind Fig. 8: tunnel
 //! encap/decap and flow-switch packet processing throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use acacia_lte::gtpu;
 use acacia_lte::ids::Teid;
 use acacia_lte::switch::{FlowSwitch, SwitchCosts};
@@ -11,6 +10,7 @@ use acacia_simnet::packet::Packet;
 use acacia_simnet::sim::Simulator;
 use acacia_simnet::time::{Duration, Instant};
 use acacia_simnet::traffic::Sink;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::net::Ipv4Addr;
 
 fn ip(a: u8) -> Ipv4Addr {

@@ -1,9 +1,9 @@
 //! Wall-clock benchmark of the synthetic SURF pipeline behind Fig. 3(a):
 //! base-feature generation and view rendering at each sweep resolution.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use acacia_vision::feature::{object_features, render_view, Similarity, ViewParams};
 use acacia_vision::image::{ImageSpec, Resolution};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_extract(c: &mut Criterion) {
     let mut g = c.benchmark_group("surf_extract");

@@ -1,11 +1,11 @@
 //! Wall-clock benchmark of the localization path behind Fig. 9(b):
 //! path-loss inversion + Gauss-Newton tri-lateration.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use acacia_geo::floor::FloorPlan;
 use acacia_geo::pathloss::{FittedPathLoss, PathLossModel};
 use acacia_geo::point::Point;
 use acacia_geo::trilateration::{trilaterate, RangeMeasurement};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_trilateration(c: &mut Criterion) {
     let floor = FloorPlan::retail_store();

@@ -1,15 +1,39 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! figures <id>...   # one or more of the experiment ids
-//! figures all       # everything, in paper order
-//! figures list      # show available ids
+//! figures <id>...          # one or more of the experiment ids
+//! figures all              # everything, in paper order
+//! figures all --jobs 4     # fan grid cells out across 4 worker threads
+//! figures list             # show available ids
 //! ```
+//!
+//! `--jobs N` (or `--jobs=N`) sets the worker count for the parallel
+//! experiment runner; the default is the machine's available
+//! parallelism and `--jobs 1` is the serial path. Output on stdout is
+//! byte-identical for every worker count — the per-cell timing report
+//! goes to stderr.
 
-use acacia_bench::{run, ALL_IDS, SLOW_IDS};
+use acacia_bench::{run, runner, ALL_IDS, SLOW_IDS};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = Vec::new();
+    let mut raw = std::env::args().skip(1);
+    while let Some(a) = raw.next() {
+        if a == "--jobs" {
+            let n = raw.next().and_then(|v| v.parse::<usize>().ok());
+            match n {
+                Some(n) if n >= 1 => runner::set_jobs(Some(n)),
+                _ => die("--jobs expects a positive integer"),
+            }
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            match v.parse::<usize>() {
+                Ok(n) if n >= 1 => runner::set_jobs(Some(n)),
+                _ => die("--jobs expects a positive integer"),
+            }
+        } else {
+            args.push(a);
+        }
+    }
     if args.is_empty() || args[0] == "list" {
         println!("available experiments:");
         for id in ALL_IDS.iter().chain(SLOW_IDS.iter()) {
@@ -18,7 +42,8 @@ fn main() {
         println!("  all  (runs everything, in paper order)");
         return;
     }
-    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+    let all = args.iter().any(|a| a == "all");
+    let ids: Vec<&str> = if all {
         ALL_IDS.iter().chain(SLOW_IDS.iter()).copied().collect()
     } else {
         args.iter().map(|s| s.as_str()).collect()
@@ -32,4 +57,16 @@ fn main() {
             }
         }
     }
+    if all {
+        // Stderr, so stdout stays byte-identical across --jobs values.
+        let timings = runner::drain_timings();
+        if !timings.is_empty() {
+            eprintln!("{}", runner::timing_report(&timings).render());
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2)
 }

@@ -2,6 +2,7 @@
 //! multi-client contention (Fig. 12) and the end-to-end comparison
 //! (Fig. 13).
 
+use crate::runner;
 use crate::table::{fmt_secs, Table};
 use acacia::locmgr::{LocalizationManager, LocalizationMetadata};
 use acacia::scenario::{Deployment, Scenario, ScenarioConfig};
@@ -62,8 +63,7 @@ pub fn fig11_frames(
         // Context from LTE-direct at this checkpoint.
         let mut modem = Modem::new();
         modem.subscribe(SubscriptionFilter::service_wide("acme"));
-        let mut locmgr =
-            LocalizationManager::new(LocalizationMetadata::for_floor(&floor, &model));
+        let mut locmgr = LocalizationManager::new(LocalizationMetadata::for_floor(&floor, &model));
         for tick in 0..4 {
             for ev in world.scan(&mut modem, cp.pos, tick) {
                 locmgr.report(&ev.publisher, ev.rx_power_dbm);
@@ -129,13 +129,29 @@ pub const FIG11_RESOLUTIONS: [Resolution; 3] = [
 pub fn fig11a() -> Table {
     let mut t = Table::new(
         "Fig 11(a) — matching time by search-space scheme (ms)",
-        &["machine (res)", "ACACIA", "rxPower", "Naive", "naive/acacia"],
+        &[
+            "machine (res)",
+            "ACACIA",
+            "rxPower",
+            "Naive",
+            "naive/acacia",
+        ],
     );
-    for res in FIG11_RESOLUTIONS {
-        let frames: Vec<Vec<Fig11Frame>> = STRATEGIES
-            .iter()
-            .map(|&s| fig11_frames(s, res, 24, 5, 42))
-            .collect();
+    let cells = FIG11_RESOLUTIONS
+        .iter()
+        .flat_map(|&res| {
+            STRATEGIES
+                .iter()
+                .map(move |&s| (format!("{} {res}", s.name()), (s, res)))
+        })
+        .collect();
+    let all_frames = runner::pmap("fig11a", cells, |(strategy, res)| {
+        fig11_frames(strategy, res, 24, 5, 42)
+    });
+    for (res, frames) in FIG11_RESOLUTIONS
+        .iter()
+        .zip(all_frames.chunks(STRATEGIES.len()))
+    {
         for dev in [Device::I7Octa, Device::Xeon32] {
             let times: Vec<f64> = frames.iter().map(|f| mean_match_s(f, dev)).collect();
             t.row(vec![
@@ -158,12 +174,17 @@ pub fn fig11b() -> Table {
         "Fig 11(b) — distribution of match runtime at 960x720 (ms)",
         &["scheme (machine)", "p10", "median", "p90", "max"],
     );
-    for strategy in STRATEGIES {
-        let frames = fig11_frames(strategy, res, 24, 5, 42);
+    let cells = STRATEGIES
+        .iter()
+        .map(|&s| (s.name().to_string(), s))
+        .collect();
+    let all_frames = runner::pmap("fig11b", cells, |strategy| {
+        fig11_frames(strategy, res, 24, 5, 42)
+    });
+    for (strategy, frames) in STRATEGIES.into_iter().zip(all_frames) {
         for dev in [Device::Xeon32, Device::I7Octa] {
             let p = dev.profile();
-            let series =
-                Series::from_iter(frames.iter().map(|f| p.match_time_s(&f.ops) * 1e3));
+            let series = Series::from_iter(frames.iter().map(|f| p.match_time_s(&f.ops) * 1e3));
             t.row(vec![
                 format!("{} ({})", strategy.name(), dev.name()),
                 format!("{:.0}", series.percentile(10.0)),
@@ -184,10 +205,13 @@ pub fn fig12() -> Table {
         "Fig 12 — matching time vs concurrent clients at 960x720 (s)",
         &["machine", "clients", "ACACIA", "rxPower", "Naive"],
     );
-    let base: Vec<Vec<Fig11Frame>> = STRATEGIES
+    let cells = STRATEGIES
         .iter()
-        .map(|&s| fig11_frames(s, res, 24, 5, 42))
+        .map(|&s| (s.name().to_string(), s))
         .collect();
+    let base = runner::pmap("fig12", cells, |strategy| {
+        fig11_frames(strategy, res, 24, 5, 42)
+    });
     for dev in [Device::Xeon32, Device::I7Octa] {
         for clients in [1usize, 2, 4, 8] {
             let mut cells = vec![dev.name().to_string(), clients.to_string()];
@@ -204,17 +228,20 @@ pub fn fig12() -> Table {
 
 /// Fig. 13 data: one end-to-end session report per deployment.
 pub fn fig13_reports(frame_count: u64, exec_cap: usize) -> Vec<acacia::scenario::SessionReport> {
-    Deployment::ALL
+    let cells = Deployment::ALL
         .iter()
-        .map(|&d| {
-            Scenario::build(ScenarioConfig {
-                frame_count,
-                exec_cap,
-                ..ScenarioConfig::e2e(d)
-            })
-            .run()
+        .map(|&d| (d.name().to_string(), d))
+        .collect();
+    // Each worker builds and runs its own full simulation stack; only the
+    // (Send) config crosses the thread boundary.
+    runner::pmap("fig13", cells, |deployment| {
+        Scenario::build(ScenarioConfig {
+            frame_count,
+            exec_cap,
+            ..ScenarioConfig::e2e(deployment)
         })
-        .collect()
+        .run()
+    })
 }
 
 /// Fig. 13: end-to-end latency breakdown, ACACIA vs MEC vs CLOUD.
@@ -222,7 +249,14 @@ pub fn fig13() -> Table {
     let reports = fig13_reports(10, 48);
     let mut t = Table::new(
         "Fig 13 — end-to-end comparison at 720x480 (s)",
-        &["deployment", "match", "compute", "network", "total", "accuracy"],
+        &[
+            "deployment",
+            "match",
+            "compute",
+            "network",
+            "total",
+            "accuracy",
+        ],
     );
     for r in &reports {
         t.row(vec![
@@ -283,13 +317,19 @@ pub fn ablation_radius() -> Table {
         "Ablation — ACACIA pruning radius vs accuracy and match time (960x720, i7 8-core)",
         &["radius (m)", "mean candidates", "match time", "accuracy"],
     );
-    for radius_x10 in [10u32, 15, 20, 25, 30, 40, 60, 100] {
+    let radii = [10u32, 15, 20, 25, 30, 40, 60, 100];
+    let cells = radii
+        .iter()
+        .map(|&r| (format!("radius={:.1}m", r as f64 / 10.0), r))
+        .collect();
+    let all_frames = runner::pmap("ablation-radius", cells, |radius_x10| {
         let strategy = SearchStrategy::Acacia {
             radius_m_x10: radius_x10,
         };
-        let frames = fig11_frames(strategy, res, 24, 3, 42);
-        let cands =
-            frames.iter().map(|f| f.candidates).sum::<usize>() as f64 / frames.len() as f64;
+        fig11_frames(strategy, res, 24, 3, 42)
+    });
+    for (radius_x10, frames) in radii.into_iter().zip(all_frames) {
+        let cands = frames.iter().map(|f| f.candidates).sum::<usize>() as f64 / frames.len() as f64;
         let correct = frames.iter().filter(|f| f.correct).count();
         t.row(vec![
             format!("{:.1}", radius_x10 as f64 / 10.0),

@@ -118,23 +118,25 @@ pub fn fig3h_data() -> Vec<(Resolution, Vec<(usize, f64)>)> {
     };
     let profile = Device::I7Octa.profile();
     let sizes = [1usize, 5, 10, 25, 50];
-    let mut out = Vec::new();
-    for res in Resolution::SWEEP {
+    let cells = Resolution::SWEEP
+        .iter()
+        .map(|&res| (res.to_string(), res))
+        .collect();
+    let per_res = crate::runner::pmap("fig3h", cells, |res| {
         let target = &db.objects()[0];
         let spec = ImageSpec::new(target.id, res);
         let base = object_features(target.id, spec.feature_count());
         let view = render_view(&base, Similarity::from_seed(3), ViewParams::default(), 3);
-        let per_size = sizes
+        sizes
             .iter()
             .map(|&n| {
                 let cands = db.objects().iter().take(n);
                 let outcome = db.match_against(&view, cands, &cfg);
                 (n, profile.match_time_s(&outcome.ops))
             })
-            .collect();
-        out.push((res, per_size));
-    }
-    out
+            .collect::<Vec<_>>()
+    });
+    Resolution::SWEEP.into_iter().zip(per_res).collect()
 }
 
 /// Fig. 3(h): match runtime vs database size (8-core i7).

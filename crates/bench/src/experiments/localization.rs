@@ -152,38 +152,53 @@ pub fn fig9b_data(seed: u64) -> Vec<(usize, f64, f64, f64)> {
         );
     }
 
-    let mut out = Vec::new();
-    for k in 3..=7usize {
-        let mut subset_means = Vec::new();
-        for subset in combinations(7, k) {
-            let mut total = 0.0;
-            let mut n = 0usize;
-            for (cp, cp_readings) in floor.checkpoints.iter().zip(&readings) {
-                let ms: Vec<RangeMeasurement> = subset
-                    .iter()
-                    .filter_map(|&li| {
-                        let rx = (*cp_readings.get(li)?)?;
-                        Some(RangeMeasurement::new(
-                            floor.landmarks[li].pos,
-                            fit.predict_distance(rx),
-                        ))
-                    })
-                    .collect();
-                if ms.len() < 3 {
-                    continue;
-                }
-                if let Ok(sol) = trilaterate(&ms) {
-                    total += clamp_to_floor(&floor, sol.position).distance(cp.pos);
-                    n += 1;
-                }
+    // Each (k, subset) placement is an independent cell; the per-k
+    // aggregation below walks the results in cell order, so the f64
+    // accumulation order matches the serial run exactly.
+    let cells: Vec<(String, (usize, Vec<usize>))> = (3..=7usize)
+        .flat_map(|k| {
+            combinations(7, k)
+                .into_iter()
+                .map(move |subset| (format!("k={k} {subset:?}"), (k, subset)))
+        })
+        .collect();
+    let ks: Vec<usize> = cells.iter().map(|(_, (k, _))| *k).collect();
+    let subset_means = crate::runner::pmap("fig9b", cells, |(_, subset)| -> Option<f64> {
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for (cp, cp_readings) in floor.checkpoints.iter().zip(&readings) {
+            let ms: Vec<RangeMeasurement> = subset
+                .iter()
+                .filter_map(|&li| {
+                    let rx = (*cp_readings.get(li)?)?;
+                    Some(RangeMeasurement::new(
+                        floor.landmarks[li].pos,
+                        fit.predict_distance(rx),
+                    ))
+                })
+                .collect();
+            if ms.len() < 3 {
+                continue;
             }
-            if n > 0 {
-                subset_means.push(total / n as f64);
+            if let Ok(sol) = trilaterate(&ms) {
+                total += clamp_to_floor(&floor, sol.position).distance(cp.pos);
+                n += 1;
             }
         }
-        let best = subset_means.iter().cloned().fold(f64::INFINITY, f64::min);
-        let worst = subset_means.iter().cloned().fold(0.0f64, f64::max);
-        let mean = subset_means.iter().sum::<f64>() / subset_means.len() as f64;
+        (n > 0).then(|| total / n as f64)
+    });
+
+    let mut out = Vec::new();
+    for k in 3..=7usize {
+        let means: Vec<f64> = ks
+            .iter()
+            .zip(&subset_means)
+            .filter(|(&ck, _)| ck == k)
+            .filter_map(|(_, m)| *m)
+            .collect();
+        let best = means.iter().cloned().fold(f64::INFINITY, f64::min);
+        let worst = means.iter().cloned().fold(0.0f64, f64::max);
+        let mean = means.iter().sum::<f64>() / means.len() as f64;
         out.push((k, best, mean, worst));
     }
     out

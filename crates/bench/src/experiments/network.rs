@@ -1,6 +1,7 @@
 //! Network-side experiments: Fig. 3(c,d,g), Fig. 8, Fig. 10(a,b) and the
 //! §4 control-overhead table.
 
+use crate::runner;
 use crate::table::{fmt_bps, fmt_secs, Table};
 use acacia_lte::network::{LteConfig, LteNetwork};
 use acacia_lte::qci::Qci;
@@ -45,8 +46,12 @@ pub fn fig3c() -> Table {
         "Fig 3(c) — LTE RTT to EC2 (ms)",
         &["region", "p10", "p25", "median", "p75", "p90", "p95"],
     );
-    for region in Ec2Region::ALL {
-        let s = fig3c_data(region, 300, 7);
+    let cells = Ec2Region::ALL
+        .iter()
+        .map(|&r| (r.name().to_string(), r))
+        .collect();
+    let series = runner::pmap("fig3c", cells, |region| fig3c_data(region, 300, 7));
+    for (region, s) in Ec2Region::ALL.into_iter().zip(series) {
         t.row(vec![
             region.name().to_string(),
             format!("{:.1}", s.percentile(10.0)),
@@ -92,11 +97,23 @@ pub fn fig3d() -> Table {
         "Fig 3(d) — LTE uplink bandwidth to EC2",
         &["region", "excellent (4/4)", "fair (2/4)"],
     );
-    for region in Ec2Region::ALL {
+    let cells = Ec2Region::ALL
+        .iter()
+        .flat_map(|&r| {
+            [true, false].map(|excellent| {
+                let grade = if excellent { "excellent" } else { "fair" };
+                (format!("{} {grade}", r.name()), (r, excellent))
+            })
+        })
+        .collect();
+    let goodputs = runner::pmap("fig3d", cells, |(region, excellent)| {
+        fig3d_data(region, excellent, 3)
+    });
+    for (region, pair) in Ec2Region::ALL.iter().zip(goodputs.chunks(2)) {
         t.row(vec![
             region.name().to_string(),
-            fmt_bps(fig3d_data(region, true, 3)),
-            fmt_bps(fig3d_data(region, false, 3)),
+            fmt_bps(pair[0]),
+            fmt_bps(pair[1]),
         ]);
     }
     t
@@ -116,8 +133,7 @@ pub fn fig3g_point(base_rtt_ms: u64, bg_bps: u64, seed: u64) -> f64 {
     // (bufferbloated) queue, plus propagation making up the base RTT.
     let one_way = Duration::from_micros(base_rtt_ms * 1000 / 2);
     let gw_in = LinkConfig::rate_limited(1_000_000_000, Duration::ZERO).with_queue(4 * 1024 * 1024);
-    let gw_out =
-        LinkConfig::rate_limited(100_000_000, one_way).with_queue(25 * 1024 * 1024);
+    let gw_out = LinkConfig::rate_limited(100_000_000, one_way).with_queue(25 * 1024 * 1024);
 
     let mut table = RouteTable::new();
     table.add(Ipv4Net::default_route(), 1);
@@ -145,8 +161,7 @@ pub fn fig3g_point(base_rtt_ms: u64, bg_bps: u64, seed: u64) -> f64 {
     sim.run_until(Instant::from_secs(21));
 
     let s = sim.node_ref::<Sink>(sink);
-    let ar_delays: Vec<Duration> = s
-        .delays().to_vec();
+    let ar_delays: Vec<Duration> = s.delays().to_vec();
     // Forward delay already includes the propagation; add the (uncongested)
     // base return path — the paper measures request/response latency and
     // responses are tiny.
@@ -160,11 +175,18 @@ pub fn fig3g() -> Table {
         "Fig 3(g) — network latency vs background traffic (one S-PGW, 100 Mbps)",
         &["bg (Mbps)", "RTT 8ms", "RTT 18ms", "RTT 70ms"],
     );
-    for bg in (0..=100).step_by(10) {
+    let bgs: Vec<u64> = (0..=100u64).step_by(10).collect();
+    let bases = [8u64, 18, 70];
+    let cells = bgs
+        .iter()
+        .flat_map(|&bg| bases.map(|base| (format!("bg={bg} rtt={base}ms"), (base, bg))))
+        .collect();
+    let latencies = runner::pmap("fig3g", cells, |(base, bg)| {
+        fig3g_point(base, bg * 1_000_000, 5)
+    });
+    for (bg, row) in bgs.iter().zip(latencies.chunks(bases.len())) {
         let mut cells = vec![format!("{bg}")];
-        for base in [8u64, 18, 70] {
-            cells.push(fmt_secs(fig3g_point(base, bg as u64 * 1_000_000, 5)));
-        }
+        cells.extend(row.iter().map(|&lat| fmt_secs(lat)));
         t.row(cells);
     }
     t.note("AR offered load ~10 Mbps rides alongside the background; saturation → bufferbloat");
@@ -200,7 +222,11 @@ pub fn fig8_data(costs: SwitchCosts, secs: u64, seed: u64) -> Vec<f64> {
     sim.connect_simplex((tx, 0), (sw, 1), line.clone());
     sim.connect_simplex((sw, 2), (rx, 0), line);
     // Acks return directly.
-    sim.connect_simplex((rx, 0), (tx, 0), LinkConfig::delay_only(Duration::from_micros(200)));
+    sim.connect_simplex(
+        (rx, 0),
+        (tx, 0),
+        LinkConfig::delay_only(Duration::from_micros(200)),
+    );
     sim.schedule_timer(tx, Instant::ZERO, GreedyFlow::KICKOFF);
     sim.run_until(Instant::from_secs(secs + 1));
     sim.node_ref::<GreedyReceiver>(rx).throughput_series_bps()
@@ -212,12 +238,17 @@ pub fn fig8() -> Table {
         "Fig 8 — GW-U data-plane throughput over 60 s (Iperf-like TCP)",
         &["variant", "mean", "p5 second", "p95 second"],
     );
-    for (name, costs) in [
+    let variants = [
         ("OpenEPC (user space)", SwitchCosts::openepc_userspace()),
         ("ACACIA (OVS fast path)", SwitchCosts::acacia_ovs()),
         ("IDEAL (no GW cost)", SwitchCosts::ideal()),
-    ] {
-        let series = fig8_data(costs, 60, 2);
+    ];
+    let cells = variants
+        .iter()
+        .map(|&(name, costs)| (name.to_string(), costs))
+        .collect();
+    let throughputs = runner::pmap("fig8", cells, |costs| fig8_data(costs, 60, 2));
+    for ((name, _), series) in variants.iter().zip(throughputs) {
         let stats = Series::from_iter(series.iter().copied().skip(3)); // skip slow-start
         t.row(vec![
             name.to_string(),
@@ -296,7 +327,8 @@ pub fn fig10a_data(qci: Qci, probes: u64, seed: u64) -> Series {
         Box::new(UdpSource::cbr((ue_ip, 7100), (cloud_addr, 7100), 10_000_000, 1_200).poisson()),
         AppSelector::port(7100),
     );
-    net.sim.schedule_timer(noise, net.sim.now(), UdpSource::KICKOFF);
+    net.sim
+        .schedule_timer(noise, net.sim.now(), UdpSource::KICKOFF);
 
     let agent = net.connect_ue_app(
         0,
@@ -320,8 +352,12 @@ pub fn fig10a() -> Table {
         "Fig 10(a) — UE↔MEC RTT by QCI of the dedicated bearer (ms)",
         &["QCI", "p5", "median", "p95"],
     );
-    for qci in Qci::NON_GBR {
-        let s = fig10a_data(qci, 200, 11);
+    let cells = Qci::NON_GBR
+        .iter()
+        .map(|&qci| (qci.to_string(), qci))
+        .collect();
+    let series = runner::pmap("fig10a", cells, |qci| fig10a_data(qci, 200, 11));
+    for (qci, s) in Qci::NON_GBR.into_iter().zip(series) {
         t.row(vec![
             qci.to_string(),
             format!("{:.1}", s.percentile(5.0)),
@@ -395,7 +431,12 @@ pub fn fig10b_point(arch: Fig10bArch, bg_bps: u64, seed: u64) -> f64 {
     // AR offered load toward the server (~10 Mbps), plus RTT probes.
     let ar = net.connect_ue_app(
         0,
-        Box::new(UdpSource::cbr((ue_ip, 9000), (server_addr, 9000), 10_000_000, 1_200)),
+        Box::new(UdpSource::cbr(
+            (ue_ip, 9000),
+            (server_addr, 9000),
+            10_000_000,
+            1_200,
+        )),
         AppSelector::port(9000),
     );
     let now = net.sim.now();
@@ -427,14 +468,23 @@ pub fn fig10b() -> Table {
         "Fig 10(b) — AR latency vs background traffic (s)",
         &["bg (Mbps)", "Conventional EPC", "EPC with MEC", "ACACIA"],
     );
-    for bg in (0..=100).step_by(10) {
-        let bg_bps = bg as u64 * 1_000_000;
-        t.row(vec![
-            format!("{bg}"),
-            fmt_secs(fig10b_point(Fig10bArch::Conventional, bg_bps, 13)),
-            fmt_secs(fig10b_point(Fig10bArch::EpcWithMec, bg_bps, 13)),
-            fmt_secs(fig10b_point(Fig10bArch::Acacia, bg_bps, 13)),
-        ]);
+    let bgs: Vec<u64> = (0..=100u64).step_by(10).collect();
+    let arches = [
+        Fig10bArch::Conventional,
+        Fig10bArch::EpcWithMec,
+        Fig10bArch::Acacia,
+    ];
+    let cells = bgs
+        .iter()
+        .flat_map(|&bg| arches.map(|arch| (format!("bg={bg} {arch:?}"), (arch, bg))))
+        .collect();
+    let latencies = runner::pmap("fig10b", cells, |(arch, bg)| {
+        fig10b_point(arch, bg * 1_000_000, 13)
+    });
+    for (bg, row) in bgs.iter().zip(latencies.chunks(arches.len())) {
+        let mut cells = vec![format!("{bg}")];
+        cells.extend(row.iter().map(|&lat| fmt_secs(lat)));
+        t.row(cells);
     }
     t.note("paper: location dominates until ~90 Mbps; beyond saturation only ACACIA stays low");
     t
@@ -462,8 +512,8 @@ mod tests {
 
     #[test]
     fn fig8_ordering() {
-        let openepc = Series::from_iter(fig8_data(SwitchCosts::openepc_userspace(), 12, 1))
-            .percentile(75.0);
+        let openepc =
+            Series::from_iter(fig8_data(SwitchCosts::openepc_userspace(), 12, 1)).percentile(75.0);
         let acacia =
             Series::from_iter(fig8_data(SwitchCosts::acacia_ovs(), 12, 1)).percentile(75.0);
         let ideal = Series::from_iter(fig8_data(SwitchCosts::ideal(), 12, 1)).percentile(75.0);

@@ -16,14 +16,30 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod runner;
 pub mod table;
 
 use table::Table;
 
 /// All experiment ids, in paper order.
 pub const ALL_IDS: [&str; 17] = [
-    "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f", "fig3g", "fig3h", "sec4-ctrl", "fig6",
-    "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "sec73-jpeg", "fig11a",
+    "fig3a",
+    "fig3b",
+    "fig3c",
+    "fig3d",
+    "fig3e",
+    "fig3f",
+    "fig3g",
+    "fig3h",
+    "sec4-ctrl",
+    "fig6",
+    "fig8",
+    "fig9a",
+    "fig9b",
+    "fig10a",
+    "fig10b",
+    "sec73-jpeg",
+    "fig11a",
 ];
 
 /// Extended ids that take noticeably longer (included in `all`).

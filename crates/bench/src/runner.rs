@@ -1,0 +1,233 @@
+//! Parallel deterministic experiment runner.
+//!
+//! Every heavy experiment in [`crate::experiments`] is a *grid* of
+//! independent cells — one seeded, single-threaded simulation per
+//! `(experiment id, cell label, config)` triple. This module fans those
+//! cells out across a scoped worker pool and merges the results back in
+//! **index order**, so the assembled tables are byte-identical to the
+//! serial run no matter how many workers raced over the grid:
+//!
+//! * parallel **across** cells, strictly serial (and seeded) **within**
+//!   a cell — no simulation ever shares state with another thread;
+//! * results land in a slot per cell and are read back in submission
+//!   order, so floating-point accumulation order never changes;
+//! * wall-clock timings are collected per cell for the progress report
+//!   but are kept out of the experiment output itself.
+//!
+//! The worker count is a process-wide knob ([`set_jobs`]) so the
+//! `figures` binary's `--jobs N` flag reaches every experiment without
+//! threading a handle through each `figXX()` signature. `--jobs 1` takes
+//! a dedicated serial path that is exactly the pre-runner `for` loop.
+//! The pool uses only `std::thread::scope` — no new dependencies.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide worker count. 0 = auto (available parallelism).
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Wall-clock timings of every cell run since the last [`drain_timings`].
+static TIMINGS: Mutex<Vec<CellTiming>> = Mutex::new(Vec::new());
+
+/// Wall-clock record of one executed grid cell.
+#[derive(Debug, Clone)]
+pub struct CellTiming {
+    /// Experiment the cell belongs to (e.g. `"fig10b"`).
+    pub experiment: String,
+    /// Cell label within the grid (e.g. `"bg=40 ACACIA"`).
+    pub cell: String,
+    /// Wall-clock seconds the cell took.
+    pub wall_s: f64,
+}
+
+/// Set the worker count used by [`pmap`]. `None` (or `Some(0)`) restores
+/// the default: one worker per available hardware thread.
+pub fn set_jobs(jobs: Option<usize>) {
+    JOBS.store(jobs.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// The effective worker count: the value set via [`set_jobs`], or the
+/// machine's available parallelism when unset.
+pub fn jobs() -> usize {
+    match JOBS.load(Ordering::SeqCst) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Run `f` over every cell of a labelled grid, in parallel across up to
+/// [`jobs`] workers, and return the results **in cell order**.
+///
+/// Each cell must be self-contained: `f` receives the cell's config by
+/// value and builds whatever simulation it needs inside the worker
+/// thread. With `jobs() == 1` the grid runs in a plain `for` loop — the
+/// exact serial path experiments used before the runner existed.
+pub fn pmap<I, T, F>(experiment: &str, cells: Vec<(String, I)>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    let workers = jobs().min(cells.len().max(1));
+    if workers <= 1 {
+        let mut out = Vec::with_capacity(cells.len());
+        for (label, cell) in cells {
+            let t0 = std::time::Instant::now();
+            let result = f(cell);
+            record(experiment, label, t0.elapsed().as_secs_f64());
+            out.push(result);
+        }
+        return out;
+    }
+
+    // Index-claiming pool: each worker grabs the next unclaimed cell,
+    // runs it, and stores the result in that cell's dedicated slot.
+    // Reading the slots back in index order makes the merge independent
+    // of completion order.
+    let n = cells.len();
+    let cells: Vec<Mutex<Option<(String, I)>>> =
+        cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let (label, cell) = cells[i]
+                    .lock()
+                    .expect("cell lock")
+                    .take()
+                    .expect("cell claimed once");
+                let t0 = std::time::Instant::now();
+                let result = f(cell);
+                record(experiment, label, t0.elapsed().as_secs_f64());
+                *slots[i].lock().expect("slot lock") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("slot lock")
+                .expect("every cell completed")
+        })
+        .collect()
+}
+
+/// Convenience for unlabelled grids: cells are labelled by index.
+pub fn pmap_indexed<I, T, F>(experiment: &str, cells: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    let cells = cells
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| (format!("#{i}"), c))
+        .collect();
+    pmap(experiment, cells, f)
+}
+
+fn record(experiment: &str, cell: String, wall_s: f64) {
+    TIMINGS.lock().expect("timings lock").push(CellTiming {
+        experiment: experiment.to_string(),
+        cell,
+        wall_s,
+    });
+}
+
+/// Drain and return every cell timing recorded since the last call.
+pub fn drain_timings() -> Vec<CellTiming> {
+    std::mem::take(&mut *TIMINGS.lock().expect("timings lock"))
+}
+
+/// Render the drained timings as a per-experiment report: cell count,
+/// total cell seconds, and the slowest cell (the lower bound on that
+/// experiment's parallel wall-clock).
+pub fn timing_report(timings: &[CellTiming]) -> crate::table::Table {
+    let mut t = crate::table::Table::new(
+        &format!("Cell timing report ({} workers)", jobs()),
+        &[
+            "experiment",
+            "cells",
+            "cell time (s)",
+            "slowest cell",
+            "(s)",
+        ],
+    );
+    let mut order: Vec<&str> = Vec::new();
+    for c in timings {
+        if !order.contains(&c.experiment.as_str()) {
+            order.push(&c.experiment);
+        }
+    }
+    let mut grand_total = 0.0;
+    for exp in order {
+        let cells: Vec<&CellTiming> = timings.iter().filter(|c| c.experiment == exp).collect();
+        let total: f64 = cells.iter().map(|c| c.wall_s).sum();
+        grand_total += total;
+        let slowest = cells
+            .iter()
+            .max_by(|a, b| a.wall_s.partial_cmp(&b.wall_s).expect("finite timing"))
+            .expect("at least one cell");
+        t.row(vec![
+            exp.to_string(),
+            cells.len().to_string(),
+            format!("{total:.2}"),
+            slowest.cell.clone(),
+            format!("{:.2}", slowest.wall_s),
+        ]);
+    }
+    t.note(&format!(
+        "total cell time {grand_total:.2}s; wall-clock is bounded below by each experiment's slowest cell"
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmap_preserves_order() {
+        set_jobs(Some(4));
+        let cells: Vec<(String, u64)> = (0..64u64).map(|i| (format!("c{i}"), i)).collect();
+        let out = pmap("test", cells, |i| i * i);
+        assert_eq!(out, (0..64u64).map(|i| i * i).collect::<Vec<_>>());
+        set_jobs(None);
+    }
+
+    #[test]
+    fn serial_path_matches_parallel() {
+        let cells =
+            |n: u64| -> Vec<(String, u64)> { (0..n).map(|i| (format!("c{i}"), i)).collect() };
+        set_jobs(Some(1));
+        let serial = pmap("test", cells(33), |i| i.wrapping_mul(0x9e37_79b9));
+        set_jobs(Some(8));
+        let parallel = pmap("test", cells(33), |i| i.wrapping_mul(0x9e37_79b9));
+        assert_eq!(serial, parallel);
+        set_jobs(None);
+    }
+
+    #[test]
+    fn timings_are_recorded_and_drained() {
+        set_jobs(Some(2));
+        let _ = pmap_indexed("timed", vec![1u8, 2, 3], |x| x);
+        // Other tests share the global buffer; only count our experiment.
+        let timings: Vec<CellTiming> = drain_timings()
+            .into_iter()
+            .filter(|c| c.experiment == "timed")
+            .collect();
+        set_jobs(None);
+        assert_eq!(timings.len(), 3);
+        let report = timing_report(&timings);
+        assert_eq!(report.len(), 1);
+    }
+}

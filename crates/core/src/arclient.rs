@@ -136,8 +136,16 @@ mod token {
     pub const ENCODED: u64 = 3;
     /// Send the periodic rxPower reports.
     pub const REPORT: u64 = 4;
-    /// Loss-recovery check for the in-flight frame.
+    /// Loss-recovery check for the in-flight frame. Carries the arming
+    /// epoch in the bits above [`BITS`]: only the most recently armed
+    /// timer is live, so re-arming (e.g. a new frame upload) implicitly
+    /// cancels every older pending check instead of letting them stack up
+    /// and race each other's stall watermark.
     pub const RETRANSMIT: u64 = 5;
+    /// Low bits reserved for the token kind; high bits carry an epoch.
+    pub const BITS: u32 = 8;
+    /// Mask selecting the token kind.
+    pub const MASK: u64 = (1 << BITS) - 1;
 }
 
 /// The AR front-end node.
@@ -151,6 +159,8 @@ pub struct ArFrontend {
     /// Upload state of the in-flight frame.
     total_chunks: u32,
     next_chunk: u32,
+    /// Per-chunk ack flags for the in-flight frame (selective repeat).
+    acked: Vec<bool>,
     /// Chunks acked by the server for the in-flight frame.
     acked_chunks: u32,
     /// Is an upload currently in flight (between ENCODED and the result)?
@@ -158,6 +168,9 @@ pub struct ArFrontend {
     /// Progress watermark used by the retransmission timer: (seq,
     /// acked_chunks) at the last check.
     retx_watermark: (u64, u32),
+    /// Epoch of the live retransmission timer; stale timers (armed before
+    /// the last `arm_retx`) are ignored when they fire.
+    retx_epoch: u64,
     /// Consecutive stalled checks while awaiting the server's result (the
     /// server may legitimately be computing for a while).
     result_stall_checks: u32,
@@ -190,9 +203,11 @@ impl ArFrontend {
             encode_s: 0.0,
             total_chunks: 0,
             next_chunk: 0,
+            acked: Vec::new(),
             acked_chunks: 0,
             uploading: false,
             retx_watermark: (u64::MAX, 0),
+            retx_epoch: 0,
             result_stall_checks: 0,
             retransmissions: 0,
             spec: ImageSpec::new(0, Resolution::E2E),
@@ -266,18 +281,29 @@ impl ArFrontend {
             self.send_chunk(ctx, c);
         }
         self.next_chunk = initial;
+        self.acked = vec![false; self.total_chunks as usize];
         self.acked_chunks = 0;
         self.uploading = true;
         self.result_stall_checks = 0;
-        // Arm loss recovery: if neither acks nor a result arrive between
-        // two timer fires, restart the frame upload from scratch.
-        self.retx_watermark = (self.seq, u32::MAX);
-        ctx.schedule_in(self.retx_timeout(), token::RETRANSMIT);
+        // Arm loss recovery with the watermark at the current (zero-ack)
+        // state, so a first window lost outright is detected at the very
+        // first timer fire.
+        self.retx_watermark = (self.seq, self.acked_chunks);
+        self.arm_retx(ctx);
     }
 
     /// Retransmission timeout: generous multiple of a worst-case RTT.
     fn retx_timeout(&self) -> Duration {
         Duration::from_millis(500)
+    }
+
+    /// (Re)arm the loss-recovery timer, invalidating any pending one.
+    fn arm_retx(&mut self, ctx: &mut Ctx<'_>) {
+        self.retx_epoch += 1;
+        ctx.schedule_in(
+            self.retx_timeout(),
+            token::RETRANSMIT | (self.retx_epoch << token::BITS),
+        );
     }
 
     fn check_retransmit(&mut self, ctx: &mut Ctx<'_>) {
@@ -289,7 +315,7 @@ impl ArFrontend {
         let upload_complete = self.acked_chunks >= self.total_chunks;
         // While the upload itself is stalled (unacked chunks), resend
         // promptly. Once everything is acked the server may legitimately
-        // be computing for a long while — only resend after several quiet
+        // be computing for a while — only resend after several quiet
         // periods (a lost FrameResult).
         let should_resend = if upload_complete {
             if stalled {
@@ -297,22 +323,38 @@ impl ArFrontend {
             } else {
                 self.result_stall_checks = 0;
             }
-            self.result_stall_checks >= 8
+            self.result_stall_checks >= 4
         } else {
             stalled
         };
         if should_resend {
             self.retransmissions += 1;
             self.result_stall_checks = 0;
-            let window_chunks = (self.cfg.window_bytes / self.cfg.chunk_bytes).max(1);
-            let resend = window_chunks.min(self.total_chunks);
-            for c in 0..resend {
-                self.send_chunk(ctx, c);
+            if upload_complete {
+                // Lost FrameResult: the server already consumed its copy
+                // of the frame, so replay the upload from scratch to make
+                // it reassemble and reprocess (acks re-clock the window).
+                self.acked.iter_mut().for_each(|a| *a = false);
+                self.acked_chunks = 0;
+                let window_chunks = (self.cfg.window_bytes / self.cfg.chunk_bytes).max(1);
+                let resend = window_chunks.min(self.total_chunks);
+                for c in 0..resend {
+                    self.send_chunk(ctx, c);
+                }
+                self.next_chunk = resend;
+            } else {
+                // Selective repeat: resend exactly the outstanding (sent
+                // but unacked) chunks — the server acks duplicates, so an
+                // ack lost on the way back heals the same way.
+                for c in 0..self.next_chunk {
+                    if !self.acked[c as usize] {
+                        self.send_chunk(ctx, c);
+                    }
+                }
             }
-            self.next_chunk = resend;
         }
         self.retx_watermark = (self.seq, self.acked_chunks);
-        ctx.schedule_in(self.retx_timeout(), token::RETRANSMIT);
+        self.arm_retx(ctx);
     }
 
     fn on_result(
@@ -374,31 +416,38 @@ impl ArFrontend {
 impl Node for ArFrontend {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, pkt: Packet) {
         match AppMsg::from_packet(&pkt) {
-            Some(AppMsg::MrsAck { ok, .. })
-                if self.phase == Phase::AwaitingMrs => {
-                    if let Some(t0) = self.mrs_requested_at {
-                        self.bearer_setup = Some(ctx.now() - t0);
+            Some(AppMsg::MrsAck { ok, .. }) if self.phase == Phase::AwaitingMrs => {
+                if let Some(t0) = self.mrs_requested_at {
+                    self.bearer_setup = Some(ctx.now() - t0);
+                }
+                if ok {
+                    self.phase = Phase::Streaming;
+                    if self.has_reports() {
+                        self.send_reports(ctx);
+                        ctx.schedule_in(self.cfg.report_period, token::REPORT);
                     }
-                    if ok {
-                        self.phase = Phase::Streaming;
-                        if self.has_reports() {
-                            self.send_reports(ctx);
-                            ctx.schedule_in(self.cfg.report_period, token::REPORT);
+                    self.capture(ctx);
+                } else {
+                    self.phase = Phase::Done;
+                }
+            }
+            Some(AppMsg::ChunkAck { seq, chunk })
+                if seq == self.seq && self.phase == Phase::Streaming =>
+            {
+                // First ack for a chunk clocks the window forward;
+                // duplicate acks (from retransmitted chunks) are ignored.
+                if let Some(slot) = self.acked.get_mut(chunk as usize) {
+                    if !*slot {
+                        *slot = true;
+                        self.acked_chunks += 1;
+                        if self.next_chunk < self.total_chunks {
+                            let c = self.next_chunk;
+                            self.next_chunk += 1;
+                            self.send_chunk(ctx, c);
                         }
-                        self.capture(ctx);
-                    } else {
-                        self.phase = Phase::Done;
                     }
                 }
-            Some(AppMsg::ChunkAck { seq, .. })
-                if seq == self.seq && self.phase == Phase::Streaming => {
-                    self.acked_chunks = self.acked_chunks.saturating_add(1);
-                    if self.next_chunk < self.total_chunks {
-                        let c = self.next_chunk;
-                        self.next_chunk += 1;
-                        self.send_chunk(ctx, c);
-                    }
-                }
+            }
             Some(AppMsg::FrameResult {
                 seq,
                 matched,
@@ -411,6 +460,31 @@ impl Node for ArFrontend {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, tok: u64) {
+        if tok & token::MASK == token::RETRANSMIT {
+            // Only the most recently armed check is live; a stale timer
+            // (superseded by a later arm_retx) dies here without firing
+            // or rescheduling.
+            if tok >> token::BITS != self.retx_epoch {
+                return;
+            }
+            if self.phase == Phase::AwaitingMrs {
+                // MRS request or ack lost: ask again (the MRS side is
+                // idempotent per service).
+                if let Some((mrs_addr, service)) = self.cfg.mrs.clone() {
+                    self.retransmissions += 1;
+                    let msg = AppMsg::MrsRequest {
+                        service,
+                        ue_addr: self.cfg.ue_ip,
+                        create: true,
+                    };
+                    self.send_app(ctx, (mrs_addr, MRS_PORT), &msg, 0);
+                    self.arm_retx(ctx);
+                }
+            } else {
+                self.check_retransmit(ctx);
+            }
+            return;
+        }
         match tok {
             token::KICKOFF => match &self.cfg.mrs {
                 Some((mrs_addr, service)) => {
@@ -423,7 +497,7 @@ impl Node for ArFrontend {
                     };
                     let dst = (*mrs_addr, MRS_PORT);
                     self.send_app(ctx, dst, &msg, 0);
-                    ctx.schedule_in(self.retx_timeout(), token::RETRANSMIT);
+                    self.arm_retx(ctx);
                 }
                 None => {
                     self.phase = Phase::Streaming;
@@ -434,36 +508,15 @@ impl Node for ArFrontend {
                     self.capture(ctx);
                 }
             },
-            token::CAPTURE
-                if self.phase == Phase::Streaming => {
-                    self.capture(ctx);
-                }
-            token::ENCODED
-                if self.phase == Phase::Streaming => {
-                    self.begin_upload(ctx);
-                }
-            token::REPORT
-                if self.phase == Phase::Streaming => {
-                    self.send_reports(ctx);
-                    ctx.schedule_in(self.cfg.report_period, token::REPORT);
-                }
-            token::RETRANSMIT => {
-                if self.phase == Phase::AwaitingMrs {
-                    // MRS request or ack lost: ask again (the MRS side is
-                    // idempotent per service).
-                    if let Some((mrs_addr, service)) = self.cfg.mrs.clone() {
-                        self.retransmissions += 1;
-                        let msg = AppMsg::MrsRequest {
-                            service,
-                            ue_addr: self.cfg.ue_ip,
-                            create: true,
-                        };
-                        self.send_app(ctx, (mrs_addr, MRS_PORT), &msg, 0);
-                        ctx.schedule_in(self.retx_timeout(), token::RETRANSMIT);
-                    }
-                } else {
-                    self.check_retransmit(ctx);
-                }
+            token::CAPTURE if self.phase == Phase::Streaming => {
+                self.capture(ctx);
+            }
+            token::ENCODED if self.phase == Phase::Streaming => {
+                self.begin_upload(ctx);
+            }
+            token::REPORT if self.phase == Phase::Streaming => {
+                self.send_reports(ctx);
+                ctx.schedule_in(self.cfg.report_period, token::REPORT);
             }
             _ => {}
         }

@@ -123,10 +123,7 @@ impl ArServer {
         let correct = self
             .records
             .iter()
-            .filter(|r| {
-                r.matched.as_deref()
-                    == self.db.get(r.truth).map(|o| o.tag.as_str())
-            })
+            .filter(|r| r.matched.as_deref() == self.db.get(r.truth).map(|o| o.tag.as_str()))
             .count();
         correct as f64 / self.records.len() as f64
     }
@@ -161,9 +158,7 @@ impl ArServer {
         };
         let outcome = self.db.match_against(&view, cands, &matcher);
 
-        let compute_s = self
-            .profile
-            .decode_time_s(meta.spec.resolution.pixels())
+        let compute_s = self.profile.decode_time_s(meta.spec.resolution.pixels())
             + self.profile.detect_time_s(meta.spec);
         let match_s = self.profile.match_time_s(&outcome.ops);
         let matched = outcome

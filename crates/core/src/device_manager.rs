@@ -156,7 +156,11 @@ impl DeviceManager {
     pub fn on_mrs_ack(&mut self, service: &str, ok: bool) {
         for slot in self.apps.iter_mut().flatten() {
             if slot.info.service == service && slot.conn == ConnState::Requested {
-                slot.conn = if ok { ConnState::Active } else { ConnState::None };
+                slot.conn = if ok {
+                    ConnState::Active
+                } else {
+                    ConnState::None
+                };
             }
         }
     }

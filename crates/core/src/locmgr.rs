@@ -9,7 +9,7 @@ use acacia_geo::floor::FloorPlan;
 use acacia_geo::pathloss::{FittedPathLoss, PathLossModel};
 use acacia_geo::point::Point;
 use acacia_geo::trilateration::{trilaterate, RangeMeasurement};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Environment metadata the manager "reads from a file" at startup
 /// (paper: landmark count/locations/names plus the regression parameters
@@ -17,7 +17,7 @@ use std::collections::HashMap;
 #[derive(Debug, Clone)]
 pub struct LocalizationMetadata {
     /// Landmark name → position.
-    pub landmarks: HashMap<String, Point>,
+    pub landmarks: BTreeMap<String, Point>,
     /// rxPower → distance regression.
     pub pathloss: FittedPathLoss,
 }
@@ -47,7 +47,7 @@ impl LocalizationMetadata {
 pub struct LocalizationManager {
     meta: LocalizationMetadata,
     /// Smoothed rxPower per landmark (EWMA over reports).
-    readings: HashMap<String, f64>,
+    readings: BTreeMap<String, f64>,
     /// EWMA factor for successive readings of the same landmark.
     alpha: f64,
     /// Estimates produced so far.
@@ -59,7 +59,7 @@ impl LocalizationManager {
     pub fn new(meta: LocalizationMetadata) -> LocalizationManager {
         LocalizationManager {
             meta,
-            readings: HashMap::new(),
+            readings: BTreeMap::new(),
             alpha: 0.5,
             estimates: 0,
         }
@@ -85,10 +85,7 @@ impl LocalizationManager {
     /// Latest (landmark, rxPower) view — the input for the `rxPower`
     /// baseline strategy.
     pub fn rx_view(&self) -> Vec<(String, f64)> {
-        self.readings
-            .iter()
-            .map(|(k, &v)| (k.clone(), v))
-            .collect()
+        self.readings.iter().map(|(k, &v)| (k.clone(), v)).collect()
     }
 
     /// Tri-laterate from the current readings. Needs ≥3 landmarks.
@@ -122,8 +119,8 @@ impl LocalizationManager {
 mod tests {
     use super::*;
     use acacia_d2d::channel::RadioChannel;
-    use acacia_d2d::modem::Modem;
     use acacia_d2d::discovery::ProximityWorld;
+    use acacia_d2d::modem::Modem;
     use acacia_d2d::service::SubscriptionFilter;
 
     fn manager(floor: &FloorPlan) -> LocalizationManager {

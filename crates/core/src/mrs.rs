@@ -198,8 +198,8 @@ mod tests {
 
     #[test]
     fn unknown_service_is_rejected_via_data_port() {
-        use acacia_simnet::sim::Simulator;
         use acacia_simnet::link::LinkConfig;
+        use acacia_simnet::sim::Simulator;
         use acacia_simnet::time::{Duration, Instant};
         use acacia_simnet::traffic::Sink;
 

@@ -209,7 +209,9 @@ impl Scenario {
                 interests: vec![], // interested in the whole store
             },
         );
-        let mut rx_readings: std::collections::HashMap<String, Vec<f64>> = Default::default();
+        // BTreeMap, not HashMap: the report order reaches the server's
+        // localization manager and must not vary run to run.
+        let mut rx_readings: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
         let mut wants_connectivity = false;
         for tick in 0..4 {
             for ev in world.scan(&mut modem, user_pos, tick) {
@@ -319,10 +321,7 @@ impl Scenario {
             server: server_addr,
             mrs: match cfg.deployment {
                 Deployment::Cloud => None,
-                _ => Some((
-                    acacia_lte::network::addr::CLOUD_BASE,
-                    SERVICE.to_string(),
-                )),
+                _ => Some((acacia_lte::network::addr::CLOUD_BASE, SERVICE.to_string())),
             },
             resolution: cfg.resolution,
             frame_count: cfg.frame_count,
@@ -380,3 +379,16 @@ impl Scenario {
         }
     }
 }
+
+// The parallel experiment runner (acacia-bench) builds one `Scenario`
+// per worker thread from a config passed across the thread boundary.
+// Only the *config* and *report* must be `Send` — a `Scenario` itself
+// holds the (deliberately single-threaded) simulation and never leaves
+// the thread that built it. These assertions keep that contract from
+// regressing silently.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Deployment>();
+    assert_send::<ScenarioConfig>();
+    assert_send::<SessionReport>();
+};

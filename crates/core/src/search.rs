@@ -117,7 +117,10 @@ mod tests {
     fn naive_returns_everything() {
         let (floor, db) = setup();
         let ctx = SearchContext::default();
-        assert_eq!(candidates(SearchStrategy::Naive, &db, &floor, &ctx).len(), 105);
+        assert_eq!(
+            candidates(SearchStrategy::Naive, &db, &floor, &ctx).len(),
+            105
+        );
     }
 
     #[test]
@@ -182,7 +185,10 @@ mod tests {
     fn missing_context_falls_back_to_full_db() {
         let (floor, db) = setup();
         let ctx = SearchContext::default();
-        assert_eq!(candidates(SearchStrategy::RxPower, &db, &floor, &ctx).len(), 105);
+        assert_eq!(
+            candidates(SearchStrategy::RxPower, &db, &floor, &ctx).len(),
+            105
+        );
         assert_eq!(
             candidates(SearchStrategy::ACACIA_DEFAULT, &db, &floor, &ctx).len(),
             105

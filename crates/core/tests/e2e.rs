@@ -58,10 +58,7 @@ fn headline_ordering_acacia_beats_mec_beats_cloud() {
     // Network: ACACIA/MEC share the edge path; CLOUD is much slower.
     let na = acacia.mean_network_s();
     let nc = cloud.mean_network_s();
-    assert!(
-        nc / na > 2.0,
-        "network cloud {nc:.3}s vs acacia {na:.3}s"
-    );
+    assert!(nc / na > 2.0, "network cloud {nc:.3}s vs acacia {na:.3}s");
 
     // Match: ACACIA prunes, MEC/CLOUD do not (at smoke scale the DB has 21
     // objects; pruning still cuts it several-fold).
@@ -89,12 +86,21 @@ fn lossy_radio_still_completes_session() {
         ..ScenarioConfig::smoke(Deployment::Acacia)
     })
     .run();
-    assert_eq!(report.frames.len(), 3, "all frames must complete despite loss");
+    assert_eq!(
+        report.frames.len(),
+        3,
+        "all frames must complete despite loss"
+    );
     assert!(report.accuracy > 0.65, "accuracy {}", report.accuracy);
     // Latency may be worse than the clean run, but must stay bounded (the
     // retransmission timeout is 500 ms).
     for f in &report.frames {
-        assert!(f.total_s() < 5.0, "frame {} took {:.2}s", f.seq, f.total_s());
+        assert!(
+            f.total_s() < 5.0,
+            "frame {} took {:.2}s",
+            f.seq,
+            f.total_s()
+        );
     }
 }
 
@@ -116,7 +122,12 @@ fn alternative_proximity_technologies_complete_sessions() {
             "{}: discovery must still trigger the bearer",
             tech.name()
         );
-        assert!(report.accuracy > 0.65, "{} accuracy {}", tech.name(), report.accuracy);
+        assert!(
+            report.accuracy > 0.65,
+            "{} accuracy {}",
+            tech.name(),
+            report.accuracy
+        );
     }
 }
 

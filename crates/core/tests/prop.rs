@@ -29,7 +29,13 @@ fn arb_msg() -> impl Strategy<Value = AppMsg> {
             }
         ),
         (any::<u64>(), any::<u32>()).prop_map(|(seq, chunk)| AppMsg::ChunkAck { seq, chunk }),
-        (any::<u64>(), prop::option::of("[a-z#0-9-]{1,24}"), 0.0f64..10.0, 0.0f64..10.0, 0usize..200)
+        (
+            any::<u64>(),
+            prop::option::of("[a-z#0-9-]{1,24}"),
+            0.0f64..10.0,
+            0.0f64..10.0,
+            0usize..200
+        )
             .prop_map(|(seq, matched, c, m, n)| AppMsg::FrameResult {
                 seq,
                 matched,

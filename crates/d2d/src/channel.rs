@@ -8,8 +8,8 @@
 //! ACACIA consequently localizes on rxPower. The channel model reproduces
 //! both behaviours.
 
-use acacia_geo::point::Point;
 use acacia_geo::pathloss::PathLossModel;
+use acacia_geo::point::Point;
 
 /// Receiver sensitivity: messages below this power are not decoded.
 pub const SENSITIVITY_DBM: f64 = -112.0;
@@ -70,7 +70,9 @@ impl RadioChannel {
 
     /// An ideal channel: no shadowing, no fading (useful in tests).
     pub fn ideal(pathloss: PathLossModel) -> RadioChannel {
-        RadioChannel::new(pathloss, 0).with_shadowing(0.0).with_fading(0.0)
+        RadioChannel::new(pathloss, 0)
+            .with_shadowing(0.0)
+            .with_fading(0.0)
     }
 
     /// Sample the channel from a publisher at `tx_pos` (identified by
@@ -93,8 +95,8 @@ impl RadioChannel {
         let cell = (quantize(rx_pos.x), quantize(rx_pos.y));
         let shadow = self.shadowing_sigma_db
             * gaussian(hash4(self.seed, publisher_id, cell.0 as u64, cell.1 as u64));
-        let fade = self.fading_sigma_db
-            * gaussian(hash4(self.seed ^ 0x9e37_79b9, publisher_id, tick, 0));
+        let fade =
+            self.fading_sigma_db * gaussian(hash4(self.seed ^ 0x9e37_79b9, publisher_id, tick, 0));
         let rx = mean + shadow + fade;
         if rx < SENSITIVITY_DBM {
             return None;
@@ -202,7 +204,10 @@ mod tests {
         let r1 = at(0.5);
         let r2 = at(1.5);
         assert_eq!(r1.snr_db, SNR_SPAN_DB);
-        assert_eq!(r2.snr_db, SNR_SPAN_DB, "SNR indistinguishable near the landmark");
+        assert_eq!(
+            r2.snr_db, SNR_SPAN_DB,
+            "SNR indistinguishable near the landmark"
+        );
         assert!(
             r1.rx_power_dbm > r2.rx_power_dbm + 5.0,
             "rxPower still discriminates"

@@ -102,7 +102,7 @@ impl ProximityWorld {
     fn scheduled(&self, i: usize, tick: u64) -> bool {
         match self.capacity_per_occasion {
             None => true,
-            Some(cap) if cap == 0 => false,
+            Some(0) => false,
             Some(cap) => {
                 let n = self.publishers.len();
                 if n <= cap {
@@ -165,7 +165,10 @@ mod tests {
         let mut by_pub: std::collections::HashMap<String, Vec<f64>> = Default::default();
         for t in 0..20 {
             for ev in w.scan(&mut modem, Point::new(14.0, 2.5), t) {
-                by_pub.entry(ev.publisher).or_default().push(ev.rx_power_dbm);
+                by_pub
+                    .entry(ev.publisher)
+                    .or_default()
+                    .push(ev.rx_power_dbm);
             }
         }
         let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
@@ -173,7 +176,11 @@ mod tests {
         let l4 = mean(&by_pub["L4"]);
         for (name, vals) in &by_pub {
             if name != "L4" {
-                assert!(l4 > mean(vals), "L4 ({l4:.1} dBm) vs {name} ({:.1})", mean(vals));
+                assert!(
+                    l4 > mean(vals),
+                    "L4 ({l4:.1} dBm) vs {name} ({:.1})",
+                    mean(vals)
+                );
             }
         }
     }

@@ -35,9 +35,7 @@ pub mod trilateration;
 pub use floor::{Checkpoint, FloorPlan, Landmark, Subsection, WalkPath};
 pub use pathloss::{FitError, FittedPathLoss, PathLossModel};
 pub use point::{Point, Rect};
-pub use trilateration::{
-    trilaterate, RangeMeasurement, TrilaterationError, TrilaterationSolution,
-};
+pub use trilateration::{trilaterate, RangeMeasurement, TrilaterationError, TrilaterationSolution};
 
 /// Convenient glob-import surface.
 pub mod prelude {

@@ -92,11 +92,7 @@ impl FittedPathLoss {
         if sxx < 1e-12 {
             return Err(FitError::DegenerateDistances);
         }
-        let sxy: f64 = xs
-            .iter()
-            .zip(&ys)
-            .map(|(x, y)| (x - mx) * (y - my))
-            .sum();
+        let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
         let beta = sxy / sxx;
         let alpha = my - beta * mx;
         Ok(FittedPathLoss { alpha, beta })

@@ -328,7 +328,10 @@ mod tests {
         ];
         let sol = trilaterate(&ranges_from(truth, &landmarks)).unwrap();
         let mirror = Point::new(truth.x, -truth.y);
-        let err = sol.position.distance(truth).min(sol.position.distance(mirror));
+        let err = sol
+            .position
+            .distance(truth)
+            .min(sol.position.distance(mirror));
         assert!(err < 1e-3, "position {:?}", sol.position);
     }
 

@@ -211,7 +211,11 @@ impl Enb {
             self.no_bearer += 1;
             return;
         };
-        let (imsi, ebi, prio) = (bearer.imsi, bearer.ebi, radio::sched_priority(bearer.qci.tos()));
+        let (imsi, ebi, prio) = (
+            bearer.imsi,
+            bearer.ebi,
+            radio::sched_priority(bearer.qci.tos()),
+        );
         self.touch_activity(ctx, imsi);
         let Some(ue) = self.ue_by_imsi(imsi) else {
             return;

@@ -255,11 +255,10 @@ impl Mme {
                 self.ctx_mut(imsi).state = MmeUeState::Idle;
             }
             // Downlink data pending for an idle UE: page it.
-            DownlinkDataNotification { imsi }
-                if self.ctx_mut(imsi).state == MmeUeState::Idle => {
-                    let enb = self.enb_addr;
-                    self.send(ctx, mme_port::ENB, enb, Paging { imsi });
-                }
+            DownlinkDataNotification { imsi } if self.ctx_mut(imsi).state == MmeUeState::Idle => {
+                let enb = self.enb_addr;
+                self.send(ctx, mme_port::ENB, enb, Paging { imsi });
+            }
             _ => {}
         }
     }
@@ -361,7 +360,12 @@ impl Node for Pcrf {
                 self.pending.insert(rule.service_id, pkt.src);
                 self.rules_pushed += 1;
                 let gwc = self.gwc_addr;
-                self.send(ctx, pcrf_port::GWC, gwc, ControlMsg::GxReauthRequest { rule });
+                self.send(
+                    ctx,
+                    pcrf_port::GWC,
+                    gwc,
+                    ControlMsg::GxReauthRequest { rule },
+                );
             }
             Some(ControlMsg::GxReauthAnswer { service_id, ok }) => {
                 if let Some(af) = self.pending.remove(&service_id) {
@@ -681,10 +685,7 @@ impl GwControl {
             }
             // SGW-U saw downlink data for a released session → page.
             DownlinkDataByTeid { teid } => {
-                let Some((&imsi, _)) = self
-                    .sessions
-                    .iter()
-                    .find(|(_, s)| s.teid_sgw_dl == teid)
+                let Some((&imsi, _)) = self.sessions.iter().find(|(_, s)| s.teid_sgw_dl == teid)
                 else {
                     return;
                 };
@@ -730,8 +731,9 @@ impl GwControl {
                     }
                     // Network-initiated dedicated bearer with the *local*
                     // GW-U as the F-TEID target (paper step 3).
-                    let ebi = Ebi(6 + (self.sessions[&imsi].dedicated.len() as u8
-                        + self.sessions[&imsi].pending_dedicated.len() as u8));
+                    let ebi = Ebi(6
+                        + (self.sessions[&imsi].dedicated.len() as u8
+                            + self.sessions[&imsi].pending_dedicated.len() as u8));
                     let teid_local_ul = self.alloc.teid();
                     let tft = Tft::single(if rule.server_port == 0 {
                         PacketFilter::to_host(rule.server_addr)
@@ -803,7 +805,9 @@ impl GwControl {
                     return;
                 };
                 let ue_addr = session.ue_addr;
-                session.dedicated.insert(ebi.0, (teid_local_ul, rule.clone()));
+                session
+                    .dedicated
+                    .insert(ebi.0, (teid_local_ul, rule.clone()));
                 self.dedicated_active += 1;
                 let topo = self.topo.clone();
                 // Local GW-U UL: tunnel from the eNB → decap to MEC.

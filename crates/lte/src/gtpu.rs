@@ -122,9 +122,7 @@ pub fn peek_teid(pkt: &Packet) -> Option<Teid> {
     if !is_gtpu(pkt) || pkt.payload.len() < 8 || pkt.payload[1] != 255 {
         return None;
     }
-    Some(Teid(u32::from_be_bytes(
-        pkt.payload[4..8].try_into().ok()?,
-    )))
+    Some(Teid(u32::from_be_bytes(pkt.payload[4..8].try_into().ok()?)))
 }
 
 #[cfg(test)]

@@ -63,7 +63,11 @@ impl Allocator {
     /// Allocate an EBI (wraps at 15, the 4-bit ceiling, back to 5).
     pub fn ebi(&mut self) -> Ebi {
         let e = Ebi(self.next_ebi);
-        self.next_ebi = if self.next_ebi >= 15 { 5 } else { self.next_ebi + 1 };
+        self.next_ebi = if self.next_ebi >= 15 {
+            5
+        } else {
+            self.next_ebi + 1
+        };
         e
     }
 }

@@ -117,7 +117,12 @@ impl MsgLog {
         ] {
             let n = self.count(p);
             if n > 0 {
-                out.push_str(&format!("{:>9}: {:>3} msgs {:>6} B\n", p.name(), n, self.bytes(p)));
+                out.push_str(&format!(
+                    "{:>9}: {:>3} msgs {:>6} B\n",
+                    p.name(),
+                    n,
+                    self.bytes(p)
+                ));
             }
         }
         out.push_str(&format!(

@@ -10,8 +10,10 @@
 //!                                  HSS           PCRF ──Rx── (MRS, in acacia core)
 //! ```
 
-use crate::entities::{gwc_port, mme_port, pcrf_port, GwControl, GwTopology, Hss, Mme, MmeUeState, Pcrf};
 use crate::enb::{token as enb_token, Enb};
+use crate::entities::{
+    gwc_port, mme_port, pcrf_port, GwControl, GwTopology, Hss, Mme, MmeUeState, Pcrf,
+};
 use crate::ids::Imsi;
 use crate::log::MsgLog;
 use crate::radio::{params, port};
@@ -229,9 +231,14 @@ impl LteNetwork {
         // Data Notifications (its paging role).
         sgw_u_node.paging_enabled = true;
         let sgw_u = sim.add_node(Box::new(sgw_u_node));
-        let pgw_u = sim.add_node(Box::new(FlowSwitch::new(addr::PGW_U, cfg.core_switch_costs)));
-        let local_gwu =
-            sim.add_node(Box::new(FlowSwitch::new(addr::LOCAL_GWU, cfg.local_switch_costs)));
+        let pgw_u = sim.add_node(Box::new(FlowSwitch::new(
+            addr::PGW_U,
+            cfg.core_switch_costs,
+        )));
+        let local_gwu = sim.add_node(Box::new(FlowSwitch::new(
+            addr::LOCAL_GWU,
+            cfg.local_switch_costs,
+        )));
 
         let mec_router = sim.add_node(Box::new(acacia_simnet::router::Router::new(
             acacia_simnet::router::RouteTable::new(),
@@ -269,7 +276,8 @@ impl LteNetwork {
             .with_queue(cfg.core_queue_bytes);
         let inet = LinkConfig::rate_limited(cfg.core_rate_bps, cfg.inet_delay)
             .with_queue(cfg.core_queue_bytes);
-        let mec = LinkConfig::rate_limited(1_000_000_000, cfg.mec_delay).with_queue(4 * 1024 * 1024);
+        let mec =
+            LinkConfig::rate_limited(1_000_000_000, cfg.mec_delay).with_queue(4 * 1024 * 1024);
         sim.connect((enb, port::ENB_S1_CORE), (sgw_u, 1), backhaul);
         sim.connect((sgw_u, 2), (pgw_u, 1), core);
         sim.connect((pgw_u, 2), (inet_router, 0), inet);
@@ -317,9 +325,7 @@ impl LteNetwork {
         self.next_ue_app_port[ue_idx] += 1;
         self.sim
             .connect((app_id, 0), (ue, ue_port), crate::ue::loopback());
-        self.sim
-            .node_mut::<Ue>(ue)
-            .register_app(selector, ue_port);
+        self.sim.node_mut::<Ue>(ue).register_app(selector, ue_port);
         app_id
     }
 
@@ -356,15 +362,22 @@ impl LteNetwork {
 
     /// Add a cloud server behind the Internet router over `wan` link
     /// characteristics; returns `(node, address)`.
-    pub fn add_cloud_server(&mut self, server: Box<dyn Node>, wan: LinkConfig) -> (NodeId, Ipv4Addr) {
+    pub fn add_cloud_server(
+        &mut self,
+        server: Box<dyn Node>,
+        wan: LinkConfig,
+    ) -> (NodeId, Ipv4Addr) {
         let id = self.sim.add_node(server);
         let server_addr = Ipv4Addr::from(u32::from(addr::CLOUD_BASE) + self.cloud_servers as u32);
         self.cloud_servers += 1;
         let router_port = self.cloud_servers;
-        self.sim.connect((self.inet_router, router_port), (id, 0), wan);
+        self.sim
+            .connect((self.inet_router, router_port), (id, 0), wan);
         {
             let inet_router = self.inet_router;
-            let r = self.sim.node_mut::<acacia_simnet::router::Router>(inet_router);
+            let r = self
+                .sim
+                .node_mut::<acacia_simnet::router::Router>(inet_router);
             let mut t = acacia_simnet::router::RouteTable::new();
             t.add(acacia_simnet::router::Ipv4Net::default_route(), 0);
             for i in 0..self.cloud_servers {
@@ -392,13 +405,18 @@ impl LteNetwork {
         let imsi = self.imsi(ue_idx);
         let deadline = start + Duration::from_secs(5);
         while self.sim.now() < deadline {
-            self.sim.run_until(self.sim.now() + Duration::from_millis(10));
+            self.sim
+                .run_until(self.sim.now() + Duration::from_millis(10));
             let attached = self.sim.node_ref::<Mme>(self.mme).ue_state(imsi)
                 == MmeUeState::Attached
                 && self.sim.node_ref::<Ue>(self.ues[ue_idx]).state == UeState::Connected
                 && self.sim.node_ref::<Ue>(self.ues[ue_idx]).ip.is_some();
             if attached {
-                return self.sim.node_ref::<Ue>(self.ues[ue_idx]).ip.expect("checked");
+                return self
+                    .sim
+                    .node_ref::<Ue>(self.ues[ue_idx])
+                    .ip
+                    .expect("checked");
             }
         }
         panic!("UE {ue_idx} failed to attach within 5s of simulated time");
@@ -418,9 +436,13 @@ impl LteNetwork {
         self.sim.inject_packet(self.pcrf, pcrf_port::AF, now, pkt);
         let deadline = now + Duration::from_secs(5);
         while self.sim.now() < deadline {
-            self.sim.run_until(self.sim.now() + Duration::from_millis(10));
+            self.sim
+                .run_until(self.sim.now() + Duration::from_millis(10));
             let active = self.sim.node_ref::<GwControl>(self.gwc).dedicated_active > before
-                && self.sim.node_ref::<Ue>(self.ues[ue_idx]).has_dedicated_bearer();
+                && self
+                    .sim
+                    .node_ref::<Ue>(self.ues[ue_idx])
+                    .has_dedicated_bearer();
             if active {
                 return;
             }
@@ -432,15 +454,13 @@ impl LteNetwork {
     /// 11.576 s inactivity event) and wait for the release to finish.
     pub fn trigger_idle_release(&mut self, ue_idx: usize) {
         let now = self.sim.now();
-        self.sim.schedule_timer(
-            self.enb,
-            now,
-            enb_token::IDLE_BASE + ue_idx as u64,
-        );
+        self.sim
+            .schedule_timer(self.enb, now, enb_token::IDLE_BASE + ue_idx as u64);
         let imsi = self.imsi(ue_idx);
         let deadline = now + Duration::from_secs(5);
         while self.sim.now() < deadline {
-            self.sim.run_until(self.sim.now() + Duration::from_millis(10));
+            self.sim
+                .run_until(self.sim.now() + Duration::from_millis(10));
             if self.sim.node_ref::<Mme>(self.mme).ue_state(imsi) == MmeUeState::Idle {
                 return;
             }
@@ -456,7 +476,8 @@ impl LteNetwork {
         let imsi = self.imsi(ue_idx);
         let deadline = now + Duration::from_secs(5);
         while self.sim.now() < deadline {
-            self.sim.run_until(self.sim.now() + Duration::from_millis(10));
+            self.sim
+                .run_until(self.sim.now() + Duration::from_millis(10));
             let done = self.sim.node_ref::<Mme>(self.mme).ue_state(imsi) == MmeUeState::Attached
                 && self.sim.node_ref::<Ue>(self.ues[ue_idx]).state == UeState::Connected;
             if done {
@@ -476,16 +497,13 @@ impl LteNetwork {
         stop: Instant,
     ) -> NodeId {
         use acacia_simnet::traffic::{Sink, UdpSource};
-        let (sink, sink_addr) =
-            self.add_cloud_server(Box::new(Sink::new()), LinkConfig::delay_only(Duration::from_micros(200)));
+        let (sink, sink_addr) = self.add_cloud_server(
+            Box::new(Sink::new()),
+            LinkConfig::delay_only(Duration::from_micros(200)),
+        );
         let src = self.sim.add_node(Box::new(
-            UdpSource::cbr(
-                (addr::BG_SOURCE, 7000),
-                (sink_addr, 7001),
-                rate_bps,
-                1_400,
-            )
-            .window(start, stop),
+            UdpSource::cbr((addr::BG_SOURCE, 7000), (sink_addr, 7001), rate_bps, 1_400)
+                .window(start, stop),
         ));
         // Background traffic enters the SGW-U on a dedicated port and is
         // switched toward the PGW-U / Internet with plain output rules.

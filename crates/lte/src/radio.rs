@@ -155,13 +155,7 @@ impl RadioScheduler {
     /// Offer a frame with scheduling `priority`; arms `token` on `ctx` at
     /// the instant the frame finishes serialization. Returns `false` when
     /// the frame was dropped at the queue.
-    pub fn offer(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        priority: u8,
-        frame: Packet,
-        token: u64,
-    ) -> bool {
+    pub fn offer(&mut self, ctx: &mut Ctx<'_>, priority: u8, frame: Packet, token: u64) -> bool {
         let wire = frame.wire_size() as u64;
         if self.queued_bytes + wire > self.queue_limit {
             self.drops += 1;

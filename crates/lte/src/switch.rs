@@ -392,16 +392,8 @@ mod tests {
         let sw = sim.add_node(Box::new(sw));
         let sink2 = sim.add_node(Box::new(Sink::new()));
         let sink3 = sim.add_node(Box::new(Sink::new()));
-        sim.connect(
-            (sw, 2),
-            (sink2, 0),
-            LinkConfig::delay_only(Duration::ZERO),
-        );
-        sim.connect(
-            (sw, 3),
-            (sink3, 0),
-            LinkConfig::delay_only(Duration::ZERO),
-        );
+        sim.connect((sw, 2), (sink2, 0), LinkConfig::delay_only(Duration::ZERO));
+        sim.connect((sw, 3), (sink3, 0), LinkConfig::delay_only(Duration::ZERO));
         (sim, sw, sink2, sink3)
     }
 

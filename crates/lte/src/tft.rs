@@ -82,7 +82,11 @@ impl PacketFilter {
             Direction::Bidirectional => (pkt.dst, pkt.dst_port),
         };
         if let Some((net, plen)) = self.remote_addr {
-            let mask = if plen == 0 { 0 } else { u32::MAX << (32 - plen as u32) };
+            let mask = if plen == 0 {
+                0
+            } else {
+                u32::MAX << (32 - plen as u32)
+            };
             if (u32::from(remote_ip) & mask) != (u32::from(net) & mask) {
                 return false;
             }
@@ -209,7 +213,10 @@ mod tests {
             ..PacketFilter::to_host(ip(0))
         };
         assert!(f.matches(&pkt(ip(77), 80, proto::UDP), Direction::Uplink));
-        assert!(!f.matches(&pkt(Ipv4Addr::new(10, 5, 0, 1), 80, proto::UDP), Direction::Uplink));
+        assert!(!f.matches(
+            &pkt(Ipv4Addr::new(10, 5, 0, 1), 80, proto::UDP),
+            Direction::Uplink
+        ));
     }
 
     #[test]

@@ -306,15 +306,13 @@ impl Node for Ue {
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, tok: u64) {
         match tok {
-            token::ATTACH
-                if self.state == UeState::Detached => {
-                    self.state = UeState::Attaching;
-                    self.send_rrc(ctx, ControlMsg::RrcAttachRequest { imsi: self.imsi });
-                }
-            token::SERVICE_REQUEST
-                if self.state == UeState::Idle => {
-                    self.send_rrc(ctx, ControlMsg::RrcServiceRequest { imsi: self.imsi });
-                }
+            token::ATTACH if self.state == UeState::Detached => {
+                self.state = UeState::Attaching;
+                self.send_rrc(ctx, ControlMsg::RrcAttachRequest { imsi: self.imsi });
+            }
+            token::SERVICE_REQUEST if self.state == UeState::Idle => {
+                self.send_rrc(ctx, ControlMsg::RrcServiceRequest { imsi: self.imsi });
+            }
             token::UL_RELEASE => {
                 if let Some(frame) = self.ul.pop() {
                     ctx.send(port::UE_RADIO, frame);
@@ -366,7 +364,11 @@ mod tests {
             tft: Tft::single(PacketFilter::to_host(mec_ip())),
         });
         let to_mec = Packet::udp((Ipv4Addr::UNSPECIFIED, 1), (mec_ip(), 9000), 10);
-        let to_web = Packet::udp((Ipv4Addr::UNSPECIFIED, 1), (Ipv4Addr::new(8, 8, 8, 8), 80), 10);
+        let to_web = Packet::udp(
+            (Ipv4Addr::UNSPECIFIED, 1),
+            (Ipv4Addr::new(8, 8, 8, 8), 80),
+            10,
+        );
         assert_eq!(u.classify_uplink(&to_mec).unwrap().ebi, Ebi(6));
         assert_eq!(u.classify_uplink(&to_web).unwrap().ebi, Ebi::DEFAULT);
     }

@@ -529,10 +529,10 @@ impl ControlMsg {
         match self {
             // S1AP/SCTP — the §4 sequence uses the six marked (*) messages:
             InitialUeAttach { .. } => 140,
-            InitialUeServiceRequest { .. } => 120,  // (*)
-            InitialContextSetupRequest { .. } => 280, // (*)
+            InitialUeServiceRequest { .. } => 120,     // (*)
+            InitialContextSetupRequest { .. } => 280,  // (*)
             InitialContextSetupResponse { .. } => 120, // (*)
-            DownlinkNasAccept { .. } => 110,        // (*)
+            DownlinkNasAccept { .. } => 110,           // (*)
             ErabSetupRequest { .. } => 300,
             ErabSetupResponse { .. } => 130,
             ErabReleaseCommand { .. } => 120,
@@ -550,8 +550,8 @@ impl ControlMsg {
             DeleteBearerResponse { .. } => 90,
             ReleaseAccessBearersRequest { .. } => 70, // (*)
             ReleaseAccessBearersResponse { .. } => 70, // (*)
-            ModifyBearerRequest { .. } => 120,      // (*)
-            ModifyBearerResponse { .. } => 92,      // (*)
+            ModifyBearerRequest { .. } => 120,        // (*)
+            ModifyBearerResponse { .. } => 92,        // (*)
             DownlinkDataByTeid { .. } => 66,
             DownlinkDataNotification { .. } => 70,
             // Diameter.
@@ -637,7 +637,9 @@ mod tests {
             qci: Qci(7),
             gw_teid: Teid(0x2001),
             gw_addr: Ipv4Addr::new(10, 2, 1, 1),
-            tft: Tft::single(crate::tft::PacketFilter::to_host(Ipv4Addr::new(10, 4, 0, 1))),
+            tft: Tft::single(crate::tft::PacketFilter::to_host(Ipv4Addr::new(
+                10, 4, 0, 1,
+            ))),
         };
         vec![
             InitialUeAttach { imsi: imsi() },

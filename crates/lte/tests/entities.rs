@@ -1,7 +1,9 @@
 //! Focused tests of the EPC control-plane entities, driven by injecting
 //! individual control messages (no full network needed).
 
-use acacia_lte::entities::{gwc_port, mme_port, pcrf_port, GwControl, GwTopology, Hss, Mme, MmeUeState, Pcrf};
+use acacia_lte::entities::{
+    gwc_port, mme_port, pcrf_port, GwControl, GwTopology, Hss, Mme, MmeUeState, Pcrf,
+};
 use acacia_lte::ids::Imsi;
 use acacia_lte::log::MsgLog;
 use acacia_lte::network::addr;
@@ -32,7 +34,13 @@ fn hss_rejects_unknown_subscribers() {
     let hss = sim.add_node(Box::new(Hss::new(addr::HSS, vec![imsi()], MsgLog::new())));
     let sink = sim.add_node(Box::new(Sink::new()));
     sim.connect((hss, 0), (sink, 0), ctrl_link());
-    inject(&mut sim, hss, 0, 0, ControlMsg::S6aAuthInfoRequest { imsi: imsi() });
+    inject(
+        &mut sim,
+        hss,
+        0,
+        0,
+        ControlMsg::S6aAuthInfoRequest { imsi: imsi() },
+    );
     inject(
         &mut sim,
         hss,
@@ -66,7 +74,13 @@ fn mme_walks_the_attach_state_machine() {
     let m = |sim: &Simulator| sim.node_ref::<Mme>(mme).ue_state(imsi());
 
     assert_eq!(m(&sim), MmeUeState::Unknown);
-    inject(&mut sim, mme, mme_port::ENB, 0, ControlMsg::InitialUeAttach { imsi: imsi() });
+    inject(
+        &mut sim,
+        mme,
+        mme_port::ENB,
+        0,
+        ControlMsg::InitialUeAttach { imsi: imsi() },
+    );
     sim.run_until_idle();
     assert_eq!(m(&sim), MmeUeState::AuthWait);
 
@@ -84,7 +98,13 @@ fn mme_walks_the_attach_state_machine() {
     assert_eq!(m(&sim), MmeUeState::SessionWait);
 
     // Auth failure path on a different subscriber resets to Unknown.
-    inject(&mut sim, mme, mme_port::ENB, 2_000, ControlMsg::InitialUeAttach { imsi: Imsi(2) });
+    inject(
+        &mut sim,
+        mme,
+        mme_port::ENB,
+        2_000,
+        ControlMsg::InitialUeAttach { imsi: Imsi(2) },
+    );
     inject(
         &mut sim,
         mme,
@@ -119,7 +139,13 @@ fn pcrf_relays_rx_to_gx_and_back() {
         qci: Qci(7),
         install: true,
     };
-    inject(&mut sim, pcrf, pcrf_port::AF, 0, ControlMsg::RxAuthRequest { rule });
+    inject(
+        &mut sim,
+        pcrf,
+        pcrf_port::AF,
+        0,
+        ControlMsg::RxAuthRequest { rule },
+    );
     sim.run_until_idle();
     assert_eq!(sim.node_ref::<Sink>(gx_sink).packets(), 1, "Gx RAR out");
     assert_eq!(sim.node_ref::<Pcrf>(pcrf).rules_pushed, 1);
@@ -149,7 +175,11 @@ fn pcrf_relays_rx_to_gx_and_back() {
         },
     );
     sim.run_until_idle();
-    assert_eq!(sim.node_ref::<Sink>(af_sink).packets(), 1, "no spurious AAA");
+    assert_eq!(
+        sim.node_ref::<Sink>(af_sink).packets(),
+        1,
+        "no spurious AAA"
+    );
 }
 
 fn topo() -> GwTopology {
@@ -180,7 +210,13 @@ fn gwc_creates_sessions_and_programs_the_pgw() {
         })
         .collect();
 
-    inject(&mut sim, gwc, gwc_port::MME, 0, ControlMsg::CreateSessionRequest { imsi: imsi() });
+    inject(
+        &mut sim,
+        gwc,
+        gwc_port::MME,
+        0,
+        ControlMsg::CreateSessionRequest { imsi: imsi() },
+    );
     sim.run_until_idle();
     // Response to the MME plus two PGW-U flow-mods.
     assert_eq!(sim.node_ref::<Sink>(sinks[gwc_port::MME]).packets(), 1);
@@ -234,10 +270,20 @@ fn gwc_rejects_rules_for_unknown_ues_and_non_mec_servers() {
     );
     sim.run_until_idle();
     assert_eq!(sim.node_ref::<Sink>(pcrf_sink).packets(), 1);
-    assert_eq!(sim.node_ref::<Sink>(mme_sink).packets(), 0, "no bearer attempt");
+    assert_eq!(
+        sim.node_ref::<Sink>(mme_sink).packets(),
+        0,
+        "no bearer attempt"
+    );
 
     // Known UE but a server that is not on the MEC: also a NACK.
-    inject(&mut sim, gwc, gwc_port::MME, 1_000, ControlMsg::CreateSessionRequest { imsi: imsi() });
+    inject(
+        &mut sim,
+        gwc,
+        gwc_port::MME,
+        1_000,
+        ControlMsg::CreateSessionRequest { imsi: imsi() },
+    );
     sim.run_until_idle();
     let ue_addr = sim.node_ref::<GwControl>(gwc).ue_addr(imsi()).unwrap();
     inject(
@@ -258,5 +304,9 @@ fn gwc_rejects_rules_for_unknown_ues_and_non_mec_servers() {
     );
     sim.run_until_idle();
     assert_eq!(sim.node_ref::<Sink>(pcrf_sink).packets(), 2);
-    assert_eq!(sim.node_ref::<Sink>(mme_sink).packets(), 1, "only the session response");
+    assert_eq!(
+        sim.node_ref::<Sink>(mme_sink).packets(),
+        1,
+        "only the session response"
+    );
 }

@@ -48,7 +48,11 @@ fn automatic_idle_release_and_data_driven_promotion() {
     // The buffered ping was flushed after each promotion: all pings that
     // got replies (the first of each burst rides the promotion).
     let rtts = net.sim.node_ref::<PingAgent>(agent).rtts();
-    assert!(rtts.len() >= 3, "only {} pings survived the cycles", rtts.len());
+    assert!(
+        rtts.len() >= 3,
+        "only {} pings survived the cycles",
+        rtts.len()
+    );
 
     // Each release+re-establish cycle costs the §4 batch.
     let cycles = ue.promotions;
@@ -73,7 +77,12 @@ fn steady_traffic_never_goes_idle() {
     // Pings every 200 ms — well inside the timeout.
     let agent = net.connect_ue_app(
         0,
-        Box::new(PingAgent::new(ue_ip, cloud_addr, Duration::from_millis(200), 40)),
+        Box::new(PingAgent::new(
+            ue_ip,
+            cloud_addr,
+            Duration::from_millis(200),
+            40,
+        )),
         AppSelector::protocol(proto::ICMP),
     );
     let t0 = net.sim.now();
@@ -81,7 +90,10 @@ fn steady_traffic_never_goes_idle() {
     net.run_for(Duration::from_secs(10));
 
     let ue = net.sim.node_ref::<Ue>(net.ues[0]);
-    assert_eq!(ue.promotions, 0, "steady traffic must keep the UE connected");
+    assert_eq!(
+        ue.promotions, 0,
+        "steady traffic must keep the UE connected"
+    );
     assert_eq!(
         net.sim.node_ref::<PingAgent>(agent).rtts().len(),
         40,

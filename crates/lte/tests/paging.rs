@@ -19,8 +19,13 @@ fn setup() -> (LteNetwork, NodeId, NodeId) {
     // Cloud host that will push traffic *down* to the UE.
     let (pusher, _) = net.add_cloud_server(
         Box::new(
-            UdpSource::cbr((acacia_lte::network::addr::CLOUD_BASE, 7_000), (ue_ip, 7_777), 400_000, 600)
-                .window(Instant::from_secs(2), Instant::from_secs(4)),
+            UdpSource::cbr(
+                (acacia_lte::network::addr::CLOUD_BASE, 7_000),
+                (ue_ip, 7_777),
+                400_000,
+                600,
+            )
+            .window(Instant::from_secs(2), Instant::from_secs(4)),
         ),
         LinkConfig::delay_only(Duration::from_millis(1)),
     );

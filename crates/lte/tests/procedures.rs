@@ -29,7 +29,10 @@ fn attach_assigns_ip_and_configures_default_bearer() {
     // Core switches got their session rules.
     assert_eq!(net.sim.node_ref::<FlowSwitch>(net.sgw_u).rule_count(), 2);
     assert_eq!(net.sim.node_ref::<FlowSwitch>(net.pgw_u).rule_count(), 2);
-    assert_eq!(net.sim.node_ref::<FlowSwitch>(net.local_gwu).rule_count(), 0);
+    assert_eq!(
+        net.sim.node_ref::<FlowSwitch>(net.local_gwu).rule_count(),
+        0
+    );
 }
 
 #[test]
@@ -79,12 +82,16 @@ fn dedicated_bearer_steers_only_mec_traffic_locally() {
     );
     // UE now holds two bearers; local GW-U has UL+DL rules.
     assert!(net.sim.node_ref::<Ue>(net.ues[0]).has_dedicated_bearer());
-    assert_eq!(net.sim.node_ref::<FlowSwitch>(net.local_gwu).rule_count(), 2);
+    assert_eq!(
+        net.sim.node_ref::<FlowSwitch>(net.local_gwu).rule_count(),
+        2
+    );
 
     // Ping both destinations concurrently.
     let mec_ping = PingAgent::new(ue_ip, mec_addr, Duration::from_millis(100), 50);
     let mec_agent = net.connect_ue_app(0, Box::new(mec_ping), AppSelector::protocol(proto::ICMP));
-    net.sim.schedule_timer(mec_agent, net.sim.now(), PingAgent::KICKOFF);
+    net.sim
+        .schedule_timer(mec_agent, net.sim.now(), PingAgent::KICKOFF);
     net.run_for(Duration::from_secs(10));
 
     let a = net.sim.node_ref::<PingAgent>(mec_agent);
@@ -102,7 +109,11 @@ fn dedicated_bearer_steers_only_mec_traffic_locally() {
 
     // UE-side classification: MEC pings on the dedicated bearer.
     let ue = net.sim.node_ref::<Ue>(net.ues[0]);
-    assert!(ue.ul_dedicated >= 50, "dedicated UL count {}", ue.ul_dedicated);
+    assert!(
+        ue.ul_dedicated >= 50,
+        "dedicated UL count {}",
+        ue.ul_dedicated
+    );
 }
 
 #[test]
@@ -127,12 +138,22 @@ fn mec_rtt_much_lower_than_cloud_rtt() {
     );
     let mec_agent = net.connect_ue_app(
         0,
-        Box::new(PingAgent::new(ue_ip, mec_addr, Duration::from_millis(100), 30)),
+        Box::new(PingAgent::new(
+            ue_ip,
+            mec_addr,
+            Duration::from_millis(100),
+            30,
+        )),
         AppSelector::protocol(proto::ICMP),
     );
     let cloud_agent = net.connect_ue_app(
         0,
-        Box::new(PingAgent::new(ue_ip, cloud_addr, Duration::from_millis(100), 30)),
+        Box::new(PingAgent::new(
+            ue_ip,
+            cloud_addr,
+            Duration::from_millis(100),
+            30,
+        )),
         AppSelector::protocol(proto::ICMP),
     );
     let now = net.sim.now();
@@ -188,13 +209,19 @@ fn traffic_during_idle_is_dropped_until_service_request() {
     let ue_ip = net.attach(0);
     let agent = net.connect_ue_app(
         0,
-        Box::new(PingAgent::new(ue_ip, mec_addr, Duration::from_millis(50), 100)),
+        Box::new(PingAgent::new(
+            ue_ip,
+            mec_addr,
+            Duration::from_millis(50),
+            100,
+        )),
         AppSelector::protocol(proto::ICMP),
     );
     net.trigger_idle_release(0);
     assert_eq!(net.sim.node_ref::<Ue>(net.ues[0]).state, UeState::Idle);
     // Pings while idle go nowhere.
-    net.sim.schedule_timer(agent, net.sim.now(), PingAgent::KICKOFF);
+    net.sim
+        .schedule_timer(agent, net.sim.now(), PingAgent::KICKOFF);
     net.run_for(Duration::from_millis(500));
     assert!(net.sim.node_ref::<PingAgent>(agent).rtts().is_empty());
     // After a service request traffic flows again (default bearer; no MEC
@@ -213,7 +240,10 @@ fn per_day_control_overhead_projections() {
     let cycle_bytes = 2914u64;
     let typical = cycle_bytes * 929;
     let worst = cycle_bytes * 7200;
-    assert!((2.5e6..2.8e6).contains(&(typical as f64)), "typical {typical}");
+    assert!(
+        (2.5e6..2.8e6).contains(&(typical as f64)),
+        "typical {typical}"
+    );
     assert!((19e6..22e6).contains(&(worst as f64)), "worst {worst}");
 }
 
@@ -250,7 +280,12 @@ fn background_traffic_inflates_latency_at_saturation() {
         }
         let agent = net.connect_ue_app(
             0,
-            Box::new(PingAgent::new(ue_ip, cloud_addr, Duration::from_millis(500), 20)),
+            Box::new(PingAgent::new(
+                ue_ip,
+                cloud_addr,
+                Duration::from_millis(500),
+                20,
+            )),
             AppSelector::protocol(proto::ICMP),
         );
         // Let the queue build for a couple of seconds first.

@@ -27,18 +27,20 @@ fn arb_packet() -> BoxedStrategy<Packet> {
         prop::collection::vec(any::<u8>(), 0..128),
         any::<u64>(),
     )
-        .prop_map(|(src, dst, sp, dp, proto, tos, app_len, payload, id)| Packet {
-            src,
-            dst,
-            src_port: sp,
-            dst_port: dp,
-            protocol: proto,
-            tos,
-            payload: Bytes::from(payload),
-            app_len,
-            id,
-            created: Instant::from_nanos(42),
-        })
+        .prop_map(
+            |(src, dst, sp, dp, proto, tos, app_len, payload, id)| Packet {
+                src,
+                dst,
+                src_port: sp,
+                dst_port: dp,
+                protocol: proto,
+                tos,
+                payload: Bytes::from(payload),
+                app_len,
+                id,
+                created: Instant::from_nanos(42),
+            },
+        )
         .boxed()
 }
 
@@ -55,12 +57,14 @@ fn arb_tft() -> BoxedStrategy<Tft> {
             prop::option::of((any::<u16>(), any::<u16>())),
             prop::option::of(prop::sample::select(vec![1u8, 6, 17])),
         )
-            .prop_map(|(precedence, direction, remote_addr, ports, protocol)| PacketFilter {
-                precedence,
-                direction,
-                remote_addr,
-                remote_port: ports.map(|(a, b)| (a.min(b), a.max(b))),
-                protocol,
+            .prop_map(|(precedence, direction, remote_addr, ports, protocol)| {
+                PacketFilter {
+                    precedence,
+                    direction,
+                    remote_addr,
+                    remote_port: ports.map(|(a, b)| (a.min(b), a.max(b))),
+                    protocol,
+                }
             }),
         0..4,
     )
@@ -70,17 +74,18 @@ fn arb_tft() -> BoxedStrategy<Tft> {
 
 fn arb_msg() -> BoxedStrategy<ControlMsg> {
     let imsi = any::<u64>().prop_map(Imsi).boxed();
-    let erab = (any::<u8>(), 1u8..10, any::<u32>(), arb_ip(), arb_tft()).prop_map(
-        |(ebi, qci, teid, addr, tft)| ErabSetup {
+    let erab = (any::<u8>(), 1u8..10, any::<u32>(), arb_ip(), arb_tft())
+        .prop_map(|(ebi, qci, teid, addr, tft)| ErabSetup {
             ebi: Ebi(ebi),
             qci: Qci(qci),
             gw_teid: Teid(teid),
             gw_addr: addr,
             tft,
-        },
-    ).boxed();
+        })
+        .boxed();
     prop_oneof![
-        imsi.clone().prop_map(|i| ControlMsg::InitialUeAttach { imsi: i }),
+        imsi.clone()
+            .prop_map(|i| ControlMsg::InitialUeAttach { imsi: i }),
         imsi.clone()
             .prop_map(|i| ControlMsg::UeContextReleaseRequest { imsi: i }),
         (imsi.clone(), erab.clone())
@@ -94,19 +99,32 @@ fn arb_msg() -> BoxedStrategy<ControlMsg> {
                 enb_addr: a,
             }
         }),
-        (any::<u32>(), arb_ip(), arb_ip(), any::<u16>(), 1u8..10, any::<bool>()).prop_map(
-            |(sid, ue, srv, port, qci, install)| ControlMsg::RxAuthRequest {
-                rule: PolicyRule {
-                    service_id: sid,
-                    ue_addr: ue,
-                    server_addr: srv,
-                    server_port: port,
-                    qci: Qci(qci),
-                    install,
+        (
+            any::<u32>(),
+            arb_ip(),
+            arb_ip(),
+            any::<u16>(),
+            1u8..10,
+            any::<bool>()
+        )
+            .prop_map(
+                |(sid, ue, srv, port, qci, install)| ControlMsg::RxAuthRequest {
+                    rule: PolicyRule {
+                        service_id: sid,
+                        ue_addr: ue,
+                        server_addr: srv,
+                        server_port: port,
+                        qci: Qci(qci),
+                        install,
+                    }
                 }
-            }
-        ),
-        (any::<bool>(), any::<u16>(), prop::option::of(any::<u32>()), prop::option::of(arb_ip()))
+            ),
+        (
+            any::<bool>(),
+            any::<u16>(),
+            prop::option::of(any::<u32>()),
+            prop::option::of(arb_ip())
+        )
             .prop_map(|(add, prio, teid, dst)| ControlMsg::FlowMod {
                 add,
                 priority: prio,
@@ -119,6 +137,144 @@ fn arb_msg() -> BoxedStrategy<ControlMsg> {
             }),
     ]
     .boxed()
+}
+
+/// Every `ControlMsg` variant, across all five protocol families — the
+/// full-coverage generator for the encode→decode→encode identities.
+fn arb_msg_any() -> BoxedStrategy<ControlMsg> {
+    let imsi = any::<u64>().prop_map(Imsi).boxed();
+    let erab = (any::<u8>(), 1u8..10, any::<u32>(), arb_ip(), arb_tft())
+        .prop_map(|(ebi, qci, teid, addr, tft)| ErabSetup {
+            ebi: Ebi(ebi),
+            qci: Qci(qci),
+            gw_teid: Teid(teid),
+            gw_addr: addr,
+            tft,
+        })
+        .boxed();
+    let rule = (
+        any::<u32>(),
+        arb_ip(),
+        arb_ip(),
+        any::<u16>(),
+        1u8..10,
+        any::<bool>(),
+    )
+        .prop_map(|(sid, ue, srv, port, qci, install)| PolicyRule {
+            service_id: sid,
+            ue_addr: ue,
+            server_addr: srv,
+            server_port: port,
+            qci: Qci(qci),
+            install,
+        })
+        .boxed();
+    let s1ap = prop_oneof![
+        imsi.clone()
+            .prop_map(|i| ControlMsg::InitialUeServiceRequest { imsi: i }),
+        (
+            imsi.clone(),
+            prop::collection::vec((any::<u8>(), any::<u32>()), 0..3)
+        )
+            .prop_map(|(i, ts)| ControlMsg::InitialContextSetupResponse {
+                imsi: i,
+                enb_teids: ts.into_iter().map(|(e, t)| (Ebi(e), Teid(t))).collect(),
+            }),
+        (imsi.clone(), prop::option::of(arb_ip())).prop_map(|(i, a)| {
+            ControlMsg::DownlinkNasAccept {
+                imsi: i,
+                ue_addr: a,
+            }
+        }),
+        (imsi.clone(), any::<u8>(), any::<u32>()).prop_map(|(i, e, t)| {
+            ControlMsg::ErabSetupResponse {
+                imsi: i,
+                ebi: Ebi(e),
+                enb_teid: Teid(t),
+            }
+        }),
+        (imsi.clone(), any::<u8>()).prop_map(|(i, e)| ControlMsg::ErabReleaseCommand {
+            imsi: i,
+            ebi: Ebi(e)
+        }),
+        (imsi.clone(), any::<u8>()).prop_map(|(i, e)| ControlMsg::ErabReleaseResponse {
+            imsi: i,
+            ebi: Ebi(e)
+        }),
+        imsi.clone()
+            .prop_map(|i| ControlMsg::UeContextReleaseCommand { imsi: i }),
+        imsi.clone()
+            .prop_map(|i| ControlMsg::UeContextReleaseComplete { imsi: i }),
+        imsi.clone().prop_map(|i| ControlMsg::Paging { imsi: i }),
+    ];
+    let gtpv2 = prop_oneof![
+        imsi.clone()
+            .prop_map(|i| ControlMsg::CreateSessionRequest { imsi: i }),
+        (imsi.clone(), arb_ip(), erab.clone()).prop_map(|(i, a, e)| {
+            ControlMsg::CreateSessionResponse {
+                imsi: i,
+                ue_addr: a,
+                erab: e,
+            }
+        }),
+        (imsi.clone(), erab.clone())
+            .prop_map(|(i, e)| ControlMsg::CreateBearerRequest { imsi: i, erab: e }),
+        (imsi.clone(), any::<u8>(), any::<u32>(), arb_ip()).prop_map(|(i, e, t, a)| {
+            ControlMsg::CreateBearerResponse {
+                imsi: i,
+                ebi: Ebi(e),
+                enb_teid: Teid(t),
+                enb_addr: a,
+            }
+        }),
+        (imsi.clone(), any::<u8>()).prop_map(|(i, e)| ControlMsg::DeleteBearerRequest {
+            imsi: i,
+            ebi: Ebi(e)
+        }),
+        (imsi.clone(), any::<u8>()).prop_map(|(i, e)| ControlMsg::DeleteBearerResponse {
+            imsi: i,
+            ebi: Ebi(e)
+        }),
+        imsi.clone()
+            .prop_map(|i| ControlMsg::ReleaseAccessBearersRequest { imsi: i }),
+        imsi.clone()
+            .prop_map(|i| ControlMsg::ReleaseAccessBearersResponse { imsi: i }),
+        imsi.clone()
+            .prop_map(|i| ControlMsg::ModifyBearerResponse { imsi: i }),
+        any::<u32>().prop_map(|t| ControlMsg::DownlinkDataByTeid { teid: Teid(t) }),
+        imsi.clone()
+            .prop_map(|i| ControlMsg::DownlinkDataNotification { imsi: i }),
+    ];
+    let diameter = prop_oneof![
+        (any::<u32>(), any::<bool>())
+            .prop_map(|(s, ok)| ControlMsg::RxAuthAnswer { service_id: s, ok }),
+        rule.prop_map(|r| ControlMsg::GxReauthRequest { rule: r }),
+        (any::<u32>(), any::<bool>())
+            .prop_map(|(s, ok)| ControlMsg::GxReauthAnswer { service_id: s, ok }),
+        imsi.clone()
+            .prop_map(|i| ControlMsg::S6aAuthInfoRequest { imsi: i }),
+        (imsi.clone(), any::<bool>())
+            .prop_map(|(i, ok)| ControlMsg::S6aAuthInfoAnswer { imsi: i, ok }),
+    ];
+    let rrc = prop_oneof![
+        imsi.clone()
+            .prop_map(|i| ControlMsg::RrcAttachRequest { imsi: i }),
+        imsi.clone()
+            .prop_map(|i| ControlMsg::RrcServiceRequest { imsi: i }),
+        (any::<u8>(), 1u8..10, arb_tft(), prop::option::of(arb_ip())).prop_map(|(e, q, tft, a)| {
+            ControlMsg::RrcReconfiguration {
+                ebi: Ebi(e),
+                qci: Qci(q),
+                tft,
+                ue_addr: a,
+            }
+        }),
+        imsi.clone()
+            .prop_map(|i| ControlMsg::RrcRelease { imsi: i }),
+        any::<u8>().prop_map(|e| ControlMsg::RrcBearerRelease { ebi: Ebi(e) }),
+        imsi.prop_map(|i| ControlMsg::RrcPaging { imsi: i }),
+    ];
+    prop_oneof![arb_msg(), s1ap, gtpv2, diameter, rrc].boxed()
 }
 
 proptest! {
@@ -204,5 +360,103 @@ proptest! {
     fn wire_size_at_least_spec(msg in arb_msg()) {
         let pkt = msg.into_packet(Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED);
         prop_assert!(pkt.wire_size() >= msg.wire_size_spec());
+    }
+    /// Encode → decode → re-encode is a byte-level fixed point for every
+    /// message variant: the second encoding's payload, framing and padded
+    /// wire size are identical to the first. Covers GTPv2-C, S1AP/SCTP,
+    /// Diameter, OpenFlow and RRC.
+    #[test]
+    fn encode_decode_encode_identity(msg in arb_msg_any(), src in arb_ip(), dst in arb_ip()) {
+        let first = msg.into_packet(src, dst);
+        let decoded = ControlMsg::from_packet(&first).unwrap();
+        prop_assert_eq!(&decoded, &msg);
+        let second = decoded.into_packet(src, dst);
+        prop_assert_eq!(&second.payload, &first.payload);
+        prop_assert_eq!(second.wire_size(), first.wire_size());
+        prop_assert_eq!(second.protocol, first.protocol);
+        prop_assert_eq!(second.src_port, first.src_port);
+        prop_assert_eq!(second.dst_port, first.dst_port);
+    }
+
+    /// Framing follows the protocol family: GTPv2-C rides UDP/2123,
+    /// S1AP rides SCTP/36412, Diameter TCP/3868, OpenFlow TCP/6633.
+    #[test]
+    fn framing_matches_protocol_family(msg in arb_msg_any(), src in arb_ip(), dst in arb_ip()) {
+        use acacia_lte::wire::Protocol;
+        let pkt = msg.into_packet(src, dst);
+        let (want_proto, want_port) = match msg.protocol() {
+            Protocol::S1apSctp => (132u8, 36412u16),
+            Protocol::Gtpv2 => (17, 2123),
+            Protocol::OpenFlow => (6, 6633),
+            Protocol::Diameter => (6, 3868),
+            Protocol::Rrc => (17, 36413),
+        };
+        prop_assert_eq!(pkt.protocol, want_proto);
+        prop_assert_eq!(pkt.src_port, want_port);
+        prop_assert_eq!(pkt.dst_port, want_port);
+        // Padding never shrinks below the calibrated per-message size.
+        prop_assert!(pkt.wire_size() >= msg.wire_size_spec());
+    }
+
+    /// Malformed input is rejected, not mis-decoded: any strict prefix of
+    /// an encoded control message fails to decode (the top level is a
+    /// JSON object, so truncation always breaks it), as does trailing
+    /// garbage.
+    #[test]
+    fn malformed_control_rejected(
+        msg in arb_msg_any(),
+        cut in 0usize..1000,
+        // Non-whitespace garbage: trailing whitespace is legal JSON.
+        junk in prop::sample::select(vec![b'x', b'{', b'}', b'0', 0u8, 0xFFu8]),
+    ) {
+        let pkt = msg.into_packet(Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED);
+        let len = pkt.payload.len();
+        prop_assume!(len > 0);
+        let cut = cut % len; // strict prefix: 0..len-1 bytes
+        prop_assert!(ControlMsg::decode(&pkt.payload[..cut]).is_none());
+        let mut extended = pkt.payload.to_vec();
+        extended.push(junk);
+        prop_assert!(ControlMsg::decode(&extended).is_none());
+    }
+
+    /// TFT encoding round-trips through the wire representation exactly
+    /// (as carried inside RRC reconfiguration / E-RAB setup messages).
+    #[test]
+    fn tft_roundtrip(tft in arb_tft()) {
+        let msg = ControlMsg::RrcReconfiguration {
+            ebi: Ebi(5),
+            qci: Qci(7),
+            tft: tft.clone(),
+            ue_addr: None,
+        };
+        let pkt = msg.into_packet(Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED);
+        match ControlMsg::from_packet(&pkt).unwrap() {
+            ControlMsg::RrcReconfiguration { tft: back, .. } => prop_assert_eq!(back, tft),
+            other => prop_assert!(false, "wrong variant {:?}", other),
+        }
+    }
+
+    /// Non-GTP-U traffic is never mistaken for a tunnel packet, and a
+    /// truncated GTP-U header is rejected.
+    #[test]
+    fn gtpu_rejects_non_tunnel(pkt in arb_packet()) {
+        prop_assume!(!(pkt.protocol == 17 && pkt.dst_port == 2152));
+        prop_assert!(gtpu::decapsulate(&pkt).is_none());
+        prop_assert!(gtpu::peek_teid(&pkt).is_none());
+        prop_assert!(!gtpu::is_gtpu(&pkt));
+    }
+
+    /// Truncating a tunnel packet's payload below the GTP-U header (or
+    /// into the inner packet) never yields a decoded inner packet.
+    #[test]
+    fn gtpu_rejects_truncated(inner in arb_packet(), teid in any::<u32>(), cut in 0usize..1000) {
+        let a = Ipv4Addr::new(10, 0, 0, 1);
+        let mut outer = gtpu::encapsulate(&inner, Teid(teid), a, a);
+        let full = outer.payload.len();
+        // Cutting into the inner serialization (8-byte GTP header +
+        // 28-byte inner header minimum) must fail cleanly.
+        let cut = cut % (8 + 28).min(full);
+        outer.payload = outer.payload.slice(..cut);
+        prop_assert!(gtpu::decapsulate(&outer).is_none());
     }
 }

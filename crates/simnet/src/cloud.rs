@@ -91,19 +91,14 @@ mod tests {
 
     #[test]
     fn california_is_closest() {
-        assert!(
-            Ec2Region::California.one_way_delay() < Ec2Region::Oregon.one_way_delay()
-        );
+        assert!(Ec2Region::California.one_way_delay() < Ec2Region::Oregon.one_way_delay());
         assert!(Ec2Region::Oregon.one_way_delay() < Ec2Region::Virginia.one_way_delay());
     }
 
     #[test]
     fn fair_signal_halves_uplink() {
         for region in Ec2Region::ALL {
-            assert_eq!(
-                region.uplink_bps(false),
-                region.uplink_bps(true) / 2
-            );
+            assert_eq!(region.uplink_bps(false), region.uplink_bps(true) / 2);
         }
     }
 
@@ -116,8 +111,7 @@ mod tests {
 
     #[test]
     fn names_are_distinct() {
-        let names: std::collections::HashSet<_> =
-            Ec2Region::ALL.iter().map(|r| r.name()).collect();
+        let names: std::collections::HashSet<_> = Ec2Region::ALL.iter().map(|r| r.name()).collect();
         assert_eq!(names.len(), 3);
     }
 }

@@ -196,7 +196,9 @@ mod tests {
     fn infinite_rate_is_pure_delay() {
         let mut link = Link::new(LinkConfig::delay_only(Duration::from_millis(7)), (1, 0));
         let mut r = rng();
-        let (at, dest) = link.transmit(Instant::from_millis(1), 1500, &mut r).unwrap();
+        let (at, dest) = link
+            .transmit(Instant::from_millis(1), 1500, &mut r)
+            .unwrap();
         assert_eq!(at, Instant::from_millis(8));
         assert_eq!(dest, (1, 0));
     }
@@ -204,10 +206,7 @@ mod tests {
     #[test]
     fn serialization_accumulates() {
         // 1 Mbps, 1250-byte packets => 10 ms each.
-        let mut link = Link::new(
-            LinkConfig::rate_limited(1_000_000, Duration::ZERO),
-            (0, 0),
-        );
+        let mut link = Link::new(LinkConfig::rate_limited(1_000_000, Duration::ZERO), (0, 0));
         let mut r = rng();
         let (a1, _) = link.transmit(Instant::ZERO, 1250, &mut r).unwrap();
         let (a2, _) = link.transmit(Instant::ZERO, 1250, &mut r).unwrap();
@@ -227,9 +226,7 @@ mod tests {
         assert!(link.transmit(Instant::ZERO, 1000, &mut r).is_none());
         assert_eq!(link.stats().drops_queue, 1);
         // After the first packet drains (1 s at 8 kbps), space frees up.
-        assert!(link
-            .transmit(Instant::from_secs(1), 1000, &mut r)
-            .is_some());
+        assert!(link.transmit(Instant::from_secs(1), 1000, &mut r).is_some());
     }
 
     #[test]
@@ -246,8 +243,8 @@ mod tests {
 
     #[test]
     fn jitter_stays_in_range() {
-        let cfg = LinkConfig::delay_only(Duration::from_millis(5))
-            .with_jitter(Duration::from_millis(2));
+        let cfg =
+            LinkConfig::delay_only(Duration::from_millis(5)).with_jitter(Duration::from_millis(2));
         let mut link = Link::new(cfg, (0, 0));
         let mut r = rng();
         for _ in 0..100 {

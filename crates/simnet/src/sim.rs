@@ -191,12 +191,7 @@ impl Simulator {
     }
 
     /// Connect two nodes with a symmetric pair of links.
-    pub fn connect(
-        &mut self,
-        a: (NodeId, PortId),
-        b: (NodeId, PortId),
-        cfg: LinkConfig,
-    ) {
+    pub fn connect(&mut self, a: (NodeId, PortId), b: (NodeId, PortId), cfg: LinkConfig) {
         self.connect_simplex(a, b, cfg.clone());
         self.connect_simplex(b, a, cfg);
     }
@@ -314,7 +309,8 @@ impl Simulator {
                         self.unrouted += 1;
                         continue;
                     };
-                    if let Some((arrival, dest)) = link.transmit(now, pkt.wire_size(), &mut self.rng)
+                    if let Some((arrival, dest)) =
+                        link.transmit(now, pkt.wire_size(), &mut self.rng)
                     {
                         let seq = self.next_seq();
                         self.heap.push(Reverse(Ev {
@@ -401,8 +397,8 @@ mod tests {
         }
         fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
             for _ in 0..self.count {
-                let pkt = Packet::icmp(Ipv4Addr::new(10, 0, 0, 1), self.dst, 56)
-                    .with_created(ctx.now());
+                let pkt =
+                    Packet::icmp(Ipv4Addr::new(10, 0, 0, 1), self.dst, 56).with_created(ctx.now());
                 ctx.send(0, pkt);
             }
         }

@@ -81,8 +81,8 @@ impl Series {
             return 0.0;
         }
         let m = self.mean();
-        let var = self.samples.iter().map(|v| (v - m) * (v - m)).sum::<f64>()
-            / self.samples.len() as f64;
+        let var =
+            self.samples.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / self.samples.len() as f64;
         var.sqrt()
     }
 

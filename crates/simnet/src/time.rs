@@ -27,17 +27,23 @@ impl Instant {
 
     /// Construct from microseconds.
     pub const fn from_micros(micros: u64) -> Self {
-        Instant { nanos: micros * 1_000 }
+        Instant {
+            nanos: micros * 1_000,
+        }
     }
 
     /// Construct from milliseconds.
     pub const fn from_millis(millis: u64) -> Self {
-        Instant { nanos: millis * 1_000_000 }
+        Instant {
+            nanos: millis * 1_000_000,
+        }
     }
 
     /// Construct from whole seconds.
     pub const fn from_secs(secs: u64) -> Self {
-        Instant { nanos: secs * 1_000_000_000 }
+        Instant {
+            nanos: secs * 1_000_000_000,
+        }
     }
 
     /// Raw nanoseconds since simulation start.
@@ -96,17 +102,23 @@ impl Duration {
 
     /// Construct from microseconds.
     pub const fn from_micros(micros: u64) -> Self {
-        Duration { nanos: micros * 1_000 }
+        Duration {
+            nanos: micros * 1_000,
+        }
     }
 
     /// Construct from milliseconds.
     pub const fn from_millis(millis: u64) -> Self {
-        Duration { nanos: millis * 1_000_000 }
+        Duration {
+            nanos: millis * 1_000_000,
+        }
     }
 
     /// Construct from whole seconds.
     pub const fn from_secs(secs: u64) -> Self {
-        Duration { nanos: secs * 1_000_000_000 }
+        Duration {
+            nanos: secs * 1_000_000_000,
+        }
     }
 
     /// Construct from fractional seconds, rounding to the nearest nanosecond.
@@ -120,7 +132,9 @@ impl Duration {
         if nanos >= u64::MAX as f64 {
             Duration::MAX
         } else {
-            Duration { nanos: nanos as u64 }
+            Duration {
+                nanos: nanos as u64,
+            }
         }
     }
 
@@ -334,10 +348,7 @@ mod tests {
 
     #[test]
     fn sum_of_durations() {
-        let total: Duration = [1u64, 2, 3]
-            .iter()
-            .map(|&s| Duration::from_secs(s))
-            .sum();
+        let total: Duration = [1u64, 2, 3].iter().map(|&s| Duration::from_secs(s)).sum();
         assert_eq!(total, Duration::from_secs(6));
     }
 }

@@ -75,7 +75,12 @@ impl TraceLog {
 
     /// Events matching a predicate.
     pub fn filter(&self, f: impl Fn(&TraceEvent) -> bool) -> Vec<TraceEvent> {
-        self.events.borrow().iter().filter(|e| f(e)).cloned().collect()
+        self.events
+            .borrow()
+            .iter()
+            .filter(|e| f(e))
+            .cloned()
+            .collect()
     }
 
     /// Render as a tcpdump-ish text dump.

@@ -258,7 +258,10 @@ mod tests {
         Ipv4Addr::new(10, 0, 0, a)
     }
 
-    fn source_to_sink(src: UdpSource, horizon: Instant) -> (Simulator, crate::sim::NodeId, crate::sim::NodeId) {
+    fn source_to_sink(
+        src: UdpSource,
+        horizon: Instant,
+    ) -> (Simulator, crate::sim::NodeId, crate::sim::NodeId) {
         let mut sim = Simulator::new(11);
         let s = sim.add_node(Box::new(src));
         let k = sim.add_node(Box::new(Sink::new()));

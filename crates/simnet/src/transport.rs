@@ -126,7 +126,12 @@ const TOKEN_TICK: u64 = 2;
 
 impl GreedyFlow {
     /// New flow with a 1448-byte MSS, 2-segment initial window.
-    pub fn new(src: (Ipv4Addr, u16), dst: (Ipv4Addr, u16), start: Instant, stop: Instant) -> GreedyFlow {
+    pub fn new(
+        src: (Ipv4Addr, u16),
+        dst: (Ipv4Addr, u16),
+        start: Instant,
+        stop: Instant,
+    ) -> GreedyFlow {
         GreedyFlow {
             src,
             dst,
@@ -363,8 +368,8 @@ mod tests {
             Instant::from_secs(secs),
         )));
         let rx = sim.add_node(Box::new(GreedyReceiver::new(ip(2))));
-        let fwd = LinkConfig::rate_limited(rate_bps, Duration::from_millis(5))
-            .with_queue(64 * 1024);
+        let fwd =
+            LinkConfig::rate_limited(rate_bps, Duration::from_millis(5)).with_queue(64 * 1024);
         let back = LinkConfig::delay_only(Duration::from_millis(5));
         sim.connect_asymmetric((tx, 0), (rx, 0), fwd, back);
         sim.schedule_timer(tx, Instant::ZERO, GreedyFlow::KICKOFF);

@@ -48,7 +48,13 @@ impl Codec {
             // Piecewise-linear in quality between measured anchors.
             Codec::Jpeg(q) => {
                 let q = (*q).clamp(1, 100) as f64;
-                let anchors = [(1.0, 40.0), (50.0, 13.0), (80.0, 8.0), (90.0, 5.5), (100.0, 2.3)];
+                let anchors = [
+                    (1.0, 40.0),
+                    (50.0, 13.0),
+                    (80.0, 8.0),
+                    (90.0, 5.5),
+                    (100.0, 2.3),
+                ];
                 interpolate(&anchors, q)
             }
             Codec::Png => 1.6,
@@ -168,7 +174,9 @@ mod tests {
         let p = Device::OnePlusOne.profile();
         let small = ImageSpec::new(1, Resolution::new(720, 480));
         let large = ImageSpec::new(1, Resolution::new(1280, 720));
-        assert!(Codec::Jpeg(90).encode_time_s(large, &p) > Codec::Jpeg(90).encode_time_s(small, &p));
+        assert!(
+            Codec::Jpeg(90).encode_time_s(large, &p) > Codec::Jpeg(90).encode_time_s(small, &p)
+        );
         assert!(Codec::Png.encode_time_s(small, &p) > Codec::Jpeg(90).encode_time_s(small, &p));
         assert_eq!(Codec::RawGray.encode_time_s(large, &p), 0.0);
     }

@@ -86,8 +86,8 @@ impl ObjectDb {
                 } else {
                     // Deterministic grid placement inside the subsection.
                     let fx = (k + 1) as f64 / (per_subsection + 1) as f64;
-                    let fy = ((k * 7 + 3) % per_subsection + 1) as f64
-                        / (per_subsection + 1) as f64;
+                    let fy =
+                        ((k * 7 + 3) % per_subsection + 1) as f64 / (per_subsection + 1) as f64;
                     Point::new(
                         ss.rect.min.x + fx * ss.rect.width(),
                         ss.rect.min.y + fy * ss.rect.height(),
@@ -283,11 +283,7 @@ mod tests {
         );
         let cfg = MatcherConfig::default();
         let full = db.match_all(&frame, &cfg);
-        let pruned = db.match_against(
-            &frame,
-            db.in_subsections(&[target.subsection]),
-            &cfg,
-        );
+        let pruned = db.match_against(&frame, db.in_subsections(&[target.subsection]), &cfg);
         assert_eq!(pruned.candidates_examined, 1);
         assert!(pruned.ops.distance_computations < full.ops.distance_computations / 10);
         assert_eq!(pruned.best.as_ref().unwrap().0, target.id);

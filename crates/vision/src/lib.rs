@@ -62,9 +62,7 @@ pub mod prelude {
     pub use crate::compress::Codec;
     pub use crate::compute::{contended_time_s, Device, DeviceProfile};
     pub use crate::db::{DbObject, ObjectDb, QueryOutcome};
-    pub use crate::feature::{
-        object_features, render_view, FeatureSet, Similarity, ViewParams,
-    };
+    pub use crate::feature::{object_features, render_view, FeatureSet, Similarity, ViewParams};
     pub use crate::image::{camera_preview_fps, expected_features, ImageSpec, Resolution};
     pub use crate::matcher::{match_pair, CascadeStage, MatchOps, MatcherConfig, PairOutcome};
 }

@@ -326,7 +326,10 @@ mod tests {
         assert!(!out.passed, "false positive: {out:?}");
         // Unrelated descriptors die in the early (cheap) stages.
         assert!(
-            matches!(out.stage, CascadeStage::RatioTest | CascadeStage::SymmetryTest),
+            matches!(
+                out.stage,
+                CascadeStage::RatioTest | CascadeStage::SymmetryTest
+            ),
             "rejected at {:?}",
             out.stage
         );

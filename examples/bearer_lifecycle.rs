@@ -50,14 +50,20 @@ fn main() {
             install: true,
         },
     );
-    print_log("dedicated bearer activation (paper Fig. 5, steps 1-4)", &net.log);
+    print_log(
+        "dedicated bearer activation (paper Fig. 5, steps 1-4)",
+        &net.log,
+    );
 
     // 3. The UE goes idle (the 11.576 s inactivity timeout) and comes back.
     net.log.clear();
     net.run_for(Duration::from_secs(1));
     net.trigger_idle_release(0);
     net.service_request(0);
-    print_log("idle release + service request (the paper's §4 cycle)", &net.log);
+    print_log(
+        "idle release + service request (the paper's §4 cycle)",
+        &net.log,
+    );
 
     let cycle = net.log.core_bytes();
     println!(

@@ -24,11 +24,8 @@ fn main() {
         "technology", "period", "range", "heard@corner", "loc err (m)", "infra?"
     );
     for tech in ProximityTech::ALL {
-        let world = ProximityWorld::from_floor(
-            &floor,
-            "acme",
-            RadioChannel::new(tech.pathloss(), 42),
-        );
+        let world =
+            ProximityWorld::from_floor(&floor, "acme", RadioChannel::new(tech.pathloss(), 42));
         // Coverage from a far corner.
         let mut modem = Modem::new();
         modem.subscribe(SubscriptionFilter::service_wide("acme"));
@@ -43,10 +40,8 @@ fn main() {
         for cp in &floor.checkpoints {
             let mut m = Modem::new();
             m.subscribe(SubscriptionFilter::service_wide("acme"));
-            let mut mgr = LocalizationManager::new(LocalizationMetadata::for_floor(
-                &floor,
-                &tech.pathloss(),
-            ));
+            let mut mgr =
+                LocalizationManager::new(LocalizationMetadata::for_floor(&floor, &tech.pathloss()));
             for ev in world.scan_dwell(&mut m, cp.pos, 0, 4) {
                 mgr.report(&ev.publisher, ev.rx_power_dbm);
             }
@@ -62,7 +57,11 @@ fn main() {
             tech.nominal_range_m(),
             heard.len(),
             errors.mean(),
-            if tech.needs_infrastructure() { "beacons" } else { "none" }
+            if tech.needs_infrastructure() {
+                "beacons"
+            } else {
+                "none"
+            }
         );
     }
 
@@ -78,11 +77,7 @@ fn main() {
             ..ScenarioConfig::e2e(Deployment::Acacia)
         })
         .run();
-        let mean_cands = report
-            .frames
-            .iter()
-            .map(|f| f.candidates)
-            .sum::<usize>() as f64
+        let mean_cands = report.frames.iter().map(|f| f.candidates).sum::<usize>() as f64
             / report.frames.len().max(1) as f64;
         println!(
             "{:>12} {:>10.0}ms {:>7.1}/105 {:>8.0}%",

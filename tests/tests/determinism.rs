@@ -1,0 +1,87 @@
+//! The parallel runner's determinism contract (DESIGN.md): experiment
+//! output is byte-identical run to run with the same seed, and across
+//! any `--jobs` setting — parallel across cells, serial within a cell,
+//! index-ordered merge.
+//!
+//! The experiment ids here are the cheapest grids that still exercise
+//! real multi-cell fan-out (debug builds are ~10× slower than the
+//! release binary the `figures` CLI uses).
+
+use acacia::scenario::SessionReport;
+use acacia_bench::experiments::application::fig13_reports;
+use acacia_bench::{run, runner};
+use std::sync::Mutex;
+
+/// The runner's jobs knob is process-wide; tests in this binary run
+/// concurrently, so every test that touches it serializes on this lock.
+static JOBS_KNOB: Mutex<()> = Mutex::new(());
+
+/// Cheap multi-cell experiments: fig3c (3 cells), fig3d (6), fig9b (99).
+const IDS: [&str; 3] = ["fig3c", "fig3d", "fig9b"];
+
+fn render_all(jobs: usize) -> String {
+    runner::set_jobs(Some(jobs));
+    let out = IDS
+        .iter()
+        .map(|id| run(id).expect("known id").render())
+        .collect::<Vec<_>>()
+        .join("\n");
+    runner::set_jobs(None);
+    out
+}
+
+#[test]
+fn same_seed_twice_is_byte_identical() {
+    let _guard = JOBS_KNOB.lock().expect("jobs knob lock");
+    let first = render_all(1);
+    let second = render_all(1);
+    assert_eq!(first, second, "serial output must be stable run to run");
+}
+
+#[test]
+fn serial_and_parallel_output_are_byte_identical() {
+    let _guard = JOBS_KNOB.lock().expect("jobs knob lock");
+    let serial = render_all(1);
+    let parallel = render_all(4);
+    assert_eq!(
+        serial, parallel,
+        "jobs=4 must merge cells in index order and match jobs=1 exactly"
+    );
+}
+
+/// Full-precision fingerprint of an end-to-end session report — `{:?}`
+/// on the f64s, so any bit-level drift shows up.
+fn fingerprint(reports: &[SessionReport]) -> String {
+    reports
+        .iter()
+        .map(|r| {
+            format!(
+                "{:?} total={:?} net={:?} compute={:?} match={:?} bearer={:?} acc={:?}",
+                r.deployment,
+                r.mean_total_s(),
+                r.mean_network_s(),
+                r.mean_compute_s(),
+                r.mean_match_s(),
+                r.bearer_setup,
+                r.accuracy
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn end_to_end_scenario_is_deterministic_across_jobs() {
+    let _guard = JOBS_KNOB.lock().expect("jobs knob lock");
+    // Smoke scale (like headline.rs) so the debug-build sim stays fast;
+    // fig13_reports fans the three deployments out through the runner.
+    runner::set_jobs(Some(1));
+    let serial = fingerprint(&fig13_reports(3, 24));
+    runner::set_jobs(Some(4));
+    let parallel = fingerprint(&fig13_reports(3, 24));
+    runner::set_jobs(None);
+    assert_eq!(
+        serial, parallel,
+        "per-thread scenario construction must not perturb results"
+    );
+}

@@ -1,0 +1,71 @@
+//! Golden-ratio regression test for the headline Fig. 13 comparison.
+//!
+//! EXPERIMENTS.md records the full-scale measured reductions (ACACIA vs
+//! CLOUD 74%, vs MEC 66%, MEC vs CLOUD 23%; match 5.1×, network 4.34×
+//! against the paper's 70%/60%/25%, 7.7×, 3.15×). This test re-runs the
+//! exact fig13 grid (`fig13_reports(10, 48)`, the same call the figures
+//! binary makes) and asserts the ratios stay inside bands bracketing
+//! those recorded values — any simulator change that silently shifts the
+//! headline claims fails here before it reaches EXPERIMENTS.md.
+
+use acacia::scenario::Deployment;
+use acacia_bench::experiments::application::fig13_reports;
+use acacia_bench::runner;
+
+#[test]
+fn fig13_reductions_stay_in_recorded_bands() {
+    runner::set_jobs(None); // full grid, default parallelism
+    let reports = fig13_reports(10, 48);
+    let get = |d: Deployment| {
+        reports
+            .iter()
+            .find(|r| r.deployment == d)
+            .expect("deployment present")
+    };
+    let (a, m, c) = (
+        get(Deployment::Acacia),
+        get(Deployment::Mec),
+        get(Deployment::Cloud),
+    );
+
+    // End-to-end reductions (EXPERIMENTS.md: 74% / 66% / 23%).
+    let vs_cloud = 1.0 - a.mean_total_s() / c.mean_total_s();
+    let vs_mec = 1.0 - a.mean_total_s() / m.mean_total_s();
+    let mec_vs_cloud = 1.0 - m.mean_total_s() / c.mean_total_s();
+    assert!(
+        (0.68..=0.80).contains(&vs_cloud),
+        "ACACIA vs CLOUD reduction {vs_cloud:.3}, recorded 0.74"
+    );
+    assert!(
+        (0.60..=0.72).contains(&vs_mec),
+        "ACACIA vs MEC reduction {vs_mec:.3}, recorded 0.66"
+    );
+    assert!(
+        (0.17..=0.30).contains(&mec_vs_cloud),
+        "MEC vs CLOUD reduction {mec_vs_cloud:.3}, recorded 0.23"
+    );
+
+    // Component ratios (EXPERIMENTS.md: match 5.1×, network 4.34×).
+    let match_ratio = c.mean_match_s() / a.mean_match_s();
+    let net_ratio = c.mean_network_s() / a.mean_network_s();
+    assert!(
+        (4.5..=6.0).contains(&match_ratio),
+        "match reduction {match_ratio:.2}x, recorded 5.1x"
+    );
+    assert!(
+        (3.8..=5.0).contains(&net_ratio),
+        "network reduction {net_ratio:.2}x, recorded 4.34x"
+    );
+
+    // "No significant difference" in the compute component, and perfect
+    // session accuracy in all three deployments.
+    assert!((a.mean_compute_s() - c.mean_compute_s()).abs() < 1e-9);
+    for r in [a, m, c] {
+        assert!(
+            (r.accuracy - 1.0).abs() < 1e-9,
+            "{:?} accuracy {}",
+            r.deployment,
+            r.accuracy
+        );
+    }
+}

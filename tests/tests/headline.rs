@@ -65,8 +65,8 @@ fn headline_latency_reductions() {
 
     // "Compute ... no significant difference between the different
     // approaches."
-    let compute_spread = (acacia.mean_compute_s() - cloud.mean_compute_s()).abs()
-        / cloud.mean_compute_s();
+    let compute_spread =
+        (acacia.mean_compute_s() - cloud.mean_compute_s()).abs() / cloud.mean_compute_s();
     assert!(compute_spread < 0.2, "compute spread {compute_spread:.2}");
 }
 

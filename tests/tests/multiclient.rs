@@ -147,5 +147,8 @@ fn both_ues_hold_independent_dedicated_bearers() {
     }
     // The local GW-U carries UL+DL rule pairs for both UEs.
     use acacia_lte::switch::FlowSwitch;
-    assert_eq!(net.sim.node_ref::<FlowSwitch>(net.local_gwu).rule_count(), 4);
+    assert_eq!(
+        net.sim.node_ref::<FlowSwitch>(net.local_gwu).rule_count(),
+        4
+    );
 }

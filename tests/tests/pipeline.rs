@@ -51,7 +51,10 @@ fn pruned_search_space_contains_the_truth_everywhere() {
     // Localization error occasionally pushes the estimate outside the true
     // subsection's neighbourhood; the paper also reports boundary effects
     // (one false negative for the rxPower scheme). Allow a small number.
-    assert!(misses <= 3, "{misses} of 24 checkpoints lost the true subsection");
+    assert!(
+        misses <= 3,
+        "{misses} of 24 checkpoints lost the true subsection"
+    );
     assert!(
         fallbacks <= 2,
         "{fallbacks} of 24 checkpoints could not localize at all"
@@ -152,7 +155,11 @@ fn in_modem_filtering_and_tft_steering_compose() {
     );
     let ue = net.sim.node_ref::<Ue>(net.ues[0]);
     let to_mec = Packet::udp((ue_ip, 9000), (mec_addr, 9000), 100);
-    let to_web = Packet::udp((ue_ip, 9000), (std::net::Ipv4Addr::new(8, 8, 8, 8), 80), 100);
+    let to_web = Packet::udp(
+        (ue_ip, 9000),
+        (std::net::Ipv4Addr::new(8, 8, 8, 8), 80),
+        100,
+    );
     assert_ne!(
         ue.classify_uplink(&to_mec).unwrap().ebi,
         ue.classify_uplink(&to_web).unwrap().ebi,

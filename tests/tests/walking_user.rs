@@ -115,7 +115,11 @@ fn moving_user_repoints_the_search_space() {
         min_frame_interval: Some(Duration::from_millis(1_500)),
         ..ArFrontendConfig::new(ue_ip, server_addr)
     };
-    let client = net.connect_ue_app(0, Box::new(ArFrontend::new(cfg)), AppSelector::port(APP_PORT));
+    let client = net.connect_ue_app(
+        0,
+        Box::new(ArFrontend::new(cfg)),
+        AppSelector::port(APP_PORT),
+    );
     let t0 = net.sim.now();
     net.sim.schedule_timer(client, t0, ArFrontend::KICKOFF);
     net.run_for(Duration::from_secs(40));

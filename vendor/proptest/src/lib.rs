@@ -1,0 +1,624 @@
+//! Offline vendored property-testing harness.
+//!
+//! Implements the subset of the `proptest` 1.x API this workspace uses:
+//! [`Strategy`]/[`BoxedStrategy`], `any::<T>()`, range strategies,
+//! string-pattern strategies (a small regex subset), tuple strategies,
+//! `prop::collection::vec`, `prop::option::of`,
+//! `prop::sample::{select, subsequence}`, and the `proptest!`/
+//! `prop_oneof!`/`prop_assert!`/`prop_assert_eq!` macros.
+//!
+//! Differences from upstream, deliberate for a hermetic build:
+//! * no shrinking — a failing case panics with its inputs via the
+//!   standard assertion message;
+//! * cases are generated from a deterministic per-test ChaCha8 stream
+//!   (seeded from the test name), so failures reproduce exactly;
+//! * `PROPTEST_CASES` still controls the number of cases (default 256).
+
+#![forbid(unsafe_code)]
+
+use rand_chacha::rand_core::SeedableRng as _;
+
+/// Deterministic RNG handed to strategies.
+pub struct TestRng {
+    inner: rand_chacha::ChaCha8Rng,
+}
+
+impl TestRng {
+    /// RNG for `case` of the test named `name`.
+    pub fn for_case(name: &str, case: u64) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            inner: rand_chacha::ChaCha8Rng::seed_from_u64(
+                h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            ),
+        }
+    }
+}
+
+impl rand::RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+}
+
+pub mod strategy {
+    use super::TestRng;
+    use std::rc::Rc;
+
+    /// A value generator.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erase this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
+        }
+    }
+
+    /// A type-erased, cheaply-cloneable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            use rand::Rng as _;
+            let idx = rng.gen_range(0..self.0.len());
+            self.0[idx].generate(rng)
+        }
+    }
+
+    impl<T: Copy + rand::SampleUniform + 'static> Strategy for std::ops::Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            use rand::Rng as _;
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T: Copy + rand::SampleUniform + 'static> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            use rand::Rng as _;
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// String strategy from a pattern: a regex subset supporting literal
+    /// characters, character classes `[a-z0-9-]` (ranges + literals) and
+    /// quantifiers `{n}`, `{n,m}`, `?`, `*`, `+` (the unbounded ones
+    /// capped at 8 repeats).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_pattern(self, rng)
+        }
+    }
+
+    enum Atom {
+        Lit(char),
+        Class(Vec<(char, char)>),
+    }
+
+    fn parse_pattern(pat: &str) -> Vec<(Atom, usize, usize)> {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let mut ranges = Vec::new();
+                    i += 1;
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = chars[i];
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            ranges.push((lo, chars[i + 2]));
+                            i += 3;
+                        } else {
+                            ranges.push((lo, lo));
+                            i += 1;
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated character class in {pat:?}");
+                    i += 1; // consume ']'
+                    Atom::Class(ranges)
+                }
+                '\\' => {
+                    i += 1;
+                    let c = chars[i];
+                    i += 1;
+                    Atom::Lit(c)
+                }
+                c => {
+                    i += 1;
+                    Atom::Lit(c)
+                }
+            };
+            // Optional quantifier.
+            let (min, max) = if i < chars.len() {
+                match chars[i] {
+                    '{' => {
+                        let close = chars[i..].iter().position(|&c| c == '}').unwrap() + i;
+                        let body: String = chars[i + 1..close].iter().collect();
+                        i = close + 1;
+                        if let Some((a, b)) = body.split_once(',') {
+                            (a.trim().parse().unwrap(), b.trim().parse().unwrap())
+                        } else {
+                            let n: usize = body.trim().parse().unwrap();
+                            (n, n)
+                        }
+                    }
+                    '?' => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    '*' => {
+                        i += 1;
+                        (0, 8)
+                    }
+                    '+' => {
+                        i += 1;
+                        (1, 8)
+                    }
+                    _ => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            atoms.push((atom, min, max));
+        }
+        atoms
+    }
+
+    fn generate_pattern(pat: &str, rng: &mut TestRng) -> String {
+        use rand::Rng as _;
+        let mut out = String::new();
+        for (atom, min, max) in parse_pattern(pat) {
+            let n = rng.gen_range(min..=max);
+            for _ in 0..n {
+                match &atom {
+                    Atom::Lit(c) => out.push(*c),
+                    Atom::Class(ranges) => {
+                        let total: u32 = ranges
+                            .iter()
+                            .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                            .sum();
+                        let mut pick = rng.gen_range(0..total);
+                        for &(lo, hi) in ranges {
+                            let span = hi as u32 - lo as u32 + 1;
+                            if pick < span {
+                                out.push(char::from_u32(lo as u32 + pick).unwrap());
+                                break;
+                            }
+                            pick -= span;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($S:ident : $idx:tt),+))*) => {$(
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9)
+    }
+}
+
+pub use strategy::{BoxedStrategy, Strategy};
+
+/// Types with a canonical full-range strategy (`any::<T>()`).
+pub trait Arbitrary: Sized + 'static {
+    /// Build the canonical strategy.
+    fn arbitrary() -> BoxedStrategy<Self>;
+}
+
+macro_rules! arbitrary_via_u32 {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary() -> BoxedStrategy<Self> {
+                struct S;
+                impl Strategy for S {
+                    type Value = $ty;
+                    fn generate(&self, rng: &mut TestRng) -> $ty {
+                        use rand::RngCore as _;
+                        rng.next_u32() as $ty
+                    }
+                }
+                S.boxed()
+            }
+        }
+    )*};
+}
+arbitrary_via_u32!(u8, u16, u32, i8, i16, i32);
+
+macro_rules! arbitrary_via_u64 {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary() -> BoxedStrategy<Self> {
+                struct S;
+                impl Strategy for S {
+                    type Value = $ty;
+                    fn generate(&self, rng: &mut TestRng) -> $ty {
+                        use rand::RngCore as _;
+                        rng.next_u64() as $ty
+                    }
+                }
+                S.boxed()
+            }
+        }
+    )*};
+}
+arbitrary_via_u64!(u64, usize, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary() -> BoxedStrategy<Self> {
+        struct S;
+        impl Strategy for S {
+            type Value = bool;
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                use rand::Rng as _;
+                rng.gen()
+            }
+        }
+        S.boxed()
+    }
+}
+
+macro_rules! arbitrary_float {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary() -> BoxedStrategy<Self> {
+                struct S;
+                impl Strategy for S {
+                    type Value = $ty;
+                    fn generate(&self, rng: &mut TestRng) -> $ty {
+                        use rand::Rng as _;
+                        // Finite values spanning a wide dynamic range.
+                        let mag: $ty = rng.gen();
+                        let exp = rng.gen_range(-60i32..60);
+                        mag * (2.0 as $ty).powi(exp)
+                    }
+                }
+                S.boxed()
+            }
+        }
+    )*};
+}
+arbitrary_float!(f32, f64);
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    T::arbitrary()
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// A size specification for collection strategies.
+    pub trait SizeRange {
+        /// Sample a size.
+        fn sample(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            use rand::Rng as _;
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            use rand::Rng as _;
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for usize {
+        fn sample(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    /// Strategy for `Vec<T>` with sizes drawn from `size`.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy: `size` elements drawn from `element`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Strategy for `Option<T>`: `None` half the time.
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            use rand::Rng as _;
+            if rng.gen::<bool>() {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `Some(inner)` or `None`, equally likely.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+/// Sampling strategies over concrete collections.
+pub mod sample {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Strategy picking one element of a vector.
+    pub struct Select<T>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            use rand::Rng as _;
+            self.0[rng.gen_range(0..self.0.len())].clone()
+        }
+    }
+
+    /// Pick one element uniformly.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select from empty collection");
+        Select(items)
+    }
+
+    /// Strategy picking an order-preserving subsequence with a size in
+    /// the given inclusive range.
+    pub struct Subsequence<T> {
+        items: Vec<T>,
+        size: std::ops::RangeInclusive<usize>,
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            use rand::Rng as _;
+            let k = rng.gen_range(self.size.clone());
+            // Reservoir-free selection: choose k distinct indices, keep
+            // original order.
+            let mut idx: Vec<usize> = (0..self.items.len()).collect();
+            for i in 0..k {
+                let j = rng.gen_range(i..idx.len());
+                idx.swap(i, j);
+            }
+            let mut chosen = idx[..k].to_vec();
+            chosen.sort_unstable();
+            chosen.into_iter().map(|i| self.items[i].clone()).collect()
+        }
+    }
+
+    /// Order-preserving subsequence of `items` with `size` elements.
+    pub fn subsequence<T: Clone>(
+        items: Vec<T>,
+        size: std::ops::RangeInclusive<usize>,
+    ) -> Subsequence<T> {
+        assert!(*size.end() <= items.len(), "subsequence size exceeds items");
+        Subsequence { items, size }
+    }
+}
+
+/// Number of cases per property (`PROPTEST_CASES`, default 256).
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
+}
+
+/// Run `body` for each case with a per-case deterministic RNG.
+pub fn run_proptest(name: &str, mut body: impl FnMut(&mut TestRng)) {
+    for case in 0..cases() {
+        let mut rng = TestRng::for_case(name, case);
+        body(&mut rng);
+    }
+}
+
+/// Define property tests. Each function body runs once per generated
+/// case; `prop_assert*` failures panic with the offending inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_proptest(stringify!($name), |rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), rng);)+
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Property assertion (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skip the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_strategy_obeys_grammar() {
+        let strat = "[a-z][a-z0-9-]{0,18}";
+        for case in 0..200 {
+            let mut rng = crate::TestRng::for_case("pattern", case);
+            let s = Strategy::generate(&strat, &mut rng);
+            assert!(!s.is_empty() && s.len() <= 19, "{s:?}");
+            let mut chars = s.chars();
+            let first = chars.next().unwrap();
+            assert!(first.is_ascii_lowercase(), "{s:?}");
+            assert!(
+                chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn subsequence_preserves_order() {
+        let items = vec![0usize, 1, 2, 3, 4, 5, 6];
+        let strat = crate::sample::subsequence(items, 2..=7);
+        for case in 0..100 {
+            let mut rng = crate::TestRng::for_case("subseq", case);
+            let got = Strategy::generate(&strat, &mut rng);
+            assert!(got.len() >= 2 && got.len() <= 7);
+            assert!(got.windows(2).all(|w| w[0] < w[1]), "{got:?}");
+        }
+    }
+
+    proptest! {
+        /// The proptest! macro itself works end to end.
+        #[test]
+        fn macro_smoke(x in 0u32..100, name in "[a-c]{1,3}", v in prop::collection::vec(any::<u8>(), 0..4)) {
+            prop_assert!(x < 100);
+            prop_assert!((1..=3).contains(&name.len()));
+            prop_assert!(v.len() < 4);
+        }
+    }
+}

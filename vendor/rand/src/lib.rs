@@ -1,0 +1,336 @@
+//! Offline vendored subset of the `rand` 0.8 API.
+//!
+//! The workspace is built in a hermetic environment with no access to
+//! crates.io, so the handful of `rand` APIs the simulator uses are
+//! re-implemented here **bit-compatibly** with `rand` 0.8.5:
+//!
+//! * [`RngCore`] / [`SeedableRng`] (with the PCG32-based
+//!   `seed_from_u64` expansion used by `rand_core` 0.6),
+//! * [`Rng::gen`] for floats and integers (the `Standard` distribution
+//!   formulas),
+//! * [`Rng::gen_range`] over `Range`/`RangeInclusive` (widening-multiply
+//!   rejection sampling for integers, the `[1, 2)` mantissa trick for
+//!   floats).
+//!
+//! Bit-compatibility matters: every experiment table in
+//! `figures_output.txt` and every band in `EXPERIMENTS.md` was recorded
+//! from seeded runs, and those seeds must keep producing the same
+//! streams.
+
+#![forbid(unsafe_code)]
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Seed type (e.g. `[u8; 32]`).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Build from a seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a `u64` into a full seed with PCG32 (identical to
+    /// `rand_core` 0.6's default implementation).
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// A type samplable from the `Standard` distribution via [`Rng::gen`].
+pub trait StandardSample: Sized {
+    /// Draw one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// A type samplable uniformly from a range via [`Rng::gen_range`].
+pub trait SampleUniform: Sized {
+    /// Draw one value from `[low, high)` (or `[low, high]` if `inclusive`).
+    fn sample_range<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+macro_rules! standard_via_u32 {
+    ($($ty:ty),*) => {$(
+        impl StandardSample for $ty {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u32() as $ty
+            }
+        }
+    )*};
+}
+macro_rules! standard_via_u64 {
+    ($($ty:ty),*) => {$(
+        impl StandardSample for $ty {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+standard_via_u32!(u8, u16, u32, i8, i16, i32);
+standard_via_u64!(u64, usize, i64, isize);
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // `rand` 0.8: the highest bit of a fresh u32.
+        rng.next_u32() & (1 << 31) != 0
+    }
+}
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24 fresh mantissa bits scaled into [0, 1).
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 fresh mantissa bits scaled into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+macro_rules! uniform_int_impl {
+    ($ty:ty, $unsigned:ty, $u_large:ty, $wide:ty) => {
+        impl SampleUniform for $ty {
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                let range: $u_large = if inclusive {
+                    assert!(low <= high, "cannot sample empty range");
+                    ((high as $unsigned).wrapping_sub(low as $unsigned) as $u_large)
+                        .wrapping_add(1)
+                } else {
+                    assert!(low < high, "cannot sample empty range");
+                    (high as $unsigned).wrapping_sub(low as $unsigned) as $u_large
+                };
+                if range == 0 {
+                    // Inclusive span covering the whole type.
+                    return <$ty>::sample_standard(rng);
+                }
+                // `rand` 0.8's widening-multiply rejection: accept when the
+                // low product half falls inside the unbiased zone.
+                let zone: $u_large = if <$unsigned>::MAX <= u16::MAX as $unsigned {
+                    // Small types are widened; use the exact rejection zone.
+                    let ints_to_reject = (<$u_large>::MAX - range + 1) % range;
+                    <$u_large>::MAX - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $u_large = <$u_large>::sample_standard(rng);
+                    let t = (v as $wide) * (range as $wide);
+                    let hi = (t >> <$u_large>::BITS) as $u_large;
+                    let lo = t as $u_large;
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int_impl!(u8, u8, u32, u64);
+uniform_int_impl!(u16, u16, u32, u64);
+uniform_int_impl!(u32, u32, u32, u64);
+uniform_int_impl!(u64, u64, u64, u128);
+uniform_int_impl!(usize, usize, usize, u128);
+uniform_int_impl!(i8, u8, u32, u64);
+uniform_int_impl!(i16, u16, u32, u64);
+uniform_int_impl!(i32, u32, u32, u64);
+uniform_int_impl!(i64, u64, u64, u128);
+uniform_int_impl!(isize, usize, usize, u128);
+
+macro_rules! uniform_float_impl {
+    ($ty:ty, $uty:ty, $bits_to_discard:expr, $fraction_bits:expr) => {
+        impl SampleUniform for $ty {
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                // Inclusive float ranges do not appear in this codebase;
+                // the open-range sampler covers both (the end point has
+                // measure zero).
+                let _ = inclusive;
+                assert!(low < high, "cannot sample empty range");
+                let mut scale = high - low;
+                assert!(scale.is_finite(), "range overflow");
+                loop {
+                    // Fresh mantissa under a fixed exponent: value in [1, 2).
+                    let bits = (<$uty>::sample_standard(rng) >> $bits_to_discard)
+                        | ((1 as $uty) << $fraction_bits)
+                        | (((1 as $uty) << ($fraction_bits + 1)) - ((1 as $uty) << $fraction_bits));
+                    let _ = bits;
+                    let mant = <$uty>::sample_standard(rng) >> $bits_to_discard;
+                    let value1_2 = <$ty>::from_bits(mant | EXPONENT_ONE);
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + low;
+                    if res < high {
+                        return res;
+                    }
+                    // Rounding pushed us onto `high`; shave one ulp.
+                    scale = <$ty>::from_bits(scale.to_bits() - 1);
+                }
+                /// Bit pattern of the exponent for values in [1, 2).
+                const EXPONENT_ONE: $uty = (1.0 as $ty).to_bits();
+            }
+        }
+    };
+}
+
+uniform_float_impl!(f32, u32, 32 - 23, 23);
+uniform_float_impl!(f64, u64, 64 - 52, 52);
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Sample one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample from the `Standard` distribution.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Sample uniformly from `range`.
+    fn gen_range<T, Ra: SampleRange<T>>(&mut self, range: Ra) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli sample with probability `p` (via `rand` 0.8's 64-bit
+    /// fixed-point comparison).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+        if p == 1.0 {
+            return true;
+        }
+        let p_int = (p * (2.0f64).powi(64)) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Commonly used re-exports, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.next_u32() as u8;
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Counter(42);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let f = rng.gen_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let i = rng.gen_range(0usize..=3);
+            assert!(i <= 3);
+            let b = rng.gen_range(0u8..255);
+            assert!(b < 255);
+        }
+    }
+
+    #[test]
+    fn standard_floats_are_unit_interval() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            let g: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Counter(3);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+}

@@ -1,0 +1,459 @@
+//! Offline vendored subset of `serde`.
+//!
+//! The real `serde` cannot be fetched in this hermetic build environment,
+//! so this crate provides the small surface the workspace uses: the
+//! [`Serialize`]/[`Deserialize`] traits, a JSON-shaped [`Value`] data
+//! model they convert through, and re-exported derive macros (from the
+//! sibling `serde_derive` vendored proc-macro).
+//!
+//! The simplification relative to upstream: instead of the
+//! visitor-based zero-copy architecture, serialization goes
+//! `T -> Value -> bytes` and deserialization `bytes -> Value -> T`.
+//! The *wire format* produced by `serde_json` on top of this model is
+//! byte-identical to upstream for the types in this workspace
+//! (struct-definition field order is preserved, floats print via the
+//! shortest round-trip representation, `Option` fields honour
+//! `skip_serializing_if`/`default`, enums are externally tagged).
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// A JSON-shaped value: the intermediate data model between Rust types
+/// and encoded bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Negative integer (always < 0 when produced by the parser).
+    I64(i64),
+    /// Non-negative integer up to 64 bits.
+    U64(u64),
+    /// Large non-negative integer (e.g. `u128` service codes).
+    U128(u128),
+    /// 32-bit float, kept separate so it prints with `f32` shortest form.
+    F32(f32),
+    /// 64-bit float.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Value>),
+    /// Object; insertion order preserved (struct definition order).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow the object fields if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Borrow the array elements if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// A short name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) | Value::U128(_) => "integer",
+            Value::F32(_) | Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+/// Find a field in an object by key (first match, like JSON objects).
+pub fn find_field<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Build an error from a message.
+    pub fn custom(msg: impl fmt::Display) -> DeError {
+        DeError {
+            msg: msg.to_string(),
+        }
+    }
+
+    /// Type-mismatch error.
+    pub fn expected(what: &str, got: &Value) -> DeError {
+        DeError::custom(format!("expected {what}, got {}", got.kind()))
+    }
+
+    /// Missing-field error.
+    pub fn missing_field(field: &str) -> DeError {
+        DeError::custom(format!("missing field `{field}`"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type that can convert itself into the [`Value`] data model.
+pub trait Serialize {
+    /// Convert to a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Convert from a [`Value`].
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// Called when a struct field is absent from the input. `Option`
+    /// overrides this to yield `None` (matching upstream serde).
+    fn from_missing(field: &str) -> Result<Self, DeError> {
+        Err(DeError::missing_field(field))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! serialize_uint {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+    )*};
+}
+serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v < 0 { Value::I64(v) } else { Value::U64(v as u64) }
+            }
+        }
+    )*};
+}
+serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        Value::U128(*self)
+    }
+}
+
+/// Read any integer-shaped `Value` as `u128` (if non-negative).
+fn int_as_u128(v: &Value) -> Option<u128> {
+    match *v {
+        Value::U64(n) => Some(n as u128),
+        Value::U128(n) => Some(n),
+        Value::I64(n) if n >= 0 => Some(n as u128),
+        _ => None,
+    }
+}
+
+/// Read any integer-shaped `Value` as `i128`.
+fn int_as_i128(v: &Value) -> Option<i128> {
+    match *v {
+        Value::U64(n) => Some(n as i128),
+        Value::U128(n) => i128::try_from(n).ok(),
+        Value::I64(n) => Some(n as i128),
+        _ => None,
+    }
+}
+
+macro_rules! deserialize_uint {
+    ($($ty:ty),*) => {$(
+        impl Deserialize for $ty {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = int_as_u128(v).ok_or_else(|| DeError::expected(stringify!($ty), v))?;
+                <$ty>::try_from(n).map_err(|_| DeError::custom(
+                    format!("integer {n} out of range for {}", stringify!($ty)),
+                ))
+            }
+        }
+    )*};
+}
+deserialize_uint!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! deserialize_int {
+    ($($ty:ty),*) => {$(
+        impl Deserialize for $ty {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = int_as_i128(v).ok_or_else(|| DeError::expected(stringify!($ty), v))?;
+                <$ty>::try_from(n).map_err(|_| DeError::custom(
+                    format!("integer {n} out of range for {}", stringify!($ty)),
+                ))
+            }
+        }
+    )*};
+}
+deserialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F32(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match *v {
+            Value::F64(f) => Ok(f),
+            Value::F32(f) => Ok(f as f64),
+            Value::U64(n) => Ok(n as f64),
+            Value::I64(n) => Ok(n as f64),
+            Value::U128(n) => Ok(n as f64),
+            _ => Err(DeError::expected("f64", v)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", v)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(DeError::expected("single-character string", v)),
+        }
+    }
+}
+
+impl Serialize for Ipv4Addr {
+    fn to_value(&self) -> Value {
+        // Upstream serde serializes IP addresses as strings in
+        // human-readable formats.
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for Ipv4Addr {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => s
+                .parse()
+                .map_err(|e| DeError::custom(format!("bad IPv4 address {s:?}: {e}"))),
+            _ => Err(DeError::expected("IPv4 address string", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(t) => t.to_value(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            _ => T::from_value(v).map(Some),
+        }
+    }
+    fn from_missing(_field: &str) -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::expected("array", v)),
+        }
+    }
+}
+
+impl<K: Serialize + fmt::Display, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Serialize + fmt::Display, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                let items = v
+                    .as_arr()
+                    .ok_or_else(|| DeError::expected("tuple array", v))?;
+                if items.len() != LEN {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of length {LEN}, got {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_missing_defaults_to_none() {
+        assert_eq!(Option::<u32>::from_missing("x"), Ok(None));
+        assert!(u32::from_missing("x").is_err());
+    }
+
+    #[test]
+    fn integers_round_trip_through_value() {
+        let v = 300u16.to_value();
+        assert_eq!(u16::from_value(&v), Ok(300));
+        assert!(u8::from_value(&v).is_err());
+        let neg = (-5i32).to_value();
+        assert_eq!(i32::from_value(&neg), Ok(-5));
+        let big = (u128::MAX - 1).to_value();
+        assert_eq!(u128::from_value(&big), Ok(u128::MAX - 1));
+    }
+
+    #[test]
+    fn tuples_are_arrays() {
+        let v = (1u8, "x".to_string()).to_value();
+        assert_eq!(
+            v,
+            Value::Arr(vec![Value::U64(1), Value::Str("x".into())])
+        );
+        let back: (u8, String) = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, (1u8, "x".to_string()));
+    }
+}

@@ -1,0 +1,503 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` macros.
+//!
+//! `syn`/`quote` are unavailable in this hermetic build, so the derive
+//! input is parsed directly from the `proc_macro::TokenStream` and the
+//! impls are generated as source strings. The supported input grammar is
+//! exactly what this workspace uses:
+//!
+//! * structs with named fields, tuple/newtype structs, unit structs,
+//! * enums with unit, newtype, tuple and struct variants
+//!   (externally-tagged representation, like upstream serde),
+//! * field/variant attributes `#[serde(rename = "...")]`,
+//!   `#[serde(default)]`, `#[serde(skip_serializing_if = "path")]`.
+//!
+//! Generics are not supported (no generic serialized types exist in the
+//! workspace; deriving on one fails with a compile error).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Default, Clone)]
+struct SerdeAttrs {
+    rename: Option<String>,
+    default: bool,
+    skip_serializing_if: Option<String>,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: SerdeAttrs,
+}
+
+#[derive(Debug)]
+enum Body {
+    Unit,
+    /// Tuple struct / variant with N unnamed fields.
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    attrs: SerdeAttrs,
+    body: Body,
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    is_enum: bool,
+    body: Body,
+    variants: Vec<Variant>,
+}
+
+/// Iterate tokens with one-token lookahead.
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Cursor {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, kw: &str) -> bool {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == kw {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Consume `#[...]` attributes; collect any `#[serde(...)]` contents.
+    fn eat_attrs(&mut self) -> SerdeAttrs {
+        let mut attrs = SerdeAttrs::default();
+        while self.eat_punct('#') {
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    parse_attr_group(g.stream(), &mut attrs);
+                }
+                other => panic!("serde derive: expected [...] after '#', got {other:?}"),
+            }
+        }
+        attrs
+    }
+
+    /// Consume an optional `pub` / `pub(...)` visibility.
+    fn eat_vis(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde derive: expected identifier, got {other:?}"),
+        }
+    }
+
+    /// Skip a type expression up to (not including) a top-level `,`.
+    /// Tracks `<`/`>` depth; grouped tokens hide their internal commas.
+    fn skip_type(&mut self) {
+        let mut angle: i32 = 0;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn parse_attr_group(inner: TokenStream, attrs: &mut SerdeAttrs) {
+    let mut c = Cursor::new(inner);
+    // Only `serde(...)` attributes carry information; doc comments and
+    // other attributes are ignored.
+    if !c.eat_ident("serde") {
+        return;
+    }
+    let group = match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        other => panic!("serde derive: malformed #[serde] attribute: {other:?}"),
+    };
+    let mut c = Cursor::new(group);
+    loop {
+        match c.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => {
+                let key = id.to_string();
+                let value = if c.eat_punct('=') {
+                    match c.next() {
+                        Some(TokenTree::Literal(lit)) => {
+                            let s = lit.to_string();
+                            Some(s.trim_matches('"').to_string())
+                        }
+                        other => panic!("serde derive: expected string after `{key} =`, got {other:?}"),
+                    }
+                } else {
+                    None
+                };
+                match (key.as_str(), value) {
+                    ("rename", Some(v)) => attrs.rename = Some(v),
+                    ("skip_serializing_if", Some(v)) => attrs.skip_serializing_if = Some(v),
+                    ("default", None) => attrs.default = true,
+                    (other, _) => panic!("serde derive: unsupported serde attribute `{other}`"),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => continue,
+            other => panic!("serde derive: unexpected token in #[serde(...)]: {other:?}"),
+        }
+    }
+}
+
+fn parse_named_fields(inner: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(inner);
+    let mut fields = Vec::new();
+    loop {
+        if c.peek().is_none() {
+            break;
+        }
+        let attrs = c.eat_attrs();
+        c.eat_vis();
+        let name = c.expect_ident();
+        assert!(c.eat_punct(':'), "serde derive: expected ':' after field `{name}`");
+        c.skip_type();
+        c.eat_punct(',');
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn count_tuple_fields(inner: TokenStream) -> usize {
+    let mut c = Cursor::new(inner);
+    let mut n = 0;
+    loop {
+        if c.peek().is_none() {
+            break;
+        }
+        let _ = c.eat_attrs();
+        c.eat_vis();
+        c.skip_type();
+        c.eat_punct(',');
+        n += 1;
+    }
+    n
+}
+
+fn parse_input(ts: TokenStream) -> Input {
+    let mut c = Cursor::new(ts);
+    let _outer = c.eat_attrs();
+    c.eat_vis();
+    let is_enum = if c.eat_ident("struct") {
+        false
+    } else if c.eat_ident("enum") {
+        true
+    } else {
+        panic!("serde derive: expected `struct` or `enum`");
+    };
+    let name = c.expect_ident();
+    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive (vendored): generic types are not supported");
+    }
+    if is_enum {
+        let group = match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => panic!("serde derive: expected enum body, got {other:?}"),
+        };
+        let mut vc = Cursor::new(group);
+        let mut variants = Vec::new();
+        loop {
+            if vc.peek().is_none() {
+                break;
+            }
+            let attrs = vc.eat_attrs();
+            let vname = vc.expect_ident();
+            let body = match vc.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let fields = parse_named_fields(g.stream());
+                    vc.pos += 1;
+                    Body::Named(fields)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let n = count_tuple_fields(g.stream());
+                    vc.pos += 1;
+                    Body::Tuple(n)
+                }
+                _ => Body::Unit,
+            };
+            vc.eat_punct(',');
+            variants.push(Variant {
+                name: vname,
+                attrs,
+                body,
+            });
+        }
+        Input {
+            name,
+            is_enum,
+            body: Body::Unit,
+            variants,
+        }
+    } else {
+        let body = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Body::Unit,
+        };
+        Input {
+            name,
+            is_enum,
+            body,
+            variants: Vec::new(),
+        }
+    }
+}
+
+fn wire_name(rust_name: &str, attrs: &SerdeAttrs) -> String {
+    attrs.rename.clone().unwrap_or_else(|| rust_name.to_string())
+}
+
+/// `Serialize` body for a named-field set, given an accessor prefix
+/// (e.g. `&self.` for structs, `` for destructured variants).
+fn serialize_named(fields: &[Field], access: &dyn Fn(&str) -> String) -> String {
+    let mut out = String::from("{ let mut obj: Vec<(String, serde::Value)> = Vec::new();\n");
+    for f in fields {
+        let expr = access(&f.name);
+        let wire = wire_name(&f.name, &f.attrs);
+        if let Some(pred) = &f.attrs.skip_serializing_if {
+            out.push_str(&format!(
+                "if !{pred}({expr}) {{ obj.push((\"{wire}\".to_string(), serde::Serialize::to_value({expr}))); }}\n"
+            ));
+        } else {
+            out.push_str(&format!(
+                "obj.push((\"{wire}\".to_string(), serde::Serialize::to_value({expr})));\n"
+            ));
+        }
+    }
+    out.push_str("serde::Value::Obj(obj) }");
+    out
+}
+
+/// `Deserialize` body constructing `ctor { f: ..., ... }` from object
+/// fields bound to `fields`.
+fn deserialize_named(fields: &[Field], ctor: &str) -> String {
+    let mut out = format!("Ok({ctor} {{\n");
+    for f in fields {
+        let wire = wire_name(&f.name, &f.attrs);
+        let missing = if f.attrs.default {
+            "std::default::Default::default()".to_string()
+        } else {
+            format!("serde::Deserialize::from_missing(\"{wire}\")?")
+        };
+        out.push_str(&format!(
+            "{name}: match serde::find_field(fields, \"{wire}\") {{ Some(v) => serde::Deserialize::from_value(v)?, None => {missing} }},\n",
+            name = f.name
+        ));
+    }
+    out.push_str("})");
+    out
+}
+
+fn generate_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = if input.is_enum {
+        let mut arms = String::new();
+        for v in &input.variants {
+            let wire = wire_name(&v.name, &v.attrs);
+            match &v.body {
+                Body::Unit => arms.push_str(&format!(
+                    "{name}::{v} => serde::Value::Str(\"{wire}\".to_string()),\n",
+                    v = v.name
+                )),
+                Body::Tuple(1) => arms.push_str(&format!(
+                    "{name}::{v}(f0) => serde::Value::Obj(vec![(\"{wire}\".to_string(), serde::Serialize::to_value(f0))]),\n",
+                    v = v.name
+                )),
+                Body::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                    let elems: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("serde::Serialize::to_value({b})"))
+                        .collect();
+                    arms.push_str(&format!(
+                        "{name}::{v}({binds}) => serde::Value::Obj(vec![(\"{wire}\".to_string(), serde::Value::Arr(vec![{elems}]))]),\n",
+                        v = v.name,
+                        binds = binds.join(", "),
+                        elems = elems.join(", ")
+                    ));
+                }
+                Body::Named(fields) => {
+                    let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                    let inner = serialize_named(fields, &|f| f.to_string());
+                    arms.push_str(&format!(
+                        "{name}::{v} {{ {binds} }} => serde::Value::Obj(vec![(\"{wire}\".to_string(), {inner})]),\n",
+                        v = v.name,
+                        binds = binds.join(", ")
+                    ));
+                }
+            }
+        }
+        format!("match self {{\n{arms}}}")
+    } else {
+        match &input.body {
+            Body::Unit => "serde::Value::Null".to_string(),
+            Body::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+            Body::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("serde::Value::Arr(vec![{}])", elems.join(", "))
+            }
+            Body::Named(fields) => serialize_named(fields, &|f| format!("&self.{f}")),
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn generate_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = if input.is_enum {
+        let mut str_arms = String::new();
+        let mut obj_arms = String::new();
+        for v in &input.variants {
+            let wire = wire_name(&v.name, &v.attrs);
+            match &v.body {
+                Body::Unit => {
+                    str_arms.push_str(&format!("\"{wire}\" => Ok({name}::{v}),\n", v = v.name));
+                    // Also accept `{"Variant": null}` (map form).
+                    obj_arms.push_str(&format!(
+                        "\"{wire}\" => {{ let _ = inner; Ok({name}::{v}) }},\n",
+                        v = v.name
+                    ));
+                }
+                Body::Tuple(1) => obj_arms.push_str(&format!(
+                    "\"{wire}\" => Ok({name}::{v}(serde::Deserialize::from_value(inner)?)),\n",
+                    v = v.name
+                )),
+                Body::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    obj_arms.push_str(&format!(
+                        "\"{wire}\" => {{\n\
+                         let items = inner.as_arr().ok_or_else(|| serde::DeError::expected(\"tuple variant array\", inner))?;\n\
+                         if items.len() != {n} {{ return Err(serde::DeError::custom(\"wrong tuple variant arity\")); }}\n\
+                         Ok({name}::{v}({elems}))\n}},\n",
+                        v = v.name,
+                        elems = elems.join(", ")
+                    ));
+                }
+                Body::Named(fields) => {
+                    let ctor = format!("{name}::{v}", v = v.name);
+                    let inner = deserialize_named(fields, &ctor);
+                    obj_arms.push_str(&format!(
+                        "\"{wire}\" => {{\n\
+                         let fields = inner.as_obj().ok_or_else(|| serde::DeError::expected(\"struct variant object\", inner))?;\n\
+                         {inner}\n}},\n"
+                    ));
+                }
+            }
+        }
+        format!(
+            "match v {{\n\
+             serde::Value::Str(s) => match s.as_str() {{\n{str_arms}\
+             other => Err(serde::DeError::custom(format!(\"unknown {name} variant `{{other}}`\"))),\n}},\n\
+             serde::Value::Obj(tagged) if tagged.len() == 1 => {{\n\
+             let (tag, inner) = &tagged[0];\n\
+             match tag.as_str() {{\n{obj_arms}\
+             other => Err(serde::DeError::custom(format!(\"unknown {name} variant `{{other}}`\"))),\n}}\n}},\n\
+             _ => Err(serde::DeError::expected(\"{name} variant\", v)),\n}}"
+        )
+    } else {
+        match &input.body {
+            Body::Unit => format!("{{ let _ = v; Ok({name}) }}"),
+            Body::Tuple(1) => format!("Ok({name}(serde::Deserialize::from_value(v)?))"),
+            Body::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                format!(
+                    "{{\n\
+                     let items = v.as_arr().ok_or_else(|| serde::DeError::expected(\"tuple struct array\", v))?;\n\
+                     if items.len() != {n} {{ return Err(serde::DeError::custom(\"wrong tuple struct arity\")); }}\n\
+                     Ok({name}({elems}))\n}}",
+                    elems = elems.join(", ")
+                )
+            }
+            Body::Named(fields) => {
+                let inner = deserialize_named(fields, name);
+                format!(
+                    "{{\n\
+                     let fields = v.as_obj().ok_or_else(|| serde::DeError::expected(\"object for {name}\", v))?;\n\
+                     {inner}\n}}"
+                )
+            }
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    generate_serialize(&parsed)
+        .parse()
+        .expect("serde derive: generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    generate_deserialize(&parsed)
+        .parse()
+        .expect("serde derive: generated Deserialize impl parses")
+}
