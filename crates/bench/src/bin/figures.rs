@@ -52,7 +52,12 @@ fn main() {
         match run(id) {
             Some(table) => table.print(),
             None => {
-                eprintln!("unknown experiment id: {id} (try `figures list`)");
+                eprintln!("unknown experiment id: {id}");
+                eprintln!("valid experiment ids:");
+                for known in ALL_IDS.iter().chain(SLOW_IDS.iter()) {
+                    eprintln!("  {known}");
+                }
+                eprintln!("  all  (runs everything, in paper order)");
                 std::process::exit(2);
             }
         }

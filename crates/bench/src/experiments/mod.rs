@@ -6,4 +6,5 @@
 pub mod application;
 pub mod compute;
 pub mod localization;
+pub mod mobility;
 pub mod network;

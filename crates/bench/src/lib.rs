@@ -43,7 +43,7 @@ pub const ALL_IDS: [&str; 17] = [
 ];
 
 /// Extended ids that take noticeably longer (included in `all`).
-pub const SLOW_IDS: [&str; 4] = ["fig11b", "fig12", "fig13", "ablation-radius"];
+pub const SLOW_IDS: [&str; 5] = ["fig11b", "fig12", "fig13", "ablation-radius", "mobility"];
 
 /// Run one experiment by id.
 pub fn run(id: &str) -> Option<Table> {
@@ -70,6 +70,7 @@ pub fn run(id: &str) -> Option<Table> {
         "fig12" => application::fig12(),
         "fig13" => application::fig13(),
         "ablation-radius" => application::ablation_radius(),
+        "mobility" => mobility::mobility(),
         _ => return None,
     })
 }

@@ -142,6 +142,9 @@ mod token {
     /// cancels every older pending check instead of letting them stack up
     /// and race each other's stall watermark.
     pub const RETRANSMIT: u64 = 5;
+    /// Re-issue the MRS connectivity request mid-stream (after a
+    /// serving-cell change); idempotent at the MRS/PCEF.
+    pub const REANCHOR: u64 = 6;
     /// Low bits reserved for the token kind; high bits carry an epoch.
     pub const BITS: u32 = 8;
     /// Mask selecting the token kind.
@@ -176,6 +179,10 @@ pub struct ArFrontend {
     result_stall_checks: u32,
     /// Retransmissions performed (for diagnostics/tests).
     pub retransmissions: u64,
+    /// Mid-stream MRS re-anchor requests issued (serving-cell changes).
+    pub reanchor_requests: u64,
+    /// MRS acks received while already streaming (re-anchor confirms).
+    pub reanchor_acks: u64,
     spec: ImageSpec,
     /// Bearer-setup handshake duration (when MRS is configured).
     pub bearer_setup: Option<Duration>,
@@ -190,6 +197,13 @@ impl ArFrontend {
     /// The timer token that must be armed to start the client:
     /// `sim.schedule_timer(node, start, ArFrontend::KICKOFF)`.
     pub const KICKOFF: u64 = token::KICKOFF;
+
+    /// Timer token asking a *streaming* client to repeat its MRS
+    /// connectivity handshake (the device-manager path after a
+    /// serving-cell change). The request is idempotent at the PCEF: if
+    /// the dedicated bearer survived the handover it just acks; if it was
+    /// torn down, it is re-created on the new cell.
+    pub const REANCHOR: u64 = token::REANCHOR;
 
     /// New client.
     pub fn new(cfg: ArFrontendConfig) -> ArFrontend {
@@ -210,6 +224,8 @@ impl ArFrontend {
             retx_epoch: 0,
             result_stall_checks: 0,
             retransmissions: 0,
+            reanchor_requests: 0,
+            reanchor_acks: 0,
             spec: ImageSpec::new(0, Resolution::E2E),
             bearer_setup: None,
             mrs_requested_at: None,
@@ -416,6 +432,12 @@ impl ArFrontend {
 impl Node for ArFrontend {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, pkt: Packet) {
         match AppMsg::from_packet(&pkt) {
+            Some(AppMsg::MrsAck { ok: true, .. }) if self.phase == Phase::Streaming => {
+                // Re-anchor confirmation after a cell change; streaming
+                // never stopped (selective repeat bridged the gap).
+                self.reanchor_acks += 1;
+            }
+            Some(AppMsg::MrsAck { ok: false, .. }) if self.phase == Phase::Streaming => {}
             Some(AppMsg::MrsAck { ok, .. }) if self.phase == Phase::AwaitingMrs => {
                 if let Some(t0) = self.mrs_requested_at {
                     self.bearer_setup = Some(ctx.now() - t0);
@@ -517,6 +539,17 @@ impl Node for ArFrontend {
             token::REPORT if self.phase == Phase::Streaming => {
                 self.send_reports(ctx);
                 ctx.schedule_in(self.cfg.report_period, token::REPORT);
+            }
+            token::REANCHOR if self.phase == Phase::Streaming => {
+                if let Some((mrs_addr, service)) = self.cfg.mrs.clone() {
+                    self.reanchor_requests += 1;
+                    let msg = AppMsg::MrsRequest {
+                        service,
+                        ue_addr: self.cfg.ue_ip,
+                        create: true,
+                    };
+                    self.send_app(ctx, (mrs_addr, MRS_PORT), &msg, 0);
+                }
             }
             _ => {}
         }

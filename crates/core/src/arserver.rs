@@ -240,6 +240,15 @@ impl ArServer {
 
 impl Node for ArServer {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, pkt: Packet) {
+        if pkt.protocol == acacia_simnet::packet::proto::ICMP {
+            // Liveness probes (the mobility experiment's interruption
+            // meter) are echoed on the same path the AR traffic takes.
+            let mut back = pkt;
+            std::mem::swap(&mut back.src, &mut back.dst);
+            std::mem::swap(&mut back.src_port, &mut back.dst_port);
+            ctx.send(0, back);
+            return;
+        }
         match AppMsg::from_packet(&pkt) {
             Some(AppMsg::FrameChunk {
                 seq,

@@ -56,6 +56,9 @@ struct AppEntry {
     info: ServiceInfo,
     subs: Vec<SubscriptionId>,
     conn: ConnState,
+    /// Has this app ever asked for MEC connectivity? Cell changes only
+    /// (re-)establish connectivity for apps that opted in.
+    wants_conn: bool,
 }
 
 /// The device manager.
@@ -87,6 +90,7 @@ impl DeviceManager {
             info,
             subs,
             conn: ConnState::None,
+            wants_conn: false,
         }));
         self.apps.len() - 1
     }
@@ -125,6 +129,7 @@ impl DeviceManager {
                 self.events_delivered += 1;
                 let action = if entry.conn == ConnState::None {
                     entry.conn = ConnState::Requested;
+                    entry.wants_conn = true;
                     Some(ConnectivityAction::Create {
                         service: entry.info.service.clone(),
                     })
@@ -144,12 +149,42 @@ impl DeviceManager {
         let entry = self.apps.get_mut(app)?.as_mut()?;
         if entry.conn == ConnState::None {
             entry.conn = ConnState::Requested;
+            entry.wants_conn = true;
             Some(ConnectivityAction::Create {
                 service: entry.info.service.clone(),
             })
         } else {
             None
         }
+    }
+
+    /// The serving cell changed (mobility, paper §8 "users may move").
+    /// For every app that wants MEC connectivity:
+    ///
+    /// * the new cell is MEC-equipped → re-request connectivity. The PCEF
+    ///   treats this as idempotent: if the network already re-anchored the
+    ///   dedicated bearer during the handover, the request just acks; if
+    ///   the bearer was lost, it re-creates it on the new cell's local
+    ///   gateway.
+    /// * the new cell has no MEC → the network released the dedicated
+    ///   bearer; drop to default connectivity so the next MEC cell
+    ///   triggers a fresh create.
+    pub fn on_cell_change(&mut self, cell_is_mec: bool) -> Vec<ConnectivityAction> {
+        let mut actions = Vec::new();
+        for entry in self.apps.iter_mut().flatten() {
+            if !entry.wants_conn {
+                continue;
+            }
+            if cell_is_mec {
+                entry.conn = ConnState::Requested;
+                actions.push(ConnectivityAction::Create {
+                    service: entry.info.service.clone(),
+                });
+            } else {
+                entry.conn = ConnState::None;
+            }
+        }
+        actions
     }
 
     /// The MRS answered a connectivity request for `service`.
@@ -326,6 +361,37 @@ mod tests {
         assert_eq!(dm.on_app_launch(app), None);
         let (_, a2) = dm.on_discovery(&event("acme", "x"));
         assert_eq!(a2, None);
+        dm.on_mrs_ack("acme", true);
+        assert!(dm.has_connectivity(app));
+    }
+
+    #[test]
+    fn cell_changes_drive_connectivity_for_opted_in_apps_only() {
+        let mut dm = DeviceManager::new();
+        let mut modem = Modem::new();
+        let app = dm.register_app(
+            &mut modem,
+            ServiceInfo {
+                service: "acme".into(),
+                interests: vec![],
+            },
+        );
+        // Before any interest match: cell changes do nothing.
+        assert!(dm.on_cell_change(true).is_empty());
+        dm.on_discovery(&event("acme", "x"));
+        dm.on_mrs_ack("acme", true);
+        assert!(dm.has_connectivity(app));
+        // Walk to a non-MEC cell: connectivity drops to default.
+        assert!(dm.on_cell_change(false).is_empty());
+        assert!(!dm.has_connectivity(app));
+        // Walk back into MEC coverage: a fresh create fires.
+        let actions = dm.on_cell_change(true);
+        assert_eq!(
+            actions,
+            vec![ConnectivityAction::Create {
+                service: "acme".into()
+            }]
+        );
         dm.on_mrs_ack("acme", true);
         assert!(dm.has_connectivity(app));
     }

@@ -31,6 +31,7 @@ pub mod arclient;
 pub mod arserver;
 pub mod device_manager;
 pub mod locmgr;
+pub mod mobility;
 pub mod mrs;
 pub mod msg;
 pub mod retail;
@@ -41,6 +42,7 @@ pub use arclient::{ArFrontend, ArFrontendConfig, FrameStats};
 pub use arserver::{ArServer, ArServerConfig, FrameRecord};
 pub use device_manager::{AppId, ConnectivityAction, DeviceManager, ServiceInfo};
 pub use locmgr::{LocalizationManager, LocalizationMetadata};
+pub use mobility::{MobilityConfig, MobilityMode, MobilityReport, MobilityScenario};
 pub use mrs::{Mrs, ServerInstance};
 pub use msg::{AppMsg, FrameMeta};
 pub use retail::{CustomerApp, ShopperNotification, StoreApp};
@@ -53,6 +55,7 @@ pub mod prelude {
     pub use crate::arserver::{ArServer, ArServerConfig};
     pub use crate::device_manager::{DeviceManager, ServiceInfo};
     pub use crate::locmgr::{LocalizationManager, LocalizationMetadata};
+    pub use crate::mobility::{MobilityConfig, MobilityMode, MobilityReport, MobilityScenario};
     pub use crate::mrs::{Mrs, ServerInstance};
     pub use crate::msg::AppMsg;
     pub use crate::scenario::{Deployment, Scenario, ScenarioConfig, SessionReport};

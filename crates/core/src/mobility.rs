@@ -1,0 +1,427 @@
+//! The mobility scenario: an AR session that survives X2 handovers.
+//!
+//! The paper's deployment is a MEC-equipped small cell coexisting with a
+//! commercial macrocell (§6, §8): users walk in and out of MEC coverage
+//! mid-session. This scenario walks a UE from the small cell to a far
+//! cell and back while the AR session runs, exercising three variants:
+//!
+//! * **ACACIA-reanchor** — both cells are MEC-equipped; the dedicated
+//!   bearer is re-anchored onto the target cell's local gateway at every
+//!   handover (Path Switch → Bearer Relocation at the GW-C).
+//! * **Default-fallback** — the far cell has no MEC path; the dedicated
+//!   bearer is torn down at handover and traffic falls back to the
+//!   default bearer, reaching the MEC server through the core detour.
+//!   The device manager re-creates the bearer when the UE walks back.
+//! * **Cloud** — conventional EPC baseline: the server is remote and
+//!   handovers only move the default bearer.
+//!
+//! The device-manager leg of the story runs here too: the driver watches
+//! the serving cell and feeds changes to [`DeviceManager::on_cell_change`],
+//! whose `Create` actions trigger the client's idempotent mid-stream MRS
+//! re-anchor handshake.
+
+use crate::arclient::{ArFrontend, ArFrontendConfig, FrameStats};
+use crate::arserver::{ArServer, ArServerConfig};
+use crate::device_manager::{ConnectivityAction, DeviceManager, ServiceInfo};
+use crate::locmgr::{LocalizationManager, LocalizationMetadata};
+use crate::mrs::{port as mrs_port, Mrs, ServerInstance};
+use crate::msg::APP_PORT;
+use crate::scenario::SERVICE;
+use crate::search::SearchStrategy;
+use acacia_d2d::modem::Modem;
+use acacia_geo::floor::FloorPlan;
+use acacia_geo::Point;
+use acacia_lte::enb::Enb;
+use acacia_lte::entities::{pcrf_port, GwControl};
+use acacia_lte::mobility::Waypoint;
+use acacia_lte::network::{CellConfig, LteConfig, LteNetwork};
+use acacia_lte::ue::{AppSelector, Ue};
+use acacia_simnet::cloud::Ec2Region;
+use acacia_simnet::link::LinkConfig;
+use acacia_simnet::packet::proto;
+use acacia_simnet::sim::NodeId;
+use acacia_simnet::time::Duration;
+use acacia_simnet::transport::PingAgent;
+use acacia_vision::compute::Device;
+use acacia_vision::db::ObjectDb;
+use std::net::Ipv4Addr;
+
+/// Which mobility variant to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MobilityMode {
+    /// Both cells MEC-equipped: the dedicated bearer follows the UE.
+    Reanchor,
+    /// Far cell without MEC: fall back to the default bearer + core
+    /// detour, re-create the bearer on return.
+    Fallback,
+    /// Remote server over the default bearer (conventional EPC).
+    Cloud,
+}
+
+impl MobilityMode {
+    /// All variants, in presentation order.
+    pub const ALL: [MobilityMode; 3] = [
+        MobilityMode::Reanchor,
+        MobilityMode::Fallback,
+        MobilityMode::Cloud,
+    ];
+
+    /// Legend name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MobilityMode::Reanchor => "ACACIA-reanchor",
+            MobilityMode::Fallback => "default-fallback",
+            MobilityMode::Cloud => "CLOUD",
+        }
+    }
+}
+
+/// Mobility scenario parameters.
+#[derive(Debug, Clone)]
+pub struct MobilityConfig {
+    /// Variant under test.
+    pub mode: MobilityMode,
+    /// Master seed.
+    pub seed: u64,
+    /// Frames the AR session captures.
+    pub frame_count: u64,
+    /// Pacing between captures (keeps the session spanning the walk).
+    pub frame_interval: Duration,
+    /// Walk speed, m/s.
+    pub speed_mps: f64,
+    /// Dwell at the far end before walking back.
+    pub far_dwell: Duration,
+    /// Objects per subsection in the database.
+    pub db_per_subsection: usize,
+    /// Matching execution cap.
+    pub exec_cap: usize,
+    /// Cloud region (CLOUD mode's server placement).
+    pub region: Ec2Region,
+}
+
+impl MobilityConfig {
+    /// The figure configuration: a ~27 s there-and-back walk under a
+    /// paced AR session long enough to cover both handovers.
+    pub fn figure(mode: MobilityMode) -> MobilityConfig {
+        MobilityConfig {
+            mode,
+            seed: 42,
+            frame_count: 45,
+            frame_interval: Duration::from_millis(600),
+            speed_mps: 3.0,
+            far_dwell: Duration::from_secs(3),
+            db_per_subsection: 1,
+            exec_cap: 24,
+            region: Ec2Region::California,
+        }
+    }
+
+    /// Smaller/faster variant for tests.
+    pub fn smoke(mode: MobilityMode) -> MobilityConfig {
+        MobilityConfig {
+            frame_count: 12,
+            frame_interval: Duration::from_millis(1_200),
+            speed_mps: 5.0,
+            far_dwell: Duration::from_secs(1),
+            ..MobilityConfig::figure(mode)
+        }
+    }
+}
+
+/// Results of a mobility session.
+#[derive(Debug, Clone)]
+pub struct MobilityReport {
+    /// Variant that produced it.
+    pub mode: MobilityMode,
+    /// Per-frame stats (latency CDF material).
+    pub frames: Vec<FrameStats>,
+    /// Frames the session was asked to complete.
+    pub frames_requested: u64,
+    /// Serving-cell switches the UE completed.
+    pub handovers: u64,
+    /// Per-handover service interruption, milliseconds.
+    pub interruptions_ms: Vec<f64>,
+    /// Downlink packets forwarded over X2 during handover execution.
+    pub x2_forwarded: u64,
+    /// User packets lost to mobility (stale-cell deliveries + missing
+    /// bearer state at an eNB).
+    pub lost: u64,
+    /// Client-side retransmissions (selective-repeat recoveries).
+    pub retransmissions: u64,
+    /// Liveness probes (sent, lost): a 25 ms ICMP stream to the AR server
+    /// that meters the data path at finer grain than the paced frames.
+    pub probes: (u64, u64),
+    /// Mid-stream MRS re-anchor handshakes (requests, acks).
+    pub reanchors: (u64, u64),
+    /// Dedicated bearers relocated to a new cell's local gateway.
+    pub dedicated_reanchored: u64,
+    /// Dedicated bearers released at handover (fallback path).
+    pub dedicated_released: u64,
+}
+
+impl MobilityReport {
+    /// Did every requested frame complete (zero application failures)?
+    pub fn session_complete(&self) -> bool {
+        self.frames.len() as u64 == self.frames_requested
+    }
+
+    /// Mean end-to-end frame latency, seconds.
+    pub fn mean_total_s(&self) -> f64 {
+        if self.frames.is_empty() {
+            return 0.0;
+        }
+        self.frames.iter().map(FrameStats::total_s).sum::<f64>() / self.frames.len() as f64
+    }
+}
+
+/// Two cells 40 m apart; the UE walks from 2 m to 38 m and back. With
+/// the indoor path-loss default and 3 dB hysteresis the A3 crossover
+/// sits near 22 m outbound (and symmetrically near 18 m inbound).
+const CELL_SPACING_M: f64 = 40.0;
+const WALK_NEAR_M: f64 = 2.0;
+const WALK_FAR_M: f64 = 38.0;
+
+/// A built mobility scenario.
+pub struct MobilityScenario {
+    /// The network (owns the simulator).
+    pub net: LteNetwork,
+    /// Client node.
+    pub client: NodeId,
+    /// Server node.
+    pub server: NodeId,
+    /// Liveness-probe node.
+    pub probe: NodeId,
+    cfg: MobilityConfig,
+    dm: DeviceManager,
+}
+
+impl MobilityScenario {
+    /// Build the scenario.
+    pub fn build(cfg: MobilityConfig) -> MobilityScenario {
+        let far_mec = cfg.mode == MobilityMode::Reanchor;
+        let mut net = LteNetwork::new(LteConfig {
+            seed: cfg.seed,
+            cells: vec![
+                CellConfig {
+                    pos: Point::new(0.0, 0.0),
+                    mec: true,
+                },
+                CellConfig {
+                    pos: Point::new(CELL_SPACING_M, 0.0),
+                    mec: far_mec,
+                },
+            ],
+            core_detour: cfg.mode == MobilityMode::Fallback,
+            ..LteConfig::default()
+        });
+
+        let floor = FloorPlan::retail_store();
+        let db = ObjectDb::generate_retail(&floor, cfg.db_per_subsection, cfg.seed);
+        let locmgr = LocalizationManager::new(LocalizationMetadata::for_floor(
+            &floor,
+            &acacia_d2d::technology::ProximityTech::LteDirect.pathloss(),
+        ));
+        let make_server = |addr: Ipv4Addr| {
+            ArServer::new(
+                ArServerConfig {
+                    addr,
+                    device: Device::I7Octa,
+                    strategy: SearchStrategy::Naive,
+                    exec_cap: cfg.exec_cap,
+                },
+                db.clone(),
+                floor.clone(),
+                locmgr.clone(),
+            )
+        };
+
+        let (server, server_addr, uses_mrs) = match cfg.mode {
+            MobilityMode::Cloud => {
+                let addr = acacia_lte::network::addr::CLOUD_BASE;
+                let (server, assigned) =
+                    net.add_cloud_server(Box::new(make_server(addr)), cfg.region.link_config());
+                assert_eq!(assigned, addr);
+                (server, addr, false)
+            }
+            MobilityMode::Reanchor | MobilityMode::Fallback => {
+                let addr = acacia_lte::network::addr::MEC_BASE;
+                let (server, assigned) = net.add_mec_server(Box::new(make_server(addr)));
+                assert_eq!(assigned, addr);
+                let mrs_addr = acacia_lte::network::addr::CLOUD_BASE;
+                let mut mrs_node = Mrs::new(mrs_addr);
+                mrs_node.register_service(
+                    SERVICE,
+                    ServerInstance {
+                        addr,
+                        distance: 1.0,
+                    },
+                );
+                let (mrs, assigned) = net.add_cloud_server(
+                    Box::new(mrs_node),
+                    LinkConfig::delay_only(Duration::from_micros(800)),
+                );
+                assert_eq!(assigned, mrs_addr);
+                net.sim.connect(
+                    (mrs, mrs_port::RX),
+                    (net.pcrf, pcrf_port::AF),
+                    LinkConfig::delay_only(Duration::from_micros(500)),
+                );
+                (server, addr, true)
+            }
+        };
+
+        let ue_ip = net.attach(0);
+
+        // The user photographs objects from one subsection; which one is
+        // immaterial to the mobility story.
+        let scene_ids: Vec<u64> = db.in_subsections(&[0]).iter().map(|o| o.id).collect();
+
+        let client_cfg = ArFrontendConfig {
+            ue_ip,
+            server: server_addr,
+            mrs: uses_mrs.then(|| (acacia_lte::network::addr::CLOUD_BASE, SERVICE.to_string())),
+            frame_count: cfg.frame_count,
+            min_frame_interval: Some(cfg.frame_interval),
+            scene_ids,
+            ..ArFrontendConfig::new(ue_ip, server_addr)
+        };
+        let client = net.connect_ue_app(
+            0,
+            Box::new(ArFrontend::new(client_cfg)),
+            AppSelector::port(APP_PORT),
+        );
+
+        // The liveness probe: one echo every 25 ms for the whole session,
+        // answered by the AR server, riding whatever bearer the TFT puts
+        // AR-server traffic on. Its loss count meters the handover gaps.
+        let walk_s = 2.0 * (WALK_FAR_M - WALK_NEAR_M) / cfg.speed_mps;
+        let probe_interval = Duration::from_millis(25);
+        let probe_count = (Duration::from_secs_f64(walk_s) + cfg.far_dwell).millis() / 25;
+        let probe = net.connect_ue_app(
+            0,
+            Box::new(PingAgent::new(
+                ue_ip,
+                server_addr,
+                probe_interval,
+                probe_count,
+            )),
+            AppSelector::protocol(proto::ICMP),
+        );
+
+        // The device manager's connectivity ledger: the CI app opted in
+        // at launch, so serving-cell changes drive (re-)creates.
+        let mut dm = DeviceManager::new();
+        let mut modem = Modem::new();
+        let app = dm.register_app(
+            &mut modem,
+            ServiceInfo {
+                service: SERVICE.to_string(),
+                interests: vec![],
+            },
+        );
+        if uses_mrs {
+            let _ = dm.on_app_launch(app);
+            dm.on_mrs_ack(SERVICE, true);
+        }
+
+        MobilityScenario {
+            net,
+            client,
+            server,
+            probe,
+            cfg,
+            dm,
+        }
+    }
+
+    /// Run the session: start the AR client and the walk together, watch
+    /// the serving cell, and feed changes through the device manager.
+    pub fn run(mut self) -> MobilityReport {
+        let start = self.net.sim.now();
+        self.net
+            .sim
+            .schedule_timer(self.client, start, ArFrontend::KICKOFF);
+        self.net
+            .sim
+            .schedule_timer(self.probe, start, PingAgent::KICKOFF);
+        self.net.start_mobility(
+            0,
+            vec![
+                Waypoint::passing(Point::new(WALK_NEAR_M, 0.0)),
+                Waypoint::dwelling(Point::new(WALK_FAR_M, 0.0), self.cfg.far_dwell),
+                Waypoint::passing(Point::new(WALK_NEAR_M, 0.0)),
+            ],
+            self.cfg.speed_mps,
+        );
+
+        let walk_s = 2.0 * (WALK_FAR_M - WALK_NEAR_M) / self.cfg.speed_mps;
+        let deadline = start
+            + Duration::from_secs_f64(walk_s)
+            + self.cfg.far_dwell
+            + Duration::from_secs(10 + 2 * self.cfg.frame_count);
+        let mut serving = self.net.serving_cell(0);
+        while self.net.sim.now() < deadline {
+            let t = self.net.sim.now() + Duration::from_millis(100);
+            self.net.sim.run_until(t);
+            let now_serving = self.net.serving_cell(0);
+            if now_serving != serving {
+                serving = now_serving;
+                // The device-manager leg: a cell change either re-creates
+                // MEC connectivity (idempotent when the network already
+                // re-anchored) or records the fallback to default.
+                let cell_is_mec = self.net.cfg.cells[serving].mec;
+                for action in self.dm.on_cell_change(cell_is_mec) {
+                    if matches!(action, ConnectivityAction::Create { .. }) {
+                        let now = self.net.sim.now();
+                        self.net
+                            .sim
+                            .schedule_timer(self.client, now, ArFrontend::REANCHOR);
+                    }
+                }
+            }
+            if self.net.sim.node_ref::<ArFrontend>(self.client).done() {
+                break;
+            }
+        }
+        // Grace period: let in-flight probe echoes land so the loss count
+        // reflects the handover gaps, not the cut-off.
+        let drain = self.net.sim.now() + Duration::from_millis(500);
+        self.net.sim.run_until(drain);
+
+        let client = self.net.sim.node_ref::<ArFrontend>(self.client);
+        let probe = self.net.sim.node_ref::<PingAgent>(self.probe);
+        let ue = self.net.sim.node_ref::<Ue>(self.net.ues[0]);
+        let gwc = self.net.sim.node_ref::<GwControl>(self.net.gwc);
+        let (mut x2_forwarded, mut no_bearer) = (0, 0);
+        for &enb in &self.net.enbs {
+            let e = self.net.sim.node_ref::<Enb>(enb);
+            x2_forwarded += e.x2_forwarded;
+            no_bearer += e.no_bearer;
+        }
+        MobilityReport {
+            mode: self.cfg.mode,
+            frames: client.frames.clone(),
+            frames_requested: self.cfg.frame_count,
+            handovers: ue.handovers,
+            interruptions_ms: ue
+                .interruption_log
+                .iter()
+                .map(|&(_, gap)| gap.secs_f64() * 1e3)
+                .collect(),
+            x2_forwarded,
+            lost: ue.dl_stale + no_bearer,
+            retransmissions: client.retransmissions,
+            probes: (probe.sent(), probe.lost()),
+            reanchors: (client.reanchor_requests, client.reanchor_acks),
+            dedicated_reanchored: gwc.dedicated_reanchored,
+            dedicated_released: gwc.dedicated_released,
+        }
+    }
+}
+
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<MobilityMode>();
+    assert_send::<MobilityConfig>();
+    assert_send::<MobilityReport>();
+};

@@ -46,6 +46,11 @@ pub struct Mrs {
     pub qci: Qci,
     registry: HashMap<String, Vec<ServerInstance>>,
     pending: HashMap<u32, Pending>,
+    /// Stable (service, UE) → service-id binding: a re-request (e.g. the
+    /// device manager re-confirming connectivity after a handover) must
+    /// carry the *same* id so the PCEF can recognise it as idempotent
+    /// instead of stacking a second bearer.
+    allocated: HashMap<(String, Ipv4Addr), u32>,
     next_service_id: u32,
     /// Requests served (create + delete).
     pub requests: u64,
@@ -61,6 +66,7 @@ impl Mrs {
             qci: Qci(7),
             registry: HashMap::new(),
             pending: HashMap::new(),
+            allocated: HashMap::new(),
             next_service_id: 1,
             requests: 0,
             rejected: 0,
@@ -121,8 +127,16 @@ impl Node for Mrs {
                     self.answer(ctx, reply_to, &service, false, None);
                     return;
                 };
-                let service_id = self.next_service_id;
-                self.next_service_id += 1;
+                let key = (service.clone(), ue_addr);
+                let service_id = match self.allocated.get(&key) {
+                    Some(&id) => id,
+                    None => {
+                        let id = self.next_service_id;
+                        self.next_service_id += 1;
+                        self.allocated.insert(key, id);
+                        id
+                    }
+                };
                 self.pending.insert(
                     service_id,
                     Pending {

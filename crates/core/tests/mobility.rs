@@ -1,0 +1,70 @@
+//! Mobility e2e tests: an AR session that spans X2 handovers. The UE
+//! walks from the MEC-equipped small cell to the far cell and back while
+//! frames stream; the session must complete with zero application-level
+//! failures in every variant.
+
+use acacia::mobility::{MobilityConfig, MobilityMode, MobilityScenario};
+
+fn run(mode: MobilityMode) -> acacia::mobility::MobilityReport {
+    MobilityScenario::build(MobilityConfig::smoke(mode)).run()
+}
+
+#[test]
+fn reanchor_session_survives_both_handovers() {
+    let report = run(MobilityMode::Reanchor);
+    assert!(
+        report.session_complete(),
+        "{} of {} frames completed",
+        report.frames.len(),
+        report.frames_requested
+    );
+    // Out to the far cell and back: two handovers, each with a bounded
+    // service interruption.
+    assert_eq!(report.handovers, 2, "walk crosses the A3 boundary twice");
+    assert_eq!(report.interruptions_ms.len(), 2);
+    for &gap in &report.interruptions_ms {
+        assert!(gap < 500.0, "service interruption {gap} ms");
+    }
+    // The dedicated bearer followed the UE both times; nothing released.
+    assert_eq!(report.dedicated_reanchored, 2);
+    assert_eq!(report.dedicated_released, 0);
+    // The device manager re-requested connectivity at each MEC cell and
+    // the (idempotent) MRS handshake acked.
+    assert_eq!(report.reanchors.0, 2, "one re-anchor request per handover");
+    assert_eq!(report.reanchors.1, 2, "both acked");
+}
+
+#[test]
+fn fallback_session_survives_on_the_default_bearer() {
+    let report = run(MobilityMode::Fallback);
+    assert!(
+        report.session_complete(),
+        "{} of {} frames completed",
+        report.frames.len(),
+        report.frames_requested
+    );
+    assert_eq!(report.handovers, 2);
+    // Out: the far cell has no MEC, so the bearer is released and traffic
+    // falls back to the default path. Back: the device manager re-creates
+    // it on the home cell.
+    assert_eq!(report.dedicated_released, 1);
+    // The return-leg bearer is freshly *created* after the handover (the
+    // device manager's re-request), not relocated during it.
+    assert_eq!(report.dedicated_reanchored, 0);
+    assert_eq!(report.reanchors, (1, 1), "re-create on returning to MEC");
+}
+
+#[test]
+fn cloud_session_is_unaffected_by_bearer_machinery() {
+    let report = run(MobilityMode::Cloud);
+    assert!(
+        report.session_complete(),
+        "{} of {} frames completed",
+        report.frames.len(),
+        report.frames_requested
+    );
+    assert_eq!(report.handovers, 2);
+    assert_eq!(report.dedicated_reanchored, 0);
+    assert_eq!(report.dedicated_released, 0);
+    assert_eq!(report.reanchors, (0, 0), "no MRS in the cloud baseline");
+}

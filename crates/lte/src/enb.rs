@@ -15,7 +15,7 @@ use crate::wire::{ControlMsg, ErabSetup};
 use crate::{gtpu, tft::Tft};
 use acacia_simnet::packet::Packet;
 use acacia_simnet::sim::{Ctx, Node, PortId};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
 
 /// Per-bearer forwarding state at the eNB.
@@ -52,6 +52,39 @@ struct UeEntry {
     idle_check_armed: bool,
 }
 
+/// An X2 neighbour of this eNB.
+#[derive(Debug, Clone, Copy)]
+struct X2Peer {
+    /// Radio-side address of the neighbour (what measurement reports name).
+    radio_addr: Ipv4Addr,
+    /// S1/X2 control address of the neighbour.
+    enb_addr: Ipv4Addr,
+    /// Local port the X2 link is attached to.
+    port: PortId,
+}
+
+/// Source-side handover progress for one UE.
+#[derive(Debug, Clone)]
+enum HoPhase {
+    /// Handover Request sent; waiting for the target's Ack.
+    Preparing {
+        /// X2 port toward the target.
+        port: PortId,
+        /// Radio address of the target cell (for the RRC command).
+        target_radio: Ipv4Addr,
+    },
+    /// UE commanded to the target; downlink data is forwarded over X2
+    /// until the target signals UE Context Release.
+    Forwarding {
+        /// X2 port toward the target.
+        port: PortId,
+        /// Target eNB control address (GTP-U outer destination).
+        peer: Ipv4Addr,
+        /// Per-bearer forwarding TEIDs allocated by the target.
+        teids: BTreeMap<Ebi, Teid>,
+    },
+}
+
 /// Timer tokens understood by the eNB.
 pub mod token {
     /// Downlink radio scheduler release.
@@ -81,12 +114,25 @@ pub struct Enb {
     /// `None` disables the mechanism (procedures driven by the harness).
     pub auto_idle: Option<acacia_simnet::time::Duration>,
     log: MsgLog,
+    /// X2 neighbours (peer cells).
+    x2_peers: Vec<X2Peer>,
+    /// Outgoing handovers in progress, keyed by UE.
+    ho: BTreeMap<Imsi, HoPhase>,
+    /// Incoming handovers awaiting Path Switch completion:
+    /// IMSI → (X2 port toward the source, source eNB address).
+    ho_in: BTreeMap<Imsi, (PortId, Ipv4Addr)>,
     /// Uplink user packets forwarded onto S1.
     pub ul_forwarded: u64,
     /// Downlink user frames scheduled to UEs.
     pub dl_forwarded: u64,
     /// Packets dropped for missing bearer state.
     pub no_bearer: u64,
+    /// Handovers completed with this eNB as source.
+    pub ho_out_done: u64,
+    /// Handovers completed with this eNB as target.
+    pub ho_in_done: u64,
+    /// Downlink packets forwarded over X2 during handover execution.
+    pub x2_forwarded: u64,
 }
 
 impl Enb {
@@ -102,10 +148,26 @@ impl Enb {
             dl: RadioScheduler::new(dl_rate_bps),
             auto_idle: None,
             log,
+            x2_peers: Vec::new(),
+            ho: BTreeMap::new(),
+            ho_in: BTreeMap::new(),
             ul_forwarded: 0,
             dl_forwarded: 0,
             no_bearer: 0,
+            ho_out_done: 0,
+            ho_in_done: 0,
+            x2_forwarded: 0,
         }
+    }
+
+    /// Register an X2 neighbour cell reachable via `port`. Measurement
+    /// reports identify targets by their radio address.
+    pub fn add_x2_neighbor(&mut self, radio_addr: Ipv4Addr, enb_addr: Ipv4Addr, port: PortId) {
+        self.x2_peers.push(X2Peer {
+            radio_addr,
+            enb_addr,
+            port,
+        });
     }
 
     /// Register a UE served by this eNB; returns its radio port.
@@ -151,6 +213,17 @@ impl Enb {
         ctx.send(port::ENB_S1AP, msg.into_packet(self.addr, self.mme_addr));
     }
 
+    fn send_x2(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        x2_port: PortId,
+        peer_addr: Ipv4Addr,
+        msg: ControlMsg,
+    ) {
+        self.log.record(ctx.now(), &msg);
+        ctx.send(x2_port, msg.into_packet(self.addr, peer_addr));
+    }
+
     fn send_rrc(&mut self, ctx: &mut Ctx<'_>, imsi: Imsi, msg: ControlMsg) {
         let Some(ue) = self.ue_by_imsi(imsi) else {
             return;
@@ -178,6 +251,28 @@ impl Enb {
                     ControlMsg::RrcServiceRequest { .. } => {
                         self.send_s1ap(ctx, ControlMsg::InitialUeServiceRequest { imsi });
                     }
+                    ControlMsg::RrcMeasurementReport { target_radio, .. } => {
+                        self.start_handover(ctx, imsi, target_radio);
+                    }
+                    ControlMsg::RrcHandoverConfirm { .. } if self.ho_in.contains_key(&imsi) => {
+                        // Target side: the UE has arrived on our radio;
+                        // switch its S1 path toward us.
+                        let erabs: Vec<(Ebi, Teid)> = self
+                            .bearers
+                            .iter()
+                            .filter(|b| b.imsi == imsi && b.active)
+                            .map(|b| (b.ebi, b.enb_teid))
+                            .collect();
+                        let enb_addr = self.addr;
+                        self.send_s1ap(
+                            ctx,
+                            ControlMsg::PathSwitchRequest {
+                                imsi,
+                                enb_addr,
+                                erabs,
+                            },
+                        );
+                    }
                     _ => {}
                 }
             }
@@ -203,6 +298,139 @@ impl Enb {
         }
     }
 
+    /// Source-side handover admission: a measurement report arrived for a
+    /// known X2 neighbour. Sends the X2 Handover Request carrying every
+    /// active bearer context (standard X2AP — the eNB needs no knowledge
+    /// of which gateway is "local").
+    fn start_handover(&mut self, ctx: &mut Ctx<'_>, imsi: Imsi, target_radio: Ipv4Addr) {
+        if self.ho.contains_key(&imsi) {
+            return; // one handover at a time per UE
+        }
+        let Some(peer) = self
+            .x2_peers
+            .iter()
+            .find(|p| p.radio_addr == target_radio)
+            .copied()
+        else {
+            return; // unknown neighbour: ignore the report
+        };
+        let ue_addr = self.ue_by_imsi(imsi).and_then(|u| u.ue_addr);
+        let bearers: Vec<ErabSetup> = self
+            .bearers
+            .iter()
+            .filter(|b| b.imsi == imsi && b.active)
+            .map(|b| ErabSetup {
+                ebi: b.ebi,
+                qci: b.qci,
+                gw_addr: b.gw_addr,
+                gw_teid: b.gw_teid,
+                tft: b.tft.clone(),
+            })
+            .collect();
+        if bearers.is_empty() {
+            return; // nothing to hand over
+        }
+        self.ho.insert(
+            imsi,
+            HoPhase::Preparing {
+                port: peer.port,
+                target_radio,
+            },
+        );
+        self.send_x2(
+            ctx,
+            peer.port,
+            peer.enb_addr,
+            ControlMsg::X2HandoverRequest {
+                imsi,
+                ue_addr,
+                bearers,
+            },
+        );
+    }
+
+    fn handle_x2(&mut self, ctx: &mut Ctx<'_>, in_port: PortId, pkt: Packet) {
+        if gtpu::is_gtpu(&pkt) {
+            // Forwarded downlink data from the source cell; our bearer
+            // TEIDs were installed at Handover Request time.
+            self.handle_s1u(ctx, pkt);
+            return;
+        }
+        let Some(msg) = ControlMsg::from_packet(&pkt) else {
+            return;
+        };
+        match msg {
+            // Target side: admit the UE and install its bearers. No RRC
+            // toward the UE — it keeps its bearer/TFT configuration across
+            // the handover (only the serving cell changes).
+            ControlMsg::X2HandoverRequest {
+                imsi,
+                ue_addr,
+                bearers,
+            } => {
+                if let Some(addr) = ue_addr {
+                    if let Some(ue) = self.ues.iter_mut().find(|u| u.imsi == imsi) {
+                        ue.ue_addr = Some(addr);
+                    }
+                }
+                let mut erabs = Vec::new();
+                for erab in &bearers {
+                    let enb_teid = self.setup_erab(erab, imsi);
+                    erabs.push((erab.ebi, enb_teid));
+                }
+                self.ho_in.insert(imsi, (in_port, pkt.src));
+                self.send_x2(
+                    ctx,
+                    in_port,
+                    pkt.src,
+                    ControlMsg::X2HandoverRequestAck { imsi, erabs },
+                );
+            }
+            // Source side: target is ready. Freeze the UE's downlink onto
+            // the X2 forwarding tunnel and command the UE over.
+            ControlMsg::X2HandoverRequestAck { imsi, erabs } => {
+                let Some(HoPhase::Preparing { port, target_radio }) = self.ho.get(&imsi).cloned()
+                else {
+                    return;
+                };
+                self.send_x2(
+                    ctx,
+                    port,
+                    pkt.src,
+                    ControlMsg::X2SnStatusTransfer {
+                        imsi,
+                        dl_count: self.dl_forwarded as u32,
+                        ul_count: self.ul_forwarded as u32,
+                    },
+                );
+                self.ho.insert(
+                    imsi,
+                    HoPhase::Forwarding {
+                        port,
+                        peer: pkt.src,
+                        teids: erabs.into_iter().collect(),
+                    },
+                );
+                self.send_rrc(
+                    ctx,
+                    imsi,
+                    ControlMsg::RrcHandoverCommand { imsi, target_radio },
+                );
+            }
+            // Target side: PDCP sequence state from the source. The data
+            // path here is packet-based, so the counts are informational.
+            ControlMsg::X2SnStatusTransfer { .. } => {}
+            // Source side: the path switch completed; drop the UE context
+            // and stop forwarding.
+            ControlMsg::X2UeContextRelease { imsi } => {
+                self.ho.remove(&imsi);
+                self.bearers.retain(|b| b.imsi != imsi);
+                self.ho_out_done += 1;
+            }
+            _ => {}
+        }
+    }
+
     fn handle_s1u(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
         let Some((teid, inner)) = gtpu::decapsulate(&pkt) else {
             return;
@@ -217,6 +445,17 @@ impl Enb {
             radio::sched_priority(bearer.qci.tos()),
         );
         self.touch_activity(ctx, imsi);
+        // During handover execution the UE is tuning to the target cell:
+        // forward its downlink over X2 instead of the (dead) radio leg.
+        if let Some(HoPhase::Forwarding { port, peer, teids }) = self.ho.get(&imsi) {
+            if let Some(&fwd_teid) = teids.get(&ebi) {
+                let (port, peer) = (*port, *peer);
+                let outer = gtpu::encapsulate(&inner, fwd_teid, self.addr, peer);
+                self.x2_forwarded += 1;
+                ctx.send(port, outer);
+                return;
+            }
+        }
         let Some(ue) = self.ue_by_imsi(imsi) else {
             return;
         };
@@ -353,6 +592,30 @@ impl Enb {
                 self.send_rrc(ctx, imsi, ControlMsg::RrcRelease { imsi });
                 self.send_s1ap(ctx, ControlMsg::UeContextReleaseComplete { imsi });
             }
+            // Target side: the core has re-anchored the S1 legs on us.
+            // Adopt any updated uplink F-TEIDs and tell the source to
+            // release the old UE context.
+            ControlMsg::PathSwitchRequestAck { imsi, erabs } => {
+                for erab in &erabs {
+                    if let Some(b) = self
+                        .bearers
+                        .iter_mut()
+                        .find(|b| b.imsi == imsi && b.ebi == erab.ebi)
+                    {
+                        b.gw_addr = erab.gw_addr;
+                        b.gw_teid = erab.gw_teid;
+                    }
+                }
+                if let Some((x2_port, src_addr)) = self.ho_in.remove(&imsi) {
+                    self.ho_in_done += 1;
+                    self.send_x2(
+                        ctx,
+                        x2_port,
+                        src_addr,
+                        ControlMsg::X2UeContextRelease { imsi },
+                    );
+                }
+            }
             _ => {}
         }
     }
@@ -364,6 +627,8 @@ impl Node for Enb {
             self.handle_radio(ctx, in_port, pkt);
         } else if in_port == port::ENB_S1AP {
             self.handle_s1ap(ctx, pkt);
+        } else if in_port >= port::ENB_X2_BASE {
+            self.handle_x2(ctx, in_port, pkt);
         } else {
             self.handle_s1u(ctx, pkt);
         }

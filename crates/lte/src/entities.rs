@@ -19,7 +19,8 @@ use std::net::Ipv4Addr;
 /// MME port map.
 pub mod mme_port {
     use super::PortId;
-    /// S1AP to the eNB.
+    /// S1AP to the first eNB (additional eNBs get ports from
+    /// [`super::Mme::register_enb`], starting right after `HSS`).
     pub const ENB: PortId = 0;
     /// GTP-C to the GW-C.
     pub const GWC: PortId = 1;
@@ -56,13 +57,16 @@ struct MmeUeCtx {
     ue_addr: Option<Ipv4Addr>,
     default_erab: Option<ErabSetup>,
     enb_teid: Option<Teid>,
+    /// The eNB currently serving this UE (updated by Path Switch).
+    enb_addr: Ipv4Addr,
 }
 
 /// The Mobility Management Entity.
 pub struct Mme {
     /// Own address.
     pub addr: Ipv4Addr,
-    enb_addr: Ipv4Addr,
+    /// Registered eNBs: (S1 address, MME port), index 0 = the first eNB.
+    enbs: Vec<(Ipv4Addr, PortId)>,
     gwc_addr: Ipv4Addr,
     hss_addr: Ipv4Addr,
     ues: HashMap<Imsi, MmeUeCtx>,
@@ -70,7 +74,7 @@ pub struct Mme {
 }
 
 impl Mme {
-    /// New MME.
+    /// New MME with one eNB wired on [`mme_port::ENB`].
     pub fn new(
         addr: Ipv4Addr,
         enb_addr: Ipv4Addr,
@@ -80,12 +84,20 @@ impl Mme {
     ) -> Mme {
         Mme {
             addr,
-            enb_addr,
+            enbs: vec![(enb_addr, mme_port::ENB)],
             gwc_addr,
             hss_addr,
             ues: HashMap::new(),
             log,
         }
+    }
+
+    /// Register an additional eNB; returns the MME port its S1AP link must
+    /// be connected to.
+    pub fn register_enb(&mut self, enb_addr: Ipv4Addr) -> PortId {
+        let port = mme_port::HSS + self.enbs.len();
+        self.enbs.push((enb_addr, port));
+        port
     }
 
     /// Attachment state of a UE.
@@ -96,17 +108,38 @@ impl Mme {
             .unwrap_or(MmeUeState::Unknown)
     }
 
+    /// The eNB currently serving a UE, if the MME has heard of it.
+    pub fn serving_enb(&self, imsi: Imsi) -> Option<Ipv4Addr> {
+        self.ues.get(&imsi).map(|c| c.enb_addr)
+    }
+
     fn send(&mut self, ctx: &mut Ctx<'_>, port: PortId, dst: Ipv4Addr, msg: ControlMsg) {
         self.log.record(ctx.now(), &msg);
         ctx.send(port, msg.into_packet(self.addr, dst));
     }
 
+    /// (port, address) of the eNB serving `imsi` (first eNB by default).
+    fn enb_route(&self, imsi: Imsi) -> (PortId, Ipv4Addr) {
+        let addr = self
+            .ues
+            .get(&imsi)
+            .map(|c| c.enb_addr)
+            .unwrap_or(self.enbs[0].0);
+        self.enbs
+            .iter()
+            .find(|&&(a, _)| a == addr)
+            .map(|&(a, p)| (p, a))
+            .unwrap_or((self.enbs[0].1, self.enbs[0].0))
+    }
+
     fn ctx_mut(&mut self, imsi: Imsi) -> &mut MmeUeCtx {
+        let default_enb = self.enbs[0].0;
         self.ues.entry(imsi).or_insert(MmeUeCtx {
             state: MmeUeState::Unknown,
             ue_addr: None,
             default_erab: None,
             enb_teid: None,
+            enb_addr: default_enb,
         })
     }
 
@@ -139,10 +172,10 @@ impl Mme {
                     c.default_erab = Some(erab.clone());
                     c.state = MmeUeState::CtxSetupWait;
                 }
-                let enb = self.enb_addr;
+                let (port, enb) = self.enb_route(imsi);
                 self.send(
                     ctx,
-                    mme_port::ENB,
+                    port,
                     enb,
                     InitialContextSetupRequest {
                         imsi,
@@ -152,11 +185,11 @@ impl Mme {
             }
             InitialUeServiceRequest { imsi } => {
                 self.ctx_mut(imsi).state = MmeUeState::ServiceWait;
-                let enb = self.enb_addr;
+                let (port, enb) = self.enb_route(imsi);
                 // Empty E-RAB list = restore stored bearers at the eNB.
                 self.send(
                     ctx,
-                    mme_port::ENB,
+                    port,
                     enb,
                     InitialContextSetupRequest {
                         imsi,
@@ -177,7 +210,8 @@ impl Mme {
                 let Some(teid) = self.ues[&imsi].enb_teid else {
                     return;
                 };
-                let (gwc, enb) = (self.gwc_addr, self.enb_addr);
+                let gwc = self.gwc_addr;
+                let (_, enb) = self.enb_route(imsi);
                 self.send(
                     ctx,
                     mme_port::GWC,
@@ -202,20 +236,21 @@ impl Mme {
                     c.state = MmeUeState::Attached;
                     addr
                 };
-                let enb = self.enb_addr;
-                self.send(ctx, mme_port::ENB, enb, DownlinkNasAccept { imsi, ue_addr });
+                let (port, enb) = self.enb_route(imsi);
+                self.send(ctx, port, enb, DownlinkNasAccept { imsi, ue_addr });
             }
             // Dedicated bearer: GW-C initiated.
             CreateBearerRequest { imsi, erab } => {
-                let enb = self.enb_addr;
-                self.send(ctx, mme_port::ENB, enb, ErabSetupRequest { imsi, erab });
+                let (port, enb) = self.enb_route(imsi);
+                self.send(ctx, port, enb, ErabSetupRequest { imsi, erab });
             }
             ErabSetupResponse {
                 imsi,
                 ebi,
                 enb_teid,
             } => {
-                let (gwc, enb) = (self.gwc_addr, self.enb_addr);
+                let gwc = self.gwc_addr;
+                let (_, enb) = self.enb_route(imsi);
                 self.send(
                     ctx,
                     mme_port::GWC,
@@ -229,8 +264,8 @@ impl Mme {
                 );
             }
             DeleteBearerRequest { imsi, ebi } => {
-                let enb = self.enb_addr;
-                self.send(ctx, mme_port::ENB, enb, ErabReleaseCommand { imsi, ebi });
+                let (port, enb) = self.enb_route(imsi);
+                self.send(ctx, port, enb, ErabReleaseCommand { imsi, ebi });
             }
             ErabReleaseResponse { imsi, ebi } => {
                 let gwc = self.gwc_addr;
@@ -248,16 +283,57 @@ impl Mme {
                 );
             }
             ReleaseAccessBearersResponse { imsi } => {
-                let enb = self.enb_addr;
-                self.send(ctx, mme_port::ENB, enb, UeContextReleaseCommand { imsi });
+                let (port, enb) = self.enb_route(imsi);
+                self.send(ctx, port, enb, UeContextReleaseCommand { imsi });
             }
             UeContextReleaseComplete { imsi } => {
                 self.ctx_mut(imsi).state = MmeUeState::Idle;
             }
             // Downlink data pending for an idle UE: page it.
             DownlinkDataNotification { imsi } if self.ctx_mut(imsi).state == MmeUeState::Idle => {
-                let enb = self.enb_addr;
-                self.send(ctx, mme_port::ENB, enb, Paging { imsi });
+                let (port, enb) = self.enb_route(imsi);
+                self.send(ctx, port, enb, Paging { imsi });
+            }
+            // X2 handover: the target eNB owns the UE's S1 legs now.
+            PathSwitchRequest {
+                imsi,
+                enb_addr,
+                erabs,
+            } => {
+                let default_teid = erabs
+                    .iter()
+                    .find(|(ebi, _)| *ebi == Ebi::DEFAULT)
+                    .map(|&(_, t)| t);
+                {
+                    let c = self.ctx_mut(imsi);
+                    c.enb_addr = enb_addr;
+                    c.enb_teid = default_teid.or(c.enb_teid);
+                }
+                let gwc = self.gwc_addr;
+                self.send(
+                    ctx,
+                    mme_port::GWC,
+                    gwc,
+                    BearerRelocationRequest {
+                        imsi,
+                        enb_addr,
+                        enb_teids: erabs,
+                    },
+                );
+            }
+            BearerRelocationResponse {
+                imsi,
+                erabs,
+                released,
+            } => {
+                let (port, enb) = self.enb_route(imsi);
+                self.send(ctx, port, enb, PathSwitchRequestAck { imsi, erabs });
+                // Bearers the target cell cannot serve are released via the
+                // standard E-RAB release procedure.
+                for ebi in released {
+                    let (port, enb) = self.enb_route(imsi);
+                    self.send(ctx, port, enb, ErabReleaseCommand { imsi, ebi });
+                }
             }
             _ => {}
         }
@@ -422,6 +498,39 @@ pub struct GwTopology {
     pub mec_servers: Vec<Ipv4Addr>,
     /// Base address for UE IP assignment (host part increments).
     pub ue_ip_base: Ipv4Addr,
+    /// Per-eNB SGW-U output port overrides for multi-cell topologies
+    /// (empty = every eNB behind `sgw_port_enb`).
+    pub sgw_enb_ports: Vec<(Ipv4Addr, usize)>,
+    /// Per-eNB local GW-U output port overrides (multi-cell MEC).
+    pub local_enb_ports: Vec<(Ipv4Addr, usize)>,
+    /// eNBs with a direct path to the local GW-U (MEC-equipped cells);
+    /// dedicated bearers can only re-anchor onto these.
+    pub mec_enbs: Vec<Ipv4Addr>,
+}
+
+impl GwTopology {
+    /// SGW-U output port toward `enb`.
+    pub fn sgw_port_for(&self, enb: Ipv4Addr) -> usize {
+        self.sgw_enb_ports
+            .iter()
+            .find(|&&(a, _)| a == enb)
+            .map(|&(_, p)| p)
+            .unwrap_or(self.sgw_port_enb)
+    }
+
+    /// Local GW-U output port toward `enb`.
+    pub fn local_port_for(&self, enb: Ipv4Addr) -> usize {
+        self.local_enb_ports
+            .iter()
+            .find(|&&(a, _)| a == enb)
+            .map(|&(_, p)| p)
+            .unwrap_or(self.local_port_enb)
+    }
+
+    /// Does `enb` have a local GW-U (MEC) path?
+    pub fn enb_has_mec(&self, enb: Ipv4Addr) -> bool {
+        self.mec_enbs.is_empty() || self.mec_enbs.contains(&enb)
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -449,6 +558,10 @@ pub struct GwControl {
     log: MsgLog,
     /// Dedicated bearers activated.
     pub dedicated_active: u64,
+    /// Dedicated bearers re-anchored onto a new cell's local GW-U.
+    pub dedicated_reanchored: u64,
+    /// Dedicated bearers torn down because the target cell has no MEC.
+    pub dedicated_released: u64,
 }
 
 impl GwControl {
@@ -462,6 +575,8 @@ impl GwControl {
             next_ue_host: 1,
             log,
             dedicated_active: 0,
+            dedicated_reanchored: 0,
+            dedicated_released: 0,
         }
     }
 
@@ -556,7 +671,7 @@ impl GwControl {
                     teid: enb_teid,
                 },
                 FlowActionSpec::Output {
-                    port: topo.sgw_port_enb,
+                    port: topo.sgw_port_for(enb_addr),
                 },
             ],
         );
@@ -716,6 +831,32 @@ impl GwControl {
                     return;
                 };
                 if rule.install {
+                    // Idempotent re-request (e.g. the device manager
+                    // re-confirming connectivity after a handover that
+                    // kept the bearer): answer success without stacking a
+                    // second bearer for the same service.
+                    let already = {
+                        let s = &self.sessions[&imsi];
+                        s.dedicated
+                            .values()
+                            .any(|(_, r)| r.service_id == rule.service_id)
+                            || s.pending_dedicated
+                                .values()
+                                .any(|(r, _)| r.service_id == rule.service_id)
+                    };
+                    if already {
+                        let sid = rule.service_id;
+                        self.send(
+                            ctx,
+                            gwc_port::PCRF,
+                            pkt_peer(ctx),
+                            GxReauthAnswer {
+                                service_id: sid,
+                                ok: true,
+                            },
+                        );
+                        return;
+                    }
                     if !self.topo.mec_servers.contains(&rule.server_addr) {
                         let sid = rule.service_id;
                         self.send(
@@ -845,7 +986,7 @@ impl GwControl {
                             teid: enb_teid,
                         },
                         FlowActionSpec::Output {
-                            port: topo.local_port_enb,
+                            port: topo.local_port_for(enb_addr),
                         },
                     ],
                 );
@@ -901,6 +1042,160 @@ impl GwControl {
                     GxReauthAnswer {
                         service_id: sid,
                         ok: true,
+                    },
+                );
+            }
+            // X2 handover completed: re-anchor every S1 leg on the target
+            // eNB. The default bearer's SGW-U downlink rule is rewritten;
+            // dedicated bearers follow to the target's local GW-U port or,
+            // when the target has no MEC path, are torn down (the session
+            // falls back to the default bearer).
+            BearerRelocationRequest {
+                imsi,
+                enb_addr,
+                enb_teids,
+            } => {
+                let Some(s) = self.sessions.get_mut(&imsi) else {
+                    return;
+                };
+                s.enb_addr = Some(enb_addr);
+                if let Some(&(_, t)) = enb_teids.iter().find(|(ebi, _)| *ebi == Ebi::DEFAULT) {
+                    s.enb_teid = Some(t);
+                }
+                let ue_addr = s.ue_addr;
+                let teid_sgw_dl = s.teid_sgw_dl;
+                let default_teid = s.enb_teid;
+                // Stable EBI order: HashMap iteration must not leak into
+                // the FlowMod sequence.
+                let mut dedicated: Vec<(u8, Teid, PolicyRule)> = s
+                    .dedicated
+                    .iter()
+                    .map(|(&ebi, (t, r))| (ebi, *t, r.clone()))
+                    .collect();
+                dedicated.sort_by_key(|&(ebi, _, _)| ebi);
+                let topo = self.topo.clone();
+                // Rewrite the SGW-U downlink leg toward the target eNB
+                // (the SGW's paging buffer absorbs the del→add window).
+                if let Some(teid) = default_teid {
+                    self.flowmod(
+                        ctx,
+                        gwc_port::SGW_U,
+                        topo.sgw_u,
+                        false,
+                        FlowMatchSpec {
+                            teid: Some(teid_sgw_dl),
+                            dst: None,
+                            src: None,
+                        },
+                        vec![],
+                    );
+                    self.flowmod(
+                        ctx,
+                        gwc_port::SGW_U,
+                        topo.sgw_u,
+                        true,
+                        FlowMatchSpec {
+                            teid: Some(teid_sgw_dl),
+                            dst: None,
+                            src: None,
+                        },
+                        vec![
+                            FlowActionSpec::GtpDecap,
+                            FlowActionSpec::GtpEncap {
+                                peer: enb_addr,
+                                teid,
+                            },
+                            FlowActionSpec::Output {
+                                port: topo.sgw_port_for(enb_addr),
+                            },
+                        ],
+                    );
+                }
+                let target_mec = topo.enb_has_mec(enb_addr);
+                let mut released = Vec::new();
+                for (ebi, teid_local_ul, _rule) in dedicated {
+                    let target_teid = enb_teids.iter().find(|(e, _)| e.0 == ebi).map(|&(_, t)| t);
+                    if let (true, Some(new_teid)) = (target_mec, target_teid) {
+                        // Relocate: point the local GW-U downlink rule at
+                        // the target eNB's port and TEID.
+                        self.flowmod(
+                            ctx,
+                            gwc_port::LOCAL_GWU,
+                            topo.local_gwu,
+                            false,
+                            FlowMatchSpec {
+                                teid: None,
+                                dst: Some(ue_addr),
+                                src: None,
+                            },
+                            vec![],
+                        );
+                        self.flowmod(
+                            ctx,
+                            gwc_port::LOCAL_GWU,
+                            topo.local_gwu,
+                            true,
+                            FlowMatchSpec {
+                                teid: None,
+                                dst: Some(ue_addr),
+                                src: None,
+                            },
+                            vec![
+                                FlowActionSpec::GtpEncap {
+                                    peer: enb_addr,
+                                    teid: new_teid,
+                                },
+                                FlowActionSpec::Output {
+                                    port: topo.local_port_for(enb_addr),
+                                },
+                            ],
+                        );
+                        self.dedicated_reanchored += 1;
+                    } else {
+                        // Fall back: tear the local rules down and release
+                        // the bearer; traffic rides the default bearer.
+                        self.flowmod(
+                            ctx,
+                            gwc_port::LOCAL_GWU,
+                            topo.local_gwu,
+                            false,
+                            FlowMatchSpec {
+                                teid: Some(teid_local_ul),
+                                dst: None,
+                                src: None,
+                            },
+                            vec![],
+                        );
+                        self.flowmod(
+                            ctx,
+                            gwc_port::LOCAL_GWU,
+                            topo.local_gwu,
+                            false,
+                            FlowMatchSpec {
+                                teid: None,
+                                dst: Some(ue_addr),
+                                src: None,
+                            },
+                            vec![],
+                        );
+                        self.sessions
+                            .get_mut(&imsi)
+                            .expect("session exists")
+                            .dedicated
+                            .remove(&ebi);
+                        released.push(Ebi(ebi));
+                        self.dedicated_released += 1;
+                        self.dedicated_active = self.dedicated_active.saturating_sub(1);
+                    }
+                }
+                self.send(
+                    ctx,
+                    gwc_port::MME,
+                    pkt_peer(ctx),
+                    BearerRelocationResponse {
+                        imsi,
+                        erabs: vec![],
+                        released,
                     },
                 );
             }

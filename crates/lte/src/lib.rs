@@ -41,6 +41,7 @@ pub mod entities;
 pub mod gtpu;
 pub mod ids;
 pub mod log;
+pub mod mobility;
 pub mod network;
 pub mod overhead;
 pub mod qci;
@@ -62,7 +63,8 @@ pub use wire::{ControlMsg, PolicyRule, Protocol};
 pub mod prelude {
     pub use crate::ids::{Ebi, Imsi, Teid};
     pub use crate::log::MsgLog;
-    pub use crate::network::{addr, LteConfig, LteNetwork};
+    pub use crate::mobility::{A3Config, CellSite, Trajectory, Waypoint};
+    pub use crate::network::{addr, CellConfig, LteConfig, LteNetwork};
     pub use crate::qci::Qci;
     pub use crate::switch::{FlowSwitch, SwitchCosts};
     pub use crate::tft::{Direction, PacketFilter, Tft};

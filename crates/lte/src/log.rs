@@ -110,6 +110,7 @@ impl MsgLog {
         let mut out = String::new();
         for p in [
             Protocol::S1apSctp,
+            Protocol::X2Sctp,
             Protocol::Gtpv2,
             Protocol::OpenFlow,
             Protocol::Diameter,

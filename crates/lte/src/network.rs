@@ -16,10 +16,12 @@ use crate::entities::{
 };
 use crate::ids::Imsi;
 use crate::log::MsgLog;
+use crate::mobility::{A3Config, CellSite, Trajectory, Waypoint};
 use crate::radio::{params, port};
 use crate::switch::{FlowSwitch, SwitchCosts};
-use crate::ue::{token as ue_token, AppSelector, Ue, UeState};
+use crate::ue::{token as ue_token, AppSelector, Ue, UeMobility, UeState};
 use crate::wire::{ControlMsg, FlowActionSpec, FlowMatchSpec, PolicyRule};
+use acacia_geo::{PathLossModel, Point};
 use acacia_simnet::link::LinkConfig;
 use acacia_simnet::sim::{Node, NodeId, PortId, Simulator};
 use acacia_simnet::time::{Duration, Instant};
@@ -57,6 +59,26 @@ pub mod addr {
     pub const CLOUD_BASE: Ipv4Addr = Ipv4Addr::new(52, 0, 0, 1);
     /// Background traffic source.
     pub const BG_SOURCE: Ipv4Addr = Ipv4Addr::new(10, 9, 0, 1);
+
+    /// S1/control address of the eNB serving cell `i` (cell 0 is [`ENB`]).
+    pub fn enb(i: usize) -> Ipv4Addr {
+        Ipv4Addr::from(u32::from(ENB) + i as u32)
+    }
+
+    /// Radio-side address of the eNB serving cell `i`.
+    pub fn enb_radio(i: usize) -> Ipv4Addr {
+        Ipv4Addr::from(u32::from(ENB_RADIO) + i as u32)
+    }
+}
+
+/// One cell of the radio topology.
+#[derive(Debug, Clone, Copy)]
+pub struct CellConfig {
+    /// Transmitter position, metres (drives the RSRP seen by moving UEs).
+    pub pos: Point,
+    /// Does this cell's eNB have an S1 leg to the local (MEC) GW-U? The
+    /// paper's small cell does; the macrocell does not.
+    pub mec: bool,
 }
 
 /// Tunable parameters of the topology.
@@ -99,6 +121,18 @@ pub struct LteConfig {
     /// timer; see [`crate::overhead::IDLE_TIMEOUT`]). `None` = procedures
     /// are driven explicitly by the harness.
     pub auto_idle: Option<Duration>,
+    /// Radio cells (one eNB each). The first cell is where UEs initially
+    /// camp. At most `ENB_RADIO_BASE - ENB_X2_BASE` (= 6) cells.
+    pub cells: Vec<CellConfig>,
+    /// Path-loss model shared by all cells (RSRP ground truth).
+    pub pathloss: PathLossModel,
+    /// A3 handover-event parameters for moving UEs.
+    pub a3: A3Config,
+    /// Route MEC-server traffic from the Internet exchange through the
+    /// local GW-U ("core detour"): lets a UE that lost its dedicated
+    /// bearer still reach MEC servers over the default bearer, at core-
+    /// network latency cost.
+    pub core_detour: bool,
 }
 
 impl Default for LteConfig {
@@ -118,6 +152,13 @@ impl Default for LteConfig {
             ue_count: 1,
             radio_loss: 0.0,
             auto_idle: None,
+            cells: vec![CellConfig {
+                pos: Point::new(0.0, 0.0),
+                mec: true,
+            }],
+            pathloss: PathLossModel::indoor_default(),
+            a3: A3Config::default(),
+            core_detour: false,
         }
     }
 }
@@ -132,7 +173,9 @@ pub struct LteNetwork {
     pub cfg: LteConfig,
     /// UE node ids (one per subscriber).
     pub ues: Vec<NodeId>,
-    /// eNB node id.
+    /// eNB node ids, one per cell (`enbs[0] == enb`).
+    pub enbs: Vec<NodeId>,
+    /// The first cell's eNB node id.
     pub enb: NodeId,
     /// MME node id.
     pub mme: NodeId,
@@ -156,7 +199,15 @@ pub struct LteNetwork {
     mec_servers: usize,
     cloud_servers: usize,
     bg_installed: bool,
+    detour_installed: bool,
 }
+
+/// Port on the Internet router reserved for the core-detour link toward
+/// the local GW-U (cloud servers occupy ports 1..).
+const INET_DETOUR_PORT: PortId = 64;
+/// Port on the local GW-U reserved for the core-detour link (1 and 4+ are
+/// eNB-facing, 2 faces the MEC router, 0 is OpenFlow control).
+const LOCAL_DETOUR_PORT: PortId = 3;
 
 impl LteNetwork {
     /// Build the topology.
@@ -164,52 +215,125 @@ impl LteNetwork {
         let mut sim = Simulator::new(cfg.seed);
         let log = MsgLog::new();
 
-        let mut enb_node = Enb::new(addr::ENB, addr::MME, cfg.dl_rate_bps, log.clone());
-        enb_node.auto_idle = cfg.auto_idle;
-        enb_node.add_s1_gateway(addr::SGW_U, port::ENB_S1_CORE);
-        enb_node.add_s1_gateway(addr::LOCAL_GWU, port::ENB_S1_MEC);
+        let cells = cfg.cells.clone();
+        assert!(!cells.is_empty(), "topology needs >= 1 cell");
+        assert!(
+            cells.len() <= port::ENB_RADIO_BASE - port::ENB_X2_BASE,
+            "X2 port window caps the topology at {} cells",
+            port::ENB_RADIO_BASE - port::ENB_X2_BASE
+        );
 
-        // Subscribers.
+        let mut enb_nodes: Vec<Enb> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let mut e = Enb::new(addr::enb(i), addr::MME, cfg.dl_rate_bps, log.clone());
+                e.auto_idle = cfg.auto_idle;
+                e.add_s1_gateway(addr::SGW_U, port::ENB_S1_CORE);
+                if c.mec {
+                    e.add_s1_gateway(addr::LOCAL_GWU, port::ENB_S1_MEC);
+                }
+                e
+            })
+            .collect();
+        // Every eNB knows every other as an X2 neighbour.
+        for (i, e) in enb_nodes.iter_mut().enumerate() {
+            for j in 0..cells.len() {
+                if i != j {
+                    e.add_x2_neighbor(addr::enb_radio(j), addr::enb(j), port::ENB_X2_BASE + j);
+                }
+            }
+        }
+
+        // Subscribers: registered on every cell, in the same order, so a
+        // UE keeps the same eNB-side radio port everywhere.
         let mut imsis = Vec::new();
         let mut ue_nodes = Vec::new();
         for i in 0..cfg.ue_count {
             let imsi = Imsi(310_410_000_000_001 + i as u64);
             let radio_addr = Ipv4Addr::from(u32::from(addr::UE_RADIO_BASE) + i as u32);
-            let radio_port = enb_node.add_ue(imsi, radio_addr);
+            let mut radio_port = port::ENB_RADIO_BASE;
+            for e in &mut enb_nodes {
+                radio_port = e.add_ue(imsi, radio_addr);
+            }
             imsis.push(imsi);
             ue_nodes.push((imsi, radio_addr, radio_port));
         }
 
-        let enb = sim.add_node(Box::new(enb_node));
+        let enbs: Vec<NodeId> = enb_nodes
+            .into_iter()
+            .map(|e| sim.add_node(Box::new(e)))
+            .collect();
+        let enb = enbs[0];
+        // X2 mesh (direct eNB↔eNB, backhaul-class links).
+        let x2 = LinkConfig::rate_limited(cfg.core_rate_bps, cfg.backhaul_delay)
+            .with_queue(cfg.core_queue_bytes);
+        for i in 0..cells.len() {
+            for j in (i + 1)..cells.len() {
+                sim.connect(
+                    (enbs[i], port::ENB_X2_BASE + j),
+                    (enbs[j], port::ENB_X2_BASE + i),
+                    x2.clone(),
+                );
+            }
+        }
+
         let mut ues = Vec::new();
+        let air = LinkConfig::delay_only(params::AIR_LATENCY)
+            .with_jitter(params::AIR_JITTER)
+            .with_loss(cfg.radio_loss);
         for &(imsi, radio_addr, radio_port) in &ue_nodes {
-            let ue = sim.add_node(Box::new(Ue::new(
-                imsi,
-                radio_addr,
-                addr::ENB_RADIO,
-                cfg.ul_rate_bps,
-            )));
-            // The air interface: pure latency + jitter; serialization is
+            let mut ue_node = Ue::new(imsi, radio_addr, addr::enb_radio(0), cfg.ul_rate_bps);
+            for ci in 1..cells.len() {
+                ue_node.add_cell(addr::enb_radio(ci));
+            }
+            let ue = sim.add_node(Box::new(ue_node));
+            // The air interfaces: pure latency + jitter; serialization is
             // handled by the UE/eNB radio schedulers.
-            sim.connect(
-                (ue, port::UE_RADIO),
-                (enb, radio_port),
-                LinkConfig::delay_only(params::AIR_LATENCY)
-                    .with_jitter(params::AIR_JITTER)
-                    .with_loss(cfg.radio_loss),
-            );
+            sim.connect((ue, port::UE_RADIO), (enbs[0], radio_port), air.clone());
+            for (ci, &enb_id) in enbs.iter().enumerate().skip(1) {
+                sim.connect(
+                    (ue, port::UE_CELL_BASE + ci),
+                    (enb_id, radio_port),
+                    air.clone(),
+                );
+            }
             ues.push(ue);
         }
 
-        let mme = sim.add_node(Box::new(Mme::new(
-            addr::MME,
-            addr::ENB,
-            addr::GWC,
-            addr::HSS,
-            log.clone(),
-        )));
+        let mut mme_node = Mme::new(addr::MME, addr::enb(0), addr::GWC, addr::HSS, log.clone());
+        let mut mme_ports = vec![mme_port::ENB];
+        for i in 1..cells.len() {
+            mme_ports.push(mme_node.register_enb(addr::enb(i)));
+        }
+        let mme = sim.add_node(Box::new(mme_node));
         let hss = sim.add_node(Box::new(Hss::new(addr::HSS, imsis.clone(), log.clone())));
         let pcrf = sim.add_node(Box::new(Pcrf::new(addr::PCRF, addr::GWC, log.clone())));
+
+        // Per-cell user-plane port maps on the gateways. SGW-U: cell 0 on
+        // port 1, extra cells from 4 (2 = PGW, 3 = background source).
+        // Local GW-U: first MEC cell on port 1, further MEC cells from 4
+        // (2 = MEC router, 3 = core detour).
+        let mut sgw_enb_ports = Vec::new();
+        let mut local_links: Vec<(usize, PortId)> = Vec::new();
+        let mut mec_enbs = Vec::new();
+        for (i, c) in cells.iter().enumerate() {
+            let sgw_port = if i == 0 { 1 } else { 3 + i };
+            sgw_enb_ports.push((addr::enb(i), sgw_port));
+            if c.mec {
+                let lp = if mec_enbs.is_empty() {
+                    1
+                } else {
+                    3 + mec_enbs.len()
+                };
+                local_links.push((i, lp));
+                mec_enbs.push(addr::enb(i));
+            }
+        }
+        let local_enb_ports: Vec<(Ipv4Addr, PortId)> = local_links
+            .iter()
+            .map(|&(i, p)| (addr::enb(i), p))
+            .collect();
 
         let topo = GwTopology {
             sgw_u: addr::SGW_U,
@@ -219,10 +343,13 @@ impl LteNetwork {
             sgw_port_pgw: 2,
             pgw_port_sgw: 1,
             pgw_port_inet: 2,
-            local_port_enb: 1,
+            local_port_enb: local_links.first().map_or(1, |&(_, p)| p),
             local_port_mec: 2,
             mec_servers: Vec::new(),
             ue_ip_base: addr::UE_POOL,
+            sgw_enb_ports,
+            local_enb_ports,
+            mec_enbs,
         };
         let gwc = sim.add_node(Box::new(GwControl::new(addr::GWC, topo, log.clone())));
 
@@ -249,7 +376,9 @@ impl LteNetwork {
 
         let ctrl = LinkConfig::delay_only(Duration::from_micros(500));
         // S1AP + core control mesh.
-        sim.connect((enb, port::ENB_S1AP), (mme, mme_port::ENB), ctrl.clone());
+        for (i, &enb_i) in enbs.iter().enumerate() {
+            sim.connect((enb_i, port::ENB_S1AP), (mme, mme_ports[i]), ctrl.clone());
+        }
         sim.connect((mme, mme_port::GWC), (gwc, gwc_port::MME), ctrl.clone());
         sim.connect((mme, mme_port::HSS), (hss, 0), ctrl.clone());
         sim.connect((gwc, gwc_port::PCRF), (pcrf, pcrf_port::GWC), ctrl.clone());
@@ -278,17 +407,36 @@ impl LteNetwork {
             .with_queue(cfg.core_queue_bytes);
         let mec =
             LinkConfig::rate_limited(1_000_000_000, cfg.mec_delay).with_queue(4 * 1024 * 1024);
-        sim.connect((enb, port::ENB_S1_CORE), (sgw_u, 1), backhaul);
+        for (i, &enb_i) in enbs.iter().enumerate() {
+            let sgw_port = if i == 0 { 1 } else { 3 + i };
+            sim.connect(
+                (enb_i, port::ENB_S1_CORE),
+                (sgw_u, sgw_port),
+                backhaul.clone(),
+            );
+        }
         sim.connect((sgw_u, 2), (pgw_u, 1), core);
-        sim.connect((pgw_u, 2), (inet_router, 0), inet);
-        sim.connect((enb, port::ENB_S1_MEC), (local_gwu, 1), mec.clone());
+        sim.connect((pgw_u, 2), (inet_router, 0), inet.clone());
+        for &(cell, lp) in &local_links {
+            sim.connect((enbs[cell], port::ENB_S1_MEC), (local_gwu, lp), mec.clone());
+        }
         sim.connect((local_gwu, 2), (mec_router, 0), mec);
+        if cfg.core_detour {
+            // Internet exchange ↔ local GW-U shortcut so MEC servers stay
+            // reachable over the default bearer.
+            sim.connect(
+                (local_gwu, LOCAL_DETOUR_PORT),
+                (inet_router, INET_DETOUR_PORT),
+                inet,
+            );
+        }
 
         LteNetwork {
             sim,
             log,
             cfg,
             ues,
+            enbs,
             enb,
             mme,
             hss,
@@ -303,6 +451,7 @@ impl LteNetwork {
             mec_servers: 0,
             cloud_servers: 0,
             bg_installed: false,
+            detour_installed: false,
         }
     }
 
@@ -357,6 +506,41 @@ impl LteNetwork {
         // Tell the GW-C this address lives on the MEC.
         // (GwTopology is owned by the GW-C node.)
         self.with_gwc_topology(|topo| topo.mec_servers.push(server_addr));
+        if self.cfg.core_detour {
+            // Static plumbing for the detour path (installed directly —
+            // this is topology, not per-session OpenFlow state): Internet-
+            // side traffic for this server turns toward the MEC router,
+            // and anything the local GW-U cannot match (e.g. server
+            // responses for a UE with no dedicated bearer) exits toward
+            // the Internet exchange.
+            let lg = self.local_gwu;
+            let sw = self.sim.node_mut::<FlowSwitch>(lg);
+            sw.install(
+                2,
+                FlowMatchSpec {
+                    teid: None,
+                    dst: Some(server_addr),
+                    src: None,
+                },
+                vec![FlowActionSpec::Output { port: 2 }],
+            );
+            if !self.detour_installed {
+                self.detour_installed = true;
+                let sw = self.sim.node_mut::<FlowSwitch>(lg);
+                sw.install(
+                    1,
+                    FlowMatchSpec {
+                        teid: None,
+                        dst: None,
+                        src: None,
+                    },
+                    vec![FlowActionSpec::Output {
+                        port: LOCAL_DETOUR_PORT,
+                    }],
+                );
+            }
+            self.rebuild_inet_routes();
+        }
         (id, server_addr)
     }
 
@@ -373,20 +557,30 @@ impl LteNetwork {
         let router_port = self.cloud_servers;
         self.sim
             .connect((self.inet_router, router_port), (id, 0), wan);
-        {
-            let inet_router = self.inet_router;
-            let r = self
-                .sim
-                .node_mut::<acacia_simnet::router::Router>(inet_router);
-            let mut t = acacia_simnet::router::RouteTable::new();
-            t.add(acacia_simnet::router::Ipv4Net::default_route(), 0);
-            for i in 0..self.cloud_servers {
-                let a = Ipv4Addr::from(u32::from(addr::CLOUD_BASE) + i as u32);
-                t.add(acacia_simnet::router::Ipv4Net::host(a), i + 1);
-            }
-            r.set_table(t);
-        }
+        self.rebuild_inet_routes();
         (id, server_addr)
+    }
+
+    /// (Re)program the Internet exchange: default route into the core,
+    /// host routes for cloud servers, and — when the core detour is on —
+    /// host routes steering MEC-server traffic down the detour link.
+    fn rebuild_inet_routes(&mut self) {
+        let inet_router = self.inet_router;
+        let mut t = acacia_simnet::router::RouteTable::new();
+        t.add(acacia_simnet::router::Ipv4Net::default_route(), 0);
+        for i in 0..self.cloud_servers {
+            let a = Ipv4Addr::from(u32::from(addr::CLOUD_BASE) + i as u32);
+            t.add(acacia_simnet::router::Ipv4Net::host(a), i + 1);
+        }
+        if self.cfg.core_detour {
+            for i in 0..self.mec_servers {
+                let a = Ipv4Addr::from(u32::from(addr::MEC_BASE) + i as u32);
+                t.add(acacia_simnet::router::Ipv4Net::host(a), INET_DETOUR_PORT);
+            }
+        }
+        self.sim
+            .node_mut::<acacia_simnet::router::Router>(inet_router)
+            .set_table(t);
     }
 
     fn with_gwc_topology(&mut self, f: impl FnOnce(&mut GwTopology)) {
@@ -546,18 +740,54 @@ impl LteNetwork {
         self.sim.run_until(t);
     }
 
+    /// Put UE `ue_idx` on a waypoint walk starting now. The UE samples
+    /// RSRP toward every cell on the configured A3 interval and reports
+    /// A3 events to its serving eNB, which runs the X2 handover.
+    pub fn start_mobility(&mut self, ue_idx: usize, waypoints: Vec<Waypoint>, speed_mps: f64) {
+        let sites: Vec<CellSite> = self
+            .cfg
+            .cells
+            .iter()
+            .map(|c| CellSite {
+                pos: c.pos,
+                model: self.cfg.pathloss,
+            })
+            .collect();
+        let now = self.sim.now();
+        let trajectory = Trajectory::new(waypoints, speed_mps, now);
+        // Keep measuring a little past the walk so trailing handovers
+        // (e.g. at the final waypoint) still trigger, then go quiet.
+        let measure_until = now + trajectory.total_duration() + Duration::from_secs(5);
+        let a3 = self.cfg.a3;
+        let ue = self.ues[ue_idx];
+        self.sim.node_mut::<Ue>(ue).mobility =
+            Some(UeMobility::new(trajectory, sites, a3, measure_until));
+        self.sim.schedule_timer(ue, now, ue_token::MEASURE);
+    }
+
+    /// Index of the cell currently serving UE `ue_idx`.
+    pub fn serving_cell(&self, ue_idx: usize) -> usize {
+        self.sim.node_ref::<Ue>(self.ues[ue_idx]).serving
+    }
+
     /// Set the per-frame loss probability on every radio link (both
-    /// directions, every UE). Use after attach/bearer setup to model
-    /// residual air-interface loss on the data path (control signalling
-    /// rides acknowledged-mode RLC in real LTE).
+    /// directions, every UE, every cell). Use after attach/bearer setup to
+    /// model residual air-interface loss on the data path (control
+    /// signalling rides acknowledged-mode RLC in real LTE).
     pub fn set_radio_loss(&mut self, loss: f64) {
         for (i, &ue) in self.ues.clone().iter().enumerate() {
             let radio_port = port::ENB_RADIO_BASE + i;
-            self.sim
-                .reconfigure_link((ue, port::UE_RADIO), |cfg| cfg.loss = loss);
-            let enb = self.enb;
-            self.sim
-                .reconfigure_link((enb, radio_port), |cfg| cfg.loss = loss);
+            for (ci, &enb) in self.enbs.clone().iter().enumerate() {
+                let ue_port = if ci == 0 {
+                    port::UE_RADIO
+                } else {
+                    port::UE_CELL_BASE + ci
+                };
+                self.sim
+                    .reconfigure_link((ue, ue_port), |cfg| cfg.loss = loss);
+                self.sim
+                    .reconfigure_link((enb, radio_port), |cfg| cfg.loss = loss);
+            }
         }
     }
 }

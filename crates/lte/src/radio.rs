@@ -220,16 +220,22 @@ pub mod params {
 pub mod port {
     use super::PortId;
 
-    /// The UE's radio port.
+    /// The UE's radio port toward its first (index-0) cell.
     pub const UE_RADIO: PortId = 0;
     /// First app-facing port on the UE.
     pub const UE_APP_BASE: PortId = 1;
+    /// UE radio port toward cell index `i >= 1` is `UE_CELL_BASE + i`
+    /// (app ports live below this).
+    pub const UE_CELL_BASE: PortId = 200;
     /// eNB: S1-U toward the core SGW-U.
     pub const ENB_S1_CORE: PortId = 1;
     /// eNB: S1-U toward the local (MEC) GW-U.
     pub const ENB_S1_MEC: PortId = 2;
     /// eNB: S1AP toward the MME.
     pub const ENB_S1AP: PortId = 3;
+    /// eNB: X2 toward peer cell index `j` is `ENB_X2_BASE + j` (ports
+    /// 4..ENB_RADIO_BASE, capping the topology at 6 cells).
+    pub const ENB_X2_BASE: PortId = 4;
     /// eNB: first radio port (one per attached UE).
     pub const ENB_RADIO_BASE: PortId = 10;
 }

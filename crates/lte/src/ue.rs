@@ -9,13 +9,14 @@
 //! else uses the default bearer.
 
 use crate::ids::{Ebi, Imsi};
+use crate::mobility::{A3Config, A3Tracker, CellSite, Trajectory};
 use crate::qci::Qci;
 use crate::radio::{self, port, RadioPayload, RadioScheduler};
 use crate::tft::{Direction, Tft};
 use crate::wire::ControlMsg;
 use acacia_simnet::packet::Packet;
 use acacia_simnet::sim::{Ctx, Node, PortId};
-use acacia_simnet::time::Duration;
+use acacia_simnet::time::{Duration, Instant};
 use std::net::Ipv4Addr;
 
 /// How downlink packets find their way to the right app port.
@@ -91,6 +92,49 @@ pub mod token {
     pub const SERVICE_REQUEST: u64 = 2;
     /// Internal: uplink radio scheduler release.
     pub const UL_RELEASE: u64 = 3;
+    /// Periodic radio measurement sample (mobility).
+    pub const MEASURE: u64 = 4;
+}
+
+/// One cell the UE can hear: the eNB's radio address and the UE-side
+/// simnet port its air link is attached to.
+#[derive(Debug, Clone, Copy)]
+pub struct UeCell {
+    /// eNB radio address (frame destination).
+    pub enb_radio: Ipv4Addr,
+    /// UE-side port of the per-cell air link.
+    pub port: PortId,
+}
+
+/// Mobility state: where the UE walks and what it measures.
+pub struct UeMobility {
+    /// Waypoint walk driving the position.
+    pub trajectory: Trajectory,
+    /// Per-cell RSRP ground truth, parallel to the UE's cell list.
+    pub sites: Vec<CellSite>,
+    /// A3 event parameters.
+    pub a3_cfg: A3Config,
+    /// Stop sampling after this instant (keeps `run_until_idle` usable).
+    pub measure_until: Instant,
+    a3: A3Tracker,
+}
+
+impl UeMobility {
+    /// New mobility state; measurement sampling stops at `measure_until`.
+    pub fn new(
+        trajectory: Trajectory,
+        sites: Vec<CellSite>,
+        a3_cfg: A3Config,
+        measure_until: Instant,
+    ) -> UeMobility {
+        UeMobility {
+            trajectory,
+            sites,
+            a3_cfg,
+            measure_until,
+            a3: A3Tracker::default(),
+        }
+    }
 }
 
 /// The UE node.
@@ -99,14 +143,18 @@ pub struct Ue {
     pub imsi: Imsi,
     /// Radio-link-local address used for frames before an IP is assigned.
     pub radio_addr: Ipv4Addr,
-    /// eNB radio address.
-    pub enb_addr: Ipv4Addr,
+    /// Cells this UE has air links to (index 0 = initial serving cell).
+    pub cells: Vec<UeCell>,
+    /// Index into `cells` of the current serving cell.
+    pub serving: usize,
     /// Assigned IP (after attach).
     pub ip: Option<Ipv4Addr>,
     /// Current state.
     pub state: UeState,
     /// Installed bearers.
     pub bearers: Vec<UeBearer>,
+    /// Walk + measurement state (None for a stationary UE).
+    pub mobility: Option<UeMobility>,
     apps: Vec<(AppSelector, PortId)>,
     ul: RadioScheduler,
     /// Uplink packets buffered while idle, flushed after the service
@@ -122,18 +170,35 @@ pub struct Ue {
     pub dl_delivered: u64,
     /// Downlink packets with no matching app (dropped).
     pub dl_unclaimed: u64,
+    /// Downlink frames that arrived from a cell we already left (lost on
+    /// the air during handover).
+    pub dl_stale: u64,
+    /// Completed handovers (serving-cell switches).
+    pub handovers: u64,
+    /// Per-handover service interruption: (handover-command time, gap
+    /// until the first downlink packet on the new cell).
+    pub interruption_log: Vec<(Instant, Duration)>,
+    /// Set at retune, cleared by the first post-handover downlink packet.
+    pending_interrupt: Option<Instant>,
 }
 
 impl Ue {
-    /// New detached UE.
+    /// New detached UE, camped on a single cell reachable via
+    /// [`port::UE_RADIO`] (multi-cell topologies add more with
+    /// [`Ue::add_cell`]).
     pub fn new(imsi: Imsi, radio_addr: Ipv4Addr, enb_addr: Ipv4Addr, ul_rate_bps: u64) -> Ue {
         Ue {
             imsi,
             radio_addr,
-            enb_addr,
+            cells: vec![UeCell {
+                enb_radio: enb_addr,
+                port: port::UE_RADIO,
+            }],
+            serving: 0,
             ip: None,
             state: UeState::Detached,
             bearers: Vec::new(),
+            mobility: None,
             apps: Vec::new(),
             ul: RadioScheduler::new(ul_rate_bps),
             idle_buffer: Vec::new(),
@@ -142,7 +207,32 @@ impl Ue {
             ul_default: 0,
             dl_delivered: 0,
             dl_unclaimed: 0,
+            dl_stale: 0,
+            handovers: 0,
+            interruption_log: Vec::new(),
+            pending_interrupt: None,
         }
+    }
+
+    /// Register an additional cell; its air link must be connected on UE
+    /// port `UE_CELL_BASE + index`. Returns the cell index.
+    pub fn add_cell(&mut self, enb_radio: Ipv4Addr) -> usize {
+        let idx = self.cells.len();
+        self.cells.push(UeCell {
+            enb_radio,
+            port: port::UE_CELL_BASE + idx,
+        });
+        idx
+    }
+
+    /// Radio address of the current serving cell's eNB.
+    pub fn serving_enb_addr(&self) -> Ipv4Addr {
+        self.cells[self.serving].enb_radio
+    }
+
+    /// UE-side port of the current serving cell's air link.
+    fn serving_port(&self) -> PortId {
+        self.cells[self.serving].port
     }
 
     /// Register an app connected on UE port `ue_port` to receive downlink
@@ -169,7 +259,7 @@ impl Ue {
     }
 
     fn send_rrc(&mut self, ctx: &mut Ctx<'_>, msg: ControlMsg) {
-        let frame = radio::rrc_frame(&msg, self.radio_addr, self.enb_addr);
+        let frame = radio::rrc_frame(&msg, self.radio_addr, self.serving_enb_addr());
         self.ul.offer(ctx, 0, frame, token::UL_RELEASE);
     }
 
@@ -201,17 +291,73 @@ impl Ue {
     }
 
     fn handle_rrc(&mut self, ctx: &mut Ctx<'_>, msg: ControlMsg) {
-        if let ControlMsg::RrcPaging { imsi } = msg {
-            // Paged while idle: answer with a service request.
-            if imsi == self.imsi && self.state == UeState::Idle {
-                self.promotions += 1;
-                self.send_rrc(ctx, ControlMsg::RrcServiceRequest { imsi: self.imsi });
+        match msg {
+            ControlMsg::RrcPaging { imsi } => {
+                // Paged while idle: answer with a service request.
+                if imsi == self.imsi && self.state == UeState::Idle {
+                    self.promotions += 1;
+                    self.send_rrc(ctx, ControlMsg::RrcServiceRequest { imsi: self.imsi });
+                }
             }
+            ControlMsg::RrcHandoverCommand { imsi, target_radio } if imsi == self.imsi => {
+                self.retune(ctx, target_radio);
+            }
+            msg => {
+                self.apply_rrc(msg);
+                if self.state == UeState::Connected {
+                    self.flush_idle_buffer(ctx);
+                }
+            }
+        }
+    }
+
+    /// Execute a handover command: switch the serving cell to
+    /// `target_radio` and confirm on the new cell. Bearer state (TFTs,
+    /// IP) survives — that is the point of X2 handover.
+    fn retune(&mut self, ctx: &mut Ctx<'_>, target_radio: Ipv4Addr) {
+        let Some(idx) = self.cells.iter().position(|c| c.enb_radio == target_radio) else {
+            return; // unknown target cell: stay put
+        };
+        if idx == self.serving {
             return;
         }
-        self.apply_rrc(msg);
+        self.serving = idx;
+        self.handovers += 1;
+        self.pending_interrupt = Some(ctx.now());
+        if let Some(m) = self.mobility.as_mut() {
+            m.a3.reset();
+        }
+        self.send_rrc(ctx, ControlMsg::RrcHandoverConfirm { imsi: self.imsi });
+    }
+
+    /// One measurement sample: position from the trajectory, RSRP per
+    /// cell, A3 evaluation, and a measurement report if the event fires.
+    fn measure(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(m) = self.mobility.as_mut() else {
+            return;
+        };
+        let now = ctx.now();
+        if now > m.measure_until {
+            return; // walk over: stop re-arming
+        }
+        let interval = m.a3_cfg.interval;
+        ctx.schedule_in(interval, token::MEASURE);
+        // Only a connected UE runs connected-mode measurements.
         if self.state == UeState::Connected {
-            self.flush_idle_buffer(ctx);
+            let pos = m.trajectory.position(now);
+            let rsrp: Vec<i32> = m.sites.iter().map(|s| s.rsrp_cdbm(pos)).collect();
+            if let Some(target) = m.a3.observe(&m.a3_cfg, now, self.serving, &rsrp) {
+                let report = ControlMsg::RrcMeasurementReport {
+                    imsi: self.imsi,
+                    serving_rsrp_cdbm: rsrp[self.serving],
+                    target_radio: self.cells[target].enb_radio,
+                    target_rsrp_cdbm: rsrp[target],
+                };
+                // Reset so the event re-arms only after the network acts
+                // (or the condition re-establishes from scratch).
+                m.a3.reset();
+                self.send_rrc(ctx, report);
+            }
         }
     }
 
@@ -246,7 +392,7 @@ impl Ue {
             Some(b) => b.qci.tos(),
             None => inner.tos,
         };
-        let frame = radio::data_frame(ebi, &inner, self.radio_addr, self.enb_addr);
+        let frame = radio::data_frame(ebi, &inner, self.radio_addr, self.serving_enb_addr());
         self.ul.offer(ctx, prio, frame, token::UL_RELEASE);
     }
 
@@ -260,10 +406,22 @@ impl Ue {
 
 impl Node for Ue {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, in_port: PortId, pkt: Packet) {
-        if in_port == port::UE_RADIO {
+        if let Some(cell) = self.cells.iter().position(|c| c.port == in_port) {
             match radio::parse_frame(&pkt) {
+                // RRC is accepted from any cell: the handover command
+                // arrives from the source, everything after from the
+                // target.
                 Some(RadioPayload::Rrc(msg)) => self.handle_rrc(ctx, msg),
                 Some(RadioPayload::Data { inner, .. }) => {
+                    if cell != self.serving {
+                        // In-flight on the air when we retuned: lost.
+                        self.dl_stale += 1;
+                        return;
+                    }
+                    if let Some(started) = self.pending_interrupt.take() {
+                        self.interruption_log
+                            .push((started, ctx.now().saturating_since(started)));
+                    }
                     // Deliver to every matching app (e.g. several ICMP
                     // agents); apps discard traffic that isn't theirs.
                     let targets: Vec<PortId> = self
@@ -315,9 +473,20 @@ impl Node for Ue {
             }
             token::UL_RELEASE => {
                 if let Some(frame) = self.ul.pop() {
-                    ctx.send(port::UE_RADIO, frame);
+                    // Frames are addressed to the eNB they were offered
+                    // for; route each to that cell's air link (frames
+                    // queued across a handover still reach the old cell,
+                    // as they would in a real modem flush).
+                    let out = self
+                        .cells
+                        .iter()
+                        .find(|c| c.enb_radio == frame.dst)
+                        .map(|c| c.port)
+                        .unwrap_or_else(|| self.serving_port());
+                    ctx.send(out, frame);
                 }
             }
+            token::MEASURE => self.measure(ctx),
             _ => {}
         }
     }

@@ -30,6 +30,8 @@ pub mod ports {
     pub const OPENFLOW: u16 = 6633;
     /// Diameter port.
     pub const DIAMETER: u16 = 3868;
+    /// X2AP SCTP port (inter-eNB handover signalling).
+    pub const X2AP: u16 = 36422;
 }
 
 /// Protocol family of a control message (for byte accounting).
@@ -37,6 +39,8 @@ pub mod ports {
 pub enum Protocol {
     /// S1AP carried over SCTP (eNB ↔ MME).
     S1apSctp,
+    /// X2AP carried over SCTP (eNB ↔ eNB handover signalling).
+    X2Sctp,
     /// GTPv2-C (MME ↔ GW-C).
     Gtpv2,
     /// OpenFlow (GW-C ↔ GW-U).
@@ -52,6 +56,7 @@ impl Protocol {
     pub fn name(&self) -> &'static str {
         match self {
             Protocol::S1apSctp => "SCTP",
+            Protocol::X2Sctp => "X2AP",
             Protocol::Gtpv2 => "GTPv2",
             Protocol::OpenFlow => "OpenFlow",
             Protocol::Diameter => "Diameter",
@@ -228,6 +233,66 @@ pub enum ControlMsg {
         /// Subscriber.
         imsi: Imsi,
     },
+    /// Target eNB → MME after an X2 handover: the UE now terminates its
+    /// S1 bearers here; switch the downlink path.
+    #[serde(rename = "PSq")]
+    PathSwitchRequest {
+        /// Subscriber.
+        imsi: Imsi,
+        /// Target eNB S1 address.
+        enb_addr: Ipv4Addr,
+        /// (EBI, target-eNB downlink TEID) for every switched bearer.
+        erabs: Vec<(Ebi, Teid)>,
+    },
+    /// MME → target eNB: path switch complete; carries any updated uplink
+    /// F-TEIDs the target must use from now on.
+    #[serde(rename = "PSa")]
+    PathSwitchRequestAck {
+        /// Subscriber.
+        imsi: Imsi,
+        /// Updated bearer parameters (empty when nothing changed).
+        erabs: Vec<ErabSetup>,
+    },
+
+    // ---- X2AP (eNB <-> eNB), over SCTP ----
+    /// Source eNB → target eNB: prepare an incoming handover with the
+    /// UE's current bearer set.
+    #[serde(rename = "HOq")]
+    X2HandoverRequest {
+        /// Subscriber.
+        imsi: Imsi,
+        /// UE IP address (if already assigned).
+        ue_addr: Option<Ipv4Addr>,
+        /// Bearers to admit at the target.
+        bearers: Vec<ErabSetup>,
+    },
+    /// Target eNB → source eNB: handover admitted; the returned TEIDs
+    /// double as the X2 downlink-forwarding tunnel endpoints.
+    #[serde(rename = "HOa")]
+    X2HandoverRequestAck {
+        /// Subscriber.
+        imsi: Imsi,
+        /// (EBI, target-eNB TEID) per admitted bearer.
+        erabs: Vec<(Ebi, Teid)>,
+    },
+    /// Source eNB → target eNB: PDCP sequence-number status at the moment
+    /// of handover (lossless-handover bookkeeping).
+    #[serde(rename = "SNS")]
+    X2SnStatusTransfer {
+        /// Subscriber.
+        imsi: Imsi,
+        /// Next expected downlink PDCP SN.
+        dl_count: u32,
+        /// Next expected uplink PDCP SN.
+        ul_count: u32,
+    },
+    /// Target eNB → source eNB: path switch done; release the old UE
+    /// context and stop forwarding.
+    #[serde(rename = "XUR")]
+    X2UeContextRelease {
+        /// Subscriber.
+        imsi: Imsi,
+    },
 
     // ---- GTPv2-C (MME <-> GW-C) ----
     /// MME → GW-C: create the default-bearer session.
@@ -322,6 +387,29 @@ pub enum ControlMsg {
     DownlinkDataNotification {
         /// Subscriber.
         imsi: Imsi,
+    },
+    /// MME → GW-C after a path switch: re-anchor every bearer's S1 leg on
+    /// the target eNB (a Modify Bearer carrying the full bearer list).
+    #[serde(rename = "BRq")]
+    BearerRelocationRequest {
+        /// Subscriber.
+        imsi: Imsi,
+        /// Target eNB S1 address.
+        enb_addr: Ipv4Addr,
+        /// (EBI, target-eNB downlink TEID) per bearer.
+        enb_teids: Vec<(Ebi, Teid)>,
+    },
+    /// GW-C → MME: relocation outcome — re-anchored bearers keep their
+    /// uplink F-TEIDs; bearers the target cell cannot serve (no local
+    /// GW-U) are listed in `released`.
+    #[serde(rename = "BRp")]
+    BearerRelocationResponse {
+        /// Subscriber.
+        imsi: Imsi,
+        /// Updated bearer parameters for the target eNB (may be empty).
+        erabs: Vec<ErabSetup>,
+        /// Dedicated bearers torn down because the target has no MEC path.
+        released: Vec<Ebi>,
     },
 
     // ---- Diameter (MRS/AF -> PCRF -> PCEF, MME -> HSS) ----
@@ -427,6 +515,36 @@ pub enum ControlMsg {
         /// Subscriber being paged.
         imsi: Imsi,
     },
+    /// UE → serving eNB: A3-event measurement report (a neighbour cell is
+    /// offset-better than the serving cell). RSRP in centi-dBm keeps the
+    /// wire format integer-exact.
+    #[serde(rename = "RMR")]
+    RrcMeasurementReport {
+        /// Subscriber.
+        imsi: Imsi,
+        /// Serving-cell RSRP, centi-dBm.
+        serving_rsrp_cdbm: i32,
+        /// Radio address of the reported neighbour cell.
+        target_radio: Ipv4Addr,
+        /// Neighbour-cell RSRP, centi-dBm.
+        target_rsrp_cdbm: i32,
+    },
+    /// Source eNB → UE: retune to the target cell (the RRC reconfiguration
+    /// with `mobilityControlInfo`).
+    #[serde(rename = "RHC")]
+    RrcHandoverCommand {
+        /// Subscriber.
+        imsi: Imsi,
+        /// Radio address of the target cell.
+        target_radio: Ipv4Addr,
+    },
+    /// UE → target eNB: synchronized on the new cell (RRC reconfiguration
+    /// complete).
+    #[serde(rename = "RHF")]
+    RrcHandoverConfirm {
+        /// Subscriber.
+        imsi: Imsi,
+    },
 }
 
 impl ControlMsg {
@@ -446,7 +564,13 @@ impl ControlMsg {
             | UeContextReleaseRequest { .. }
             | UeContextReleaseCommand { .. }
             | UeContextReleaseComplete { .. }
-            | Paging { .. } => Protocol::S1apSctp,
+            | Paging { .. }
+            | PathSwitchRequest { .. }
+            | PathSwitchRequestAck { .. } => Protocol::S1apSctp,
+            X2HandoverRequest { .. }
+            | X2HandoverRequestAck { .. }
+            | X2SnStatusTransfer { .. }
+            | X2UeContextRelease { .. } => Protocol::X2Sctp,
             CreateSessionRequest { .. }
             | CreateSessionResponse { .. }
             | CreateBearerRequest { .. }
@@ -458,7 +582,9 @@ impl ControlMsg {
             | ModifyBearerRequest { .. }
             | ModifyBearerResponse { .. }
             | DownlinkDataByTeid { .. }
-            | DownlinkDataNotification { .. } => Protocol::Gtpv2,
+            | DownlinkDataNotification { .. }
+            | BearerRelocationRequest { .. }
+            | BearerRelocationResponse { .. } => Protocol::Gtpv2,
             RxAuthRequest { .. }
             | RxAuthAnswer { .. }
             | GxReauthRequest { .. }
@@ -471,7 +597,10 @@ impl ControlMsg {
             | RrcReconfiguration { .. }
             | RrcRelease { .. }
             | RrcBearerRelease { .. }
-            | RrcPaging { .. } => Protocol::Rrc,
+            | RrcPaging { .. }
+            | RrcMeasurementReport { .. }
+            | RrcHandoverCommand { .. }
+            | RrcHandoverConfirm { .. } => Protocol::Rrc,
         }
     }
 
@@ -492,6 +621,12 @@ impl ControlMsg {
             UeContextReleaseCommand { .. } => "UEContextReleaseCommand",
             UeContextReleaseComplete { .. } => "UEContextReleaseComplete",
             Paging { .. } => "Paging",
+            PathSwitchRequest { .. } => "PathSwitchRequest",
+            PathSwitchRequestAck { .. } => "PathSwitchRequestAcknowledge",
+            X2HandoverRequest { .. } => "X2HandoverRequest",
+            X2HandoverRequestAck { .. } => "X2HandoverRequestAcknowledge",
+            X2SnStatusTransfer { .. } => "X2SnStatusTransfer",
+            X2UeContextRelease { .. } => "X2UEContextRelease",
             CreateSessionRequest { .. } => "CreateSessionRequest",
             CreateSessionResponse { .. } => "CreateSessionResponse",
             CreateBearerRequest { .. } => "CreateBearerRequest",
@@ -504,6 +639,8 @@ impl ControlMsg {
             ModifyBearerResponse { .. } => "ModifyBearerResponse",
             DownlinkDataByTeid { .. } => "DownlinkDataNotification(TEID)",
             DownlinkDataNotification { .. } => "DownlinkDataNotification",
+            BearerRelocationRequest { .. } => "BearerRelocationRequest",
+            BearerRelocationResponse { .. } => "BearerRelocationResponse",
             RxAuthRequest { .. } => "Rx-AAR",
             RxAuthAnswer { .. } => "Rx-AAA",
             GxReauthRequest { .. } => "Gx-RAR",
@@ -518,6 +655,9 @@ impl ControlMsg {
             RrcRelease { .. } => "RRCConnectionRelease",
             RrcBearerRelease { .. } => "RRC(BearerRelease)",
             RrcPaging { .. } => "RRC(Paging)",
+            RrcMeasurementReport { .. } => "RRC(MeasurementReport)",
+            RrcHandoverCommand { .. } => "RRC(HandoverCommand)",
+            RrcHandoverConfirm { .. } => "RRC(HandoverConfirm)",
         }
     }
 
@@ -541,6 +681,13 @@ impl ControlMsg {
             UeContextReleaseCommand { .. } => 180,  // (*)
             UeContextReleaseComplete { .. } => 188, // (*)
             Paging { .. } => 110,
+            PathSwitchRequest { .. } => 150,
+            PathSwitchRequestAck { .. } => 260,
+            // X2AP (handover preparation/execution, not in the §4 counts).
+            X2HandoverRequest { .. } => 420,
+            X2HandoverRequestAck { .. } => 120,
+            X2SnStatusTransfer { .. } => 110,
+            X2UeContextRelease { .. } => 80,
             // GTPv2 — §4 sequence: Release pair + Modify pair = 352 bytes.
             CreateSessionRequest { .. } => 220,
             CreateSessionResponse { .. } => 260,
@@ -554,6 +701,8 @@ impl ControlMsg {
             ModifyBearerResponse { .. } => 92,        // (*)
             DownlinkDataByTeid { .. } => 66,
             DownlinkDataNotification { .. } => 70,
+            BearerRelocationRequest { .. } => 120,
+            BearerRelocationResponse { .. } => 240,
             // Diameter.
             RxAuthRequest { .. } => 320,
             RxAuthAnswer { .. } => 180,
@@ -576,6 +725,9 @@ impl ControlMsg {
             RrcRelease { .. } => 60,
             RrcBearerRelease { .. } => 70,
             RrcPaging { .. } => 60,
+            RrcMeasurementReport { .. } => 140,
+            RrcHandoverCommand { .. } => 96,
+            RrcHandoverConfirm { .. } => 64,
         }
     }
 
@@ -585,6 +737,7 @@ impl ControlMsg {
         let body = serde_json::to_vec(self).expect("control message serializes");
         let (protocol, port) = match self.protocol() {
             Protocol::S1apSctp => (proto::SCTP, ports::S1AP),
+            Protocol::X2Sctp => (proto::SCTP, ports::X2AP),
             Protocol::Gtpv2 => (proto::UDP, ports::GTPC),
             Protocol::OpenFlow => (proto::TCP, ports::OPENFLOW),
             Protocol::Diameter => (proto::TCP, ports::DIAMETER),
@@ -707,6 +860,51 @@ mod tests {
                 tft: erab.tft.clone(),
                 ue_addr: None,
             },
+            PathSwitchRequest {
+                imsi: imsi(),
+                enb_addr: Ipv4Addr::new(10, 1, 0, 2),
+                erabs: vec![(Ebi(5), Teid(0x3005)), (Ebi(6), Teid(0x3006))],
+            },
+            PathSwitchRequestAck {
+                imsi: imsi(),
+                erabs: vec![erab.clone()],
+            },
+            X2HandoverRequest {
+                imsi: imsi(),
+                ue_addr: Some(Ipv4Addr::new(10, 10, 0, 1)),
+                bearers: vec![erab.clone()],
+            },
+            X2HandoverRequestAck {
+                imsi: imsi(),
+                erabs: vec![(Ebi(5), Teid(0x3005)), (Ebi(6), Teid(0x3006))],
+            },
+            X2SnStatusTransfer {
+                imsi: imsi(),
+                dl_count: 421,
+                ul_count: 197,
+            },
+            X2UeContextRelease { imsi: imsi() },
+            BearerRelocationRequest {
+                imsi: imsi(),
+                enb_addr: Ipv4Addr::new(10, 1, 0, 2),
+                enb_teids: vec![(Ebi(5), Teid(0x3005)), (Ebi(6), Teid(0x3006))],
+            },
+            BearerRelocationResponse {
+                imsi: imsi(),
+                erabs: vec![erab.clone()],
+                released: vec![Ebi(6)],
+            },
+            RrcMeasurementReport {
+                imsi: imsi(),
+                serving_rsrp_cdbm: -9810,
+                target_radio: Ipv4Addr::new(192, 168, 0, 2),
+                target_rsrp_cdbm: -9120,
+            },
+            RrcHandoverCommand {
+                imsi: imsi(),
+                target_radio: Ipv4Addr::new(192, 168, 0, 2),
+            },
+            RrcHandoverConfirm { imsi: imsi() },
         ]
     }
 
@@ -834,5 +1032,10 @@ mod tests {
         let p = m.into_packet(Ipv4Addr::new(10, 3, 0, 2), Ipv4Addr::new(10, 2, 0, 1));
         assert_eq!(p.protocol, proto::TCP);
         assert_eq!(p.dst_port, ports::OPENFLOW);
+
+        let m = ControlMsg::X2UeContextRelease { imsi: imsi() };
+        let p = m.into_packet(Ipv4Addr::new(10, 1, 0, 2), Ipv4Addr::new(10, 1, 0, 1));
+        assert_eq!(p.protocol, proto::SCTP);
+        assert_eq!(p.dst_port, ports::X2AP);
     }
 }

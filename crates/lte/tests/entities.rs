@@ -195,6 +195,9 @@ fn topo() -> GwTopology {
         local_port_mec: 2,
         mec_servers: vec![addr::MEC_BASE],
         ue_ip_base: addr::UE_POOL,
+        sgw_enb_ports: Vec::new(),
+        local_enb_ports: Vec::new(),
+        mec_enbs: Vec::new(),
     }
 }
 

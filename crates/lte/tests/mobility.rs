@@ -1,0 +1,142 @@
+//! X2 handover integration tests on the assembled multi-cell network:
+//! a UE walks between two cells mid-session and the dedicated MEC bearer
+//! either follows it (both cells MEC-equipped) or falls back to the
+//! default bearer through the core detour (target cell has no MEC).
+
+use acacia_geo::Point;
+use acacia_lte::enb::Enb;
+use acacia_lte::entities::GwControl;
+use acacia_lte::network::{CellConfig, LteConfig, LteNetwork};
+use acacia_lte::prelude::*;
+use acacia_lte::ue::{AppSelector, Ue};
+use acacia_simnet::packet::proto;
+use acacia_simnet::time::Duration;
+use acacia_simnet::traffic::Reflector;
+use acacia_simnet::transport::PingAgent;
+
+fn two_cells(second_has_mec: bool, core_detour: bool) -> LteConfig {
+    LteConfig {
+        cells: vec![
+            CellConfig {
+                pos: Point::new(0.0, 0.0),
+                mec: true,
+            },
+            CellConfig {
+                pos: Point::new(40.0, 0.0),
+                mec: second_has_mec,
+            },
+        ],
+        core_detour,
+        ..LteConfig::default()
+    }
+}
+
+/// Walk toward the far cell while pinging a MEC server on a dedicated
+/// bearer. Returns (net, agent) after the walk completes.
+fn walk_with_pings(cfg: LteConfig) -> (LteNetwork, acacia_simnet::sim::NodeId) {
+    let mut net = LteNetwork::new(cfg);
+    let (_, mec_addr) = net.add_mec_server(Box::new(Reflector::new()));
+    let ue_ip = net.attach(0);
+    net.activate_dedicated_bearer(
+        0,
+        PolicyRule {
+            service_id: 9,
+            ue_addr: ue_ip,
+            server_addr: mec_addr,
+            server_port: 0,
+            qci: Qci(7),
+            install: true,
+        },
+    );
+    let agent = net.connect_ue_app(
+        0,
+        Box::new(PingAgent::new(
+            ue_ip,
+            mec_addr,
+            Duration::from_millis(100),
+            150,
+        )),
+        AppSelector::protocol(proto::ICMP),
+    );
+    net.sim
+        .schedule_timer(agent, net.sim.now(), PingAgent::KICKOFF);
+    net.start_mobility(
+        0,
+        vec![
+            Waypoint::passing(Point::new(2.0, 0.0)),
+            Waypoint::passing(Point::new(38.0, 0.0)),
+        ],
+        4.0,
+    );
+    net.run_for(Duration::from_secs(16));
+    (net, agent)
+}
+
+#[test]
+fn handover_reanchors_dedicated_bearer_between_mec_cells() {
+    let (net, agent) = walk_with_pings(two_cells(true, false));
+
+    // The UE crossed to cell 1 via exactly one X2 handover.
+    assert_eq!(net.serving_cell(0), 1);
+    let ue = net.sim.node_ref::<Ue>(net.ues[0]);
+    assert_eq!(ue.handovers, 1);
+    assert_eq!(ue.interruption_log.len(), 1);
+    let (_, gap) = ue.interruption_log[0];
+    assert!(
+        gap < Duration::from_millis(500),
+        "service interruption {} ms",
+        gap.secs_f64() * 1e3
+    );
+    // Source released the context, target completed the path switch.
+    assert_eq!(net.sim.node_ref::<Enb>(net.enbs[0]).ho_out_done, 1);
+    assert_eq!(net.sim.node_ref::<Enb>(net.enbs[1]).ho_in_done, 1);
+    // The dedicated bearer followed the UE: relocated, not released.
+    let gwc = net.sim.node_ref::<GwControl>(net.gwc);
+    assert_eq!(gwc.dedicated_reanchored, 1);
+    assert_eq!(gwc.dedicated_released, 0);
+    assert!(net.sim.node_ref::<Ue>(net.ues[0]).has_dedicated_bearer());
+    // Session continuity: at most a handful of pings lost in the gap.
+    let a = net.sim.node_ref::<PingAgent>(agent);
+    assert!(
+        a.rtts().len() >= 145,
+        "{} of 150 pings survived the handover",
+        a.rtts().len()
+    );
+    // Post-handover traffic still rides the dedicated (local) path: the
+    // RTT stays at MEC level rather than core level.
+    let series = acacia_simnet::stats::Series::from_durations_ms(a.rtts());
+    assert!(
+        series.percentile(90.0) < 25.0,
+        "p90 {}",
+        series.percentile(90.0)
+    );
+}
+
+#[test]
+fn handover_to_non_mec_cell_falls_back_to_default_bearer() {
+    let (net, agent) = walk_with_pings(two_cells(false, true));
+
+    assert_eq!(net.serving_cell(0), 1);
+    // The dedicated bearer could not follow: released, not relocated.
+    let gwc = net.sim.node_ref::<GwControl>(net.gwc);
+    assert_eq!(gwc.dedicated_reanchored, 0);
+    assert_eq!(gwc.dedicated_released, 1);
+    assert!(!net.sim.node_ref::<Ue>(net.ues[0]).has_dedicated_bearer());
+    // ... but the MEC server stays reachable over the default bearer via
+    // the core detour, so the session survives with degraded latency.
+    let a = net.sim.node_ref::<PingAgent>(agent);
+    assert!(
+        a.rtts().len() >= 140,
+        "{} of 150 pings survived the fallback",
+        a.rtts().len()
+    );
+    let late = &a.rtts()[a.rtts().len() - 20..];
+    let series = acacia_simnet::stats::Series::from_durations_ms(late);
+    // Default-bearer path traverses the full core: noticeably slower than
+    // the ~14 ms MEC RTT but still interactive.
+    assert!(
+        series.median() > 20.0,
+        "fallback median {} ms",
+        series.median()
+    );
+}

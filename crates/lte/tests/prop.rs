@@ -272,9 +272,81 @@ fn arb_msg_any() -> BoxedStrategy<ControlMsg> {
         imsi.clone()
             .prop_map(|i| ControlMsg::RrcRelease { imsi: i }),
         any::<u8>().prop_map(|e| ControlMsg::RrcBearerRelease { ebi: Ebi(e) }),
-        imsi.prop_map(|i| ControlMsg::RrcPaging { imsi: i }),
+        imsi.clone().prop_map(|i| ControlMsg::RrcPaging { imsi: i }),
     ];
-    prop_oneof![arb_msg(), s1ap, gtpv2, diameter, rrc].boxed()
+    // The mobility/handover additions: X2AP, path switch, bearer
+    // relocation and the RRC measurement/handover trio.
+    let erab_teids = prop::collection::vec((any::<u8>(), any::<u32>()), 0..3)
+        .prop_map(|ts| {
+            ts.into_iter()
+                .map(|(e, t)| (Ebi(e), Teid(t)))
+                .collect::<Vec<_>>()
+        })
+        .boxed();
+    let handover = prop_oneof![
+        (imsi.clone(), arb_ip(), erab_teids.clone()).prop_map(|(i, a, ts)| {
+            ControlMsg::PathSwitchRequest {
+                imsi: i,
+                enb_addr: a,
+                erabs: ts,
+            }
+        }),
+        (imsi.clone(), prop::collection::vec(erab.clone(), 0..2))
+            .prop_map(|(i, es)| { ControlMsg::PathSwitchRequestAck { imsi: i, erabs: es } }),
+        (
+            imsi.clone(),
+            prop::option::of(arb_ip()),
+            prop::collection::vec(erab.clone(), 0..2)
+        )
+            .prop_map(|(i, a, es)| ControlMsg::X2HandoverRequest {
+                imsi: i,
+                ue_addr: a,
+                bearers: es,
+            }),
+        (imsi.clone(), erab_teids.clone())
+            .prop_map(|(i, ts)| ControlMsg::X2HandoverRequestAck { imsi: i, erabs: ts }),
+        (imsi.clone(), any::<u32>(), any::<u32>()).prop_map(|(i, dl, ul)| {
+            ControlMsg::X2SnStatusTransfer {
+                imsi: i,
+                dl_count: dl,
+                ul_count: ul,
+            }
+        }),
+        imsi.clone()
+            .prop_map(|i| ControlMsg::X2UeContextRelease { imsi: i }),
+        (imsi.clone(), arb_ip(), erab_teids).prop_map(|(i, a, ts)| {
+            ControlMsg::BearerRelocationRequest {
+                imsi: i,
+                enb_addr: a,
+                enb_teids: ts,
+            }
+        }),
+        (
+            imsi.clone(),
+            prop::collection::vec(erab, 0..2),
+            prop::collection::vec(any::<u8>().prop_map(Ebi), 0..3)
+        )
+            .prop_map(|(i, es, rel)| ControlMsg::BearerRelocationResponse {
+                imsi: i,
+                erabs: es,
+                released: rel,
+            }),
+        (imsi.clone(), any::<i32>(), arb_ip(), any::<i32>()).prop_map(|(i, s, a, t)| {
+            ControlMsg::RrcMeasurementReport {
+                imsi: i,
+                serving_rsrp_cdbm: s,
+                target_radio: a,
+                target_rsrp_cdbm: t,
+            }
+        }),
+        (imsi.clone(), arb_ip()).prop_map(|(i, a)| ControlMsg::RrcHandoverCommand {
+            imsi: i,
+            target_radio: a,
+        }),
+        imsi.clone()
+            .prop_map(|i| ControlMsg::RrcHandoverConfirm { imsi: i }),
+    ];
+    prop_oneof![arb_msg(), s1ap, gtpv2, diameter, rrc, handover].boxed()
 }
 
 proptest! {
@@ -386,6 +458,7 @@ proptest! {
         let pkt = msg.into_packet(src, dst);
         let (want_proto, want_port) = match msg.protocol() {
             Protocol::S1apSctp => (132u8, 36412u16),
+            Protocol::X2Sctp => (132, 36422),
             Protocol::Gtpv2 => (17, 2123),
             Protocol::OpenFlow => (6, 6633),
             Protocol::Diameter => (6, 3868),
