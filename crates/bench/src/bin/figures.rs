@@ -12,8 +12,11 @@
 //! parallelism and `--jobs 1` is the serial path. Output on stdout is
 //! byte-identical for every worker count — the per-cell timing report
 //! goes to stderr.
+//!
+//! `--seed N` (or `--seed=N`) sets the master seed for seed-aware
+//! experiments (the chaos sweep); the default is 42.
 
-use acacia_bench::{run, runner, ALL_IDS, SLOW_IDS};
+use acacia_bench::{run, runner, set_seed, ALL_IDS, SLOW_IDS};
 
 fn main() {
     let mut args: Vec<String> = Vec::new();
@@ -29,6 +32,16 @@ fn main() {
             match v.parse::<usize>() {
                 Ok(n) if n >= 1 => runner::set_jobs(Some(n)),
                 _ => die("--jobs expects a positive integer"),
+            }
+        } else if a == "--seed" {
+            match raw.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => set_seed(n),
+                None => die("--seed expects an unsigned integer"),
+            }
+        } else if let Some(v) = a.strip_prefix("--seed=") {
+            match v.parse::<u64>() {
+                Ok(n) => set_seed(n),
+                Err(_) => die("--seed expects an unsigned integer"),
             }
         } else {
             args.push(a);

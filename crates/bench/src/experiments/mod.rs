@@ -4,6 +4,7 @@
 //! for tests and the Criterion benches.
 
 pub mod application;
+pub mod chaos;
 pub mod compute;
 pub mod localization;
 pub mod mobility;

@@ -19,7 +19,23 @@ pub mod experiments;
 pub mod runner;
 pub mod table;
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use table::Table;
+
+/// Process-wide master seed for experiments that honour the `figures
+/// --seed N` flag (currently the chaos sweep). Defaults to 42, the seed
+/// baked into every fixed-seed experiment config.
+static SEED: AtomicU64 = AtomicU64::new(42);
+
+/// Set the master seed used by seed-aware experiments.
+pub fn set_seed(seed: u64) {
+    SEED.store(seed, Ordering::SeqCst);
+}
+
+/// The master seed in effect.
+pub fn seed() -> u64 {
+    SEED.load(Ordering::SeqCst)
+}
 
 /// All experiment ids, in paper order.
 pub const ALL_IDS: [&str; 17] = [
@@ -43,7 +59,14 @@ pub const ALL_IDS: [&str; 17] = [
 ];
 
 /// Extended ids that take noticeably longer (included in `all`).
-pub const SLOW_IDS: [&str; 5] = ["fig11b", "fig12", "fig13", "ablation-radius", "mobility"];
+pub const SLOW_IDS: [&str; 6] = [
+    "fig11b",
+    "fig12",
+    "fig13",
+    "ablation-radius",
+    "mobility",
+    "chaos",
+];
 
 /// Run one experiment by id.
 pub fn run(id: &str) -> Option<Table> {
@@ -71,6 +94,7 @@ pub fn run(id: &str) -> Option<Table> {
         "fig13" => application::fig13(),
         "ablation-radius" => application::ablation_radius(),
         "mobility" => mobility::mobility(),
+        "chaos" => chaos::chaos(),
         _ => return None,
     })
 }

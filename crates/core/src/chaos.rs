@@ -1,0 +1,286 @@
+//! The chaos scenario: the mobility walk under control-plane fault
+//! injection.
+//!
+//! ACACIA's mobility story (§8) leans on standard X2/S1 procedures, and
+//! those procedures lean on guard timers and retransmission to survive a
+//! lossy transport. This scenario replays the [`mobility`](crate::mobility)
+//! walk while a deterministic [`FaultPlan`] drops, duplicates and reorders
+//! control messages on every S1AP and X2 link, then audits how the
+//! recovery machinery resolved each handover:
+//!
+//! * **completed** — the path switch went through (possibly after
+//!   retransmission);
+//! * **cancelled** — the target never answered the X2 Handover Request
+//!   and the source kept serving the UE;
+//! * **re-established** — the UE's Handover Command was lost, T304
+//!   expired, and RRC re-establishment recovered the connection;
+//! * **fallback** — the path switch never completed and the target
+//!   released the session to the default bearer + core detour, from which
+//!   the service-request path restores connectivity.
+//!
+//! The one invariant the sweep exists to check: **no wedged UEs** — every
+//! UE ends Connected or Idle with zero handover procedures outstanding,
+//! at every fault rate.
+//!
+//! Faults attach *after* attach/bearer bring-up and only fire from one
+//! second into the session, so the sweep measures handover robustness,
+//! not attach luck. Each link direction gets its own ChaCha8 stream
+//! derived from `fault_seed` and the link's stable index in
+//! [`LteNetwork::control_fault_points`], so results are byte-identical
+//! across worker counts and repeat runs.
+
+use crate::mobility::{MobilityConfig, MobilityMode, MobilityReport, MobilityScenario};
+use acacia_lte::enb::Enb;
+use acacia_lte::ue::{Ue, UeState};
+use acacia_simnet::fault::{FaultPlan, FaultRule, PacketClass};
+use acacia_simnet::sim::{NodeId, PortId};
+use acacia_simnet::time::Duration;
+
+/// Chaos scenario parameters.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// The underlying walk + AR session (Reanchor mode with the core
+    /// detour forced on, so fallback recovery has a path to fall back to).
+    pub mobility: MobilityConfig,
+    /// Seed for the fault streams (independent of the simulation seed).
+    pub fault_seed: u64,
+    /// Per-packet drop probability on every control-link direction.
+    pub drop_rate: f64,
+    /// Per-packet duplicate probability (exercises txid dedup).
+    pub duplicate_rate: f64,
+    /// Per-packet reorder probability (held back by `reorder_delay`).
+    pub reorder_rate: f64,
+    /// How far a reordered control packet is held back.
+    pub reorder_delay: Duration,
+}
+
+impl ChaosConfig {
+    /// Figure-scale sweep cell at `drop_rate`; duplicates and reorders
+    /// ride along at half that rate each.
+    pub fn figure(drop_rate: f64) -> ChaosConfig {
+        let mut mobility = MobilityConfig::figure(MobilityMode::Reanchor);
+        mobility.force_core_detour = true;
+        ChaosConfig {
+            mobility,
+            fault_seed: 7,
+            drop_rate,
+            duplicate_rate: drop_rate / 2.0,
+            reorder_rate: drop_rate / 2.0,
+            reorder_delay: Duration::from_millis(3),
+        }
+    }
+
+    /// Smaller/faster variant for tests.
+    pub fn smoke(drop_rate: f64) -> ChaosConfig {
+        let mut mobility = MobilityConfig::smoke(MobilityMode::Reanchor);
+        mobility.force_core_detour = true;
+        ChaosConfig {
+            mobility,
+            ..ChaosConfig::figure(drop_rate)
+        }
+    }
+}
+
+/// Results of one chaos cell: the mobility report plus the recovery
+/// audit.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Drop rate this cell ran at.
+    pub drop_rate: f64,
+    /// The underlying session report.
+    pub mobility: MobilityReport,
+    /// Handovers the target eNBs completed (path switch acknowledged).
+    pub completed: u64,
+    /// X2 Handover Request retransmissions at source eNBs.
+    pub ho_retx: u64,
+    /// Handovers cancelled after the target never acked (source side).
+    pub cancelled: u64,
+    /// Admitted-then-cancelled handovers released at target eNBs.
+    pub cancelled_in: u64,
+    /// Source-side overall-guard expiries (context released locally).
+    pub expired: u64,
+    /// Path Switch Request retransmissions at target eNBs.
+    pub ps_retx: u64,
+    /// Path-switch exhaustion fallbacks (release to default bearer).
+    pub fallback: u64,
+    /// RRC re-establishments served by eNBs.
+    pub reestablished: u64,
+    /// Service-request retries the UE needed while recovering from idle.
+    pub sr_retries: u64,
+    /// Control packets dropped by injected faults.
+    pub injected_drops: u64,
+    /// Duplicate control packets delivered by injected faults.
+    pub injected_duplicates: u64,
+    /// Control packets reordered by injected faults.
+    pub injected_reorders: u64,
+    /// Control packets lost to congestion/queue overflow instead (the
+    /// injected/organic attribution split on the same links).
+    pub congestion_drops: u64,
+    /// UEs that ended the run outside a legal RRC state (must be 0).
+    pub wedged_ues: usize,
+    /// Handover procedures still open at any eNB after the drain
+    /// (must be 0).
+    pub outstanding_procedures: usize,
+}
+
+impl ChaosReport {
+    /// Did every UE land in a legal state with nothing outstanding?
+    pub fn clean(&self) -> bool {
+        self.wedged_ues == 0 && self.outstanding_procedures == 0
+    }
+}
+
+/// A built chaos scenario: the mobility scenario with fault plans armed
+/// on every control-link direction.
+pub struct ChaosScenario {
+    scenario: MobilityScenario,
+    cfg: ChaosConfig,
+    fault_points: Vec<((NodeId, PortId), String)>,
+}
+
+impl ChaosScenario {
+    /// Build the walk and attach one independently-seeded fault plan per
+    /// control-link direction.
+    pub fn build(cfg: ChaosConfig) -> ChaosScenario {
+        let mut scenario = MobilityScenario::build(cfg.mobility.clone());
+        let fault_points = scenario.net.control_fault_points();
+        // Attach and initial bearer activation are done (or imminent):
+        // open the fault window one second in so the sweep stresses the
+        // handover machinery, not session bring-up.
+        let start = scenario.net.sim.now() + Duration::from_secs(1);
+        let end = start + Duration::from_secs(86_400);
+        for (idx, (endpoint, _label)) in fault_points.iter().enumerate() {
+            let seed = cfg
+                .fault_seed
+                .wrapping_add((idx as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let mut plan = FaultPlan::new(seed);
+            if cfg.drop_rate > 0.0 {
+                plan.add_rule(
+                    FaultRule::drop(PacketClass::any(), cfg.drop_rate).in_window(start, end),
+                );
+            }
+            if cfg.duplicate_rate > 0.0 {
+                plan.add_rule(
+                    FaultRule::duplicate(PacketClass::any(), cfg.duplicate_rate)
+                        .in_window(start, end),
+                );
+            }
+            if cfg.reorder_rate > 0.0 {
+                plan.add_rule(
+                    FaultRule::reorder(PacketClass::any(), cfg.reorder_rate, cfg.reorder_delay)
+                        .in_window(start, end),
+                );
+            }
+            if !plan.rules().is_empty() {
+                scenario.net.sim.attach_fault_plan(*endpoint, plan);
+            }
+        }
+        ChaosScenario {
+            scenario,
+            cfg,
+            fault_points,
+        }
+    }
+
+    /// Run the session and audit the recovery outcome.
+    pub fn run(self) -> ChaosReport {
+        let (mobility, net) = self.scenario.run_detailed();
+
+        let mut report = ChaosReport {
+            drop_rate: self.cfg.drop_rate,
+            mobility,
+            completed: 0,
+            ho_retx: 0,
+            cancelled: 0,
+            cancelled_in: 0,
+            expired: 0,
+            ps_retx: 0,
+            fallback: 0,
+            reestablished: 0,
+            sr_retries: 0,
+            injected_drops: 0,
+            injected_duplicates: 0,
+            injected_reorders: 0,
+            congestion_drops: 0,
+            wedged_ues: 0,
+            outstanding_procedures: 0,
+        };
+        for &enb in &net.enbs {
+            let e = net.sim.node_ref::<Enb>(enb);
+            report.completed += e.ho_in_done;
+            report.ho_retx += e.ho_retx;
+            report.cancelled += e.ho_cancelled;
+            report.cancelled_in += e.ho_in_cancelled;
+            report.expired += e.ho_out_expired;
+            report.ps_retx += e.ps_retx;
+            report.fallback += e.ps_fallback;
+            report.reestablished += e.reest_in;
+            report.outstanding_procedures += e.outstanding_handovers();
+        }
+        for &ue in &net.ues {
+            let u = net.sim.node_ref::<Ue>(ue);
+            report.sr_retries += u.sr_retries;
+            if !matches!(u.state, UeState::Connected | UeState::Idle) {
+                report.wedged_ues += 1;
+            }
+        }
+        for (endpoint, _label) in &self.fault_points {
+            if let Some(stats) = net.sim.link_stats(*endpoint) {
+                report.injected_drops += stats.drops_injected;
+                report.injected_duplicates += stats.duplicates_injected;
+                report.injected_reorders += stats.reorders_injected;
+                report.congestion_drops += stats.drops_queue + stats.drops_loss;
+            }
+        }
+        report
+    }
+}
+
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<ChaosConfig>();
+    assert_send::<ChaosReport>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Faults at rate zero must not perturb the session at all: the
+    /// chaos wrapper with an idle fault layer reproduces the plain
+    /// mobility run field-for-field.
+    #[test]
+    fn zero_rate_chaos_matches_plain_mobility() {
+        let chaos = ChaosScenario::build(ChaosConfig::smoke(0.0)).run();
+        let mut plain_cfg = MobilityConfig::smoke(MobilityMode::Reanchor);
+        plain_cfg.force_core_detour = true;
+        let plain = MobilityScenario::build(plain_cfg).run();
+        assert_eq!(format!("{:?}", chaos.mobility), format!("{plain:?}"));
+        assert_eq!(chaos.injected_drops, 0);
+        assert_eq!(chaos.injected_duplicates, 0);
+        assert_eq!(chaos.injected_reorders, 0);
+        assert!(chaos.clean());
+    }
+
+    /// The acceptance gate at smoke scale: 10% control drops, session
+    /// still completes, nothing wedges.
+    #[test]
+    fn ten_percent_control_drops_leave_no_wedged_ues() {
+        let report = ChaosScenario::build(ChaosConfig::smoke(0.10)).run();
+        assert!(report.clean(), "wedged: {report:?}");
+        assert!(
+            report.mobility.session_complete(),
+            "{}/{} frames",
+            report.mobility.frames.len(),
+            report.mobility.frames_requested
+        );
+    }
+
+    /// Same seed, same plan ⇒ identical report, repeatably.
+    #[test]
+    fn chaos_runs_are_deterministic() {
+        let a = ChaosScenario::build(ChaosConfig::smoke(0.15)).run();
+        let b = ChaosScenario::build(ChaosConfig::smoke(0.15)).run();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+}

@@ -29,6 +29,7 @@
 
 pub mod arclient;
 pub mod arserver;
+pub mod chaos;
 pub mod device_manager;
 pub mod locmgr;
 pub mod mobility;
@@ -40,6 +41,7 @@ pub mod search;
 
 pub use arclient::{ArFrontend, ArFrontendConfig, FrameStats};
 pub use arserver::{ArServer, ArServerConfig, FrameRecord};
+pub use chaos::{ChaosConfig, ChaosReport, ChaosScenario};
 pub use device_manager::{AppId, ConnectivityAction, DeviceManager, ServiceInfo};
 pub use locmgr::{LocalizationManager, LocalizationMetadata};
 pub use mobility::{MobilityConfig, MobilityMode, MobilityReport, MobilityScenario};
@@ -53,6 +55,7 @@ pub use search::{candidates, SearchContext, SearchStrategy};
 pub mod prelude {
     pub use crate::arclient::{ArFrontend, ArFrontendConfig, FrameStats};
     pub use crate::arserver::{ArServer, ArServerConfig};
+    pub use crate::chaos::{ChaosConfig, ChaosReport, ChaosScenario};
     pub use crate::device_manager::{DeviceManager, ServiceInfo};
     pub use crate::locmgr::{LocalizationManager, LocalizationMetadata};
     pub use crate::mobility::{MobilityConfig, MobilityMode, MobilityReport, MobilityScenario};

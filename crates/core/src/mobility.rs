@@ -97,6 +97,11 @@ pub struct MobilityConfig {
     pub exec_cap: usize,
     /// Cloud region (CLOUD mode's server placement).
     pub region: Ec2Region,
+    /// Install the Internet-exchange ↔ local GW-U core-detour link even
+    /// when the mode would not normally need it. The chaos scenario sets
+    /// this so a Reanchor session that loses its path switch can still
+    /// reach the MEC server over the default bearer.
+    pub force_core_detour: bool,
 }
 
 impl MobilityConfig {
@@ -113,6 +118,7 @@ impl MobilityConfig {
             db_per_subsection: 1,
             exec_cap: 24,
             region: Ec2Region::California,
+            force_core_detour: false,
         }
     }
 
@@ -191,8 +197,8 @@ pub struct MobilityScenario {
     pub server: NodeId,
     /// Liveness-probe node.
     pub probe: NodeId,
-    cfg: MobilityConfig,
-    dm: DeviceManager,
+    pub(crate) cfg: MobilityConfig,
+    pub(crate) dm: DeviceManager,
 }
 
 impl MobilityScenario {
@@ -211,7 +217,7 @@ impl MobilityScenario {
                     mec: far_mec,
                 },
             ],
-            core_detour: cfg.mode == MobilityMode::Fallback,
+            core_detour: cfg.mode == MobilityMode::Fallback || cfg.force_core_detour,
             ..LteConfig::default()
         });
 
@@ -336,7 +342,14 @@ impl MobilityScenario {
 
     /// Run the session: start the AR client and the walk together, watch
     /// the serving cell, and feed changes through the device manager.
-    pub fn run(mut self) -> MobilityReport {
+    pub fn run(self) -> MobilityReport {
+        self.run_detailed().0
+    }
+
+    /// [`run`](MobilityScenario::run), but hand the network back too so a
+    /// caller can inspect post-run element state (recovery counters, link
+    /// statistics, wedged-procedure checks).
+    pub(crate) fn run_detailed(mut self) -> (MobilityReport, LteNetwork) {
         let start = self.net.sim.now();
         self.net
             .sim
@@ -398,7 +411,7 @@ impl MobilityScenario {
             x2_forwarded += e.x2_forwarded;
             no_bearer += e.no_bearer;
         }
-        MobilityReport {
+        let report = MobilityReport {
             mode: self.cfg.mode,
             frames: client.frames.clone(),
             frames_requested: self.cfg.frame_count,
@@ -415,7 +428,8 @@ impl MobilityScenario {
             reanchors: (client.reanchor_requests, client.reanchor_acks),
             dedicated_reanchored: gwc.dedicated_reanchored,
             dedicated_released: gwc.dedicated_released,
-        }
+        };
+        (report, self.net)
     }
 }
 

@@ -15,8 +15,21 @@ use crate::wire::{ControlMsg, ErabSetup};
 use crate::{gtpu, tft::Tft};
 use acacia_simnet::packet::Packet;
 use acacia_simnet::sim::{Ctx, Node, PortId};
+use acacia_simnet::time::Duration;
 use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
+
+/// Guard before retransmitting an unanswered X2 Handover Request (the
+/// TX2RELOCprep analogue; see DESIGN.md's substitution ledger).
+const HO_PREP_GUARD: Duration = Duration::from_millis(60);
+/// Guard on the forwarding phase: if the target never signals UE Context
+/// Release, give up and release locally (TX2RELOCoverall analogue).
+const HO_OVERALL_GUARD: Duration = Duration::from_millis(1500);
+/// Guard before retransmitting an unanswered Path Switch Request.
+const PS_GUARD: Duration = Duration::from_millis(120);
+/// Transmissions of X2 Handover Request / Path Switch Request before the
+/// procedure is abandoned (cancel / core-detour fallback).
+const HO_MAX_ATTEMPTS: u32 = 3;
 
 /// Per-bearer forwarding state at the eNB.
 #[derive(Debug, Clone)]
@@ -72,6 +85,16 @@ enum HoPhase {
         port: PortId,
         /// Radio address of the target cell (for the RRC command).
         target_radio: Ipv4Addr,
+        /// Control address of the target eNB (retransmission destination).
+        peer_addr: Ipv4Addr,
+        /// Procedure transaction id carried by the Handover Request.
+        txid: u32,
+        /// Handover Request transmissions so far.
+        attempts: u32,
+        /// Guard-timer sequence currently armed for this attempt.
+        guard: u64,
+        /// The request as sent, kept verbatim for retransmission.
+        request: Box<ControlMsg>,
     },
     /// UE commanded to the target; downlink data is forwarded over X2
     /// until the target signals UE Context Release.
@@ -82,7 +105,38 @@ enum HoPhase {
         peer: Ipv4Addr,
         /// Per-bearer forwarding TEIDs allocated by the target.
         teids: BTreeMap<Ebi, Teid>,
+        /// Overall guard-timer sequence: fires if the target never signals
+        /// UE Context Release.
+        guard: u64,
     },
+}
+
+/// Target-side state of one incoming handover, kept until the Path Switch
+/// completes (or falls back).
+#[derive(Debug, Clone)]
+struct HoInCtx {
+    /// X2 port toward the source eNB.
+    x2_port: PortId,
+    /// Source eNB control address.
+    src_addr: Ipv4Addr,
+    /// Transaction id of the admitting Handover Request: duplicates are
+    /// re-acked with the same E-RABs instead of re-admitted.
+    ho_txid: u32,
+    /// E-RABs admitted for this handover (echoed on duplicate requests).
+    admitted: Vec<(Ebi, Teid)>,
+    /// Path Switch procedure state, present once the UE has arrived.
+    ps: Option<PsState>,
+}
+
+/// An in-flight Path Switch Request with its retransmission budget.
+#[derive(Debug, Clone)]
+struct PsState {
+    /// Path Switch Request transmissions so far.
+    attempts: u32,
+    /// Guard-timer sequence currently armed for this attempt.
+    guard: u64,
+    /// The request as sent, kept verbatim for retransmission.
+    request: Box<ControlMsg>,
 }
 
 /// Timer tokens understood by the eNB.
@@ -94,6 +148,11 @@ pub mod token {
     pub const IDLE_BASE: u64 = 1000;
     /// Automatic inactivity check for UE `token - IDLE_CHECK_BASE`.
     pub const IDLE_CHECK_BASE: u64 = 2000;
+    /// Handover guard timers: `HO_GUARD_BASE + seq` identifies one arming
+    /// of a preparation / forwarding / path-switch guard. A fire whose
+    /// sequence no longer matches any live procedure is a no-op, so
+    /// completed procedures never need to cancel their timers.
+    pub const HO_GUARD_BASE: u64 = 1 << 32;
 }
 
 /// The eNB node.
@@ -118,9 +177,12 @@ pub struct Enb {
     x2_peers: Vec<X2Peer>,
     /// Outgoing handovers in progress, keyed by UE.
     ho: BTreeMap<Imsi, HoPhase>,
-    /// Incoming handovers awaiting Path Switch completion:
-    /// IMSI → (X2 port toward the source, source eNB address).
-    ho_in: BTreeMap<Imsi, (PortId, Ipv4Addr)>,
+    /// Incoming handovers awaiting Path Switch completion.
+    ho_in: BTreeMap<Imsi, HoInCtx>,
+    /// Next procedure transaction id.
+    next_txid: u32,
+    /// Next guard-timer sequence number.
+    next_guard: u64,
     /// Uplink user packets forwarded onto S1.
     pub ul_forwarded: u64,
     /// Downlink user frames scheduled to UEs.
@@ -133,6 +195,23 @@ pub struct Enb {
     pub ho_in_done: u64,
     /// Downlink packets forwarded over X2 during handover execution.
     pub x2_forwarded: u64,
+    /// X2 Handover Requests retransmitted after a guard expiry (source).
+    pub ho_retx: u64,
+    /// Handovers cancelled after exhausting Handover Request attempts
+    /// (source side; the UE stays on this cell).
+    pub ho_cancelled: u64,
+    /// Incoming handovers torn down by an X2 Handover Cancel (target).
+    pub ho_in_cancelled: u64,
+    /// Forwarding phases expired by the overall guard (lost UE Context
+    /// Release): the source released the UE context locally.
+    pub ho_out_expired: u64,
+    /// Path Switch Requests retransmitted after a guard expiry (target).
+    pub ps_retx: u64,
+    /// Path Switch procedures abandoned after exhausting attempts: the UE
+    /// was released to re-enter via a core-routed service request.
+    pub ps_fallback: u64,
+    /// RRC re-establishment requests served (target side).
+    pub reest_in: u64,
 }
 
 impl Enb {
@@ -151,12 +230,21 @@ impl Enb {
             x2_peers: Vec::new(),
             ho: BTreeMap::new(),
             ho_in: BTreeMap::new(),
+            next_txid: 1,
+            next_guard: 0,
             ul_forwarded: 0,
             dl_forwarded: 0,
             no_bearer: 0,
             ho_out_done: 0,
             ho_in_done: 0,
             x2_forwarded: 0,
+            ho_retx: 0,
+            ho_cancelled: 0,
+            ho_in_cancelled: 0,
+            ho_out_expired: 0,
+            ps_retx: 0,
+            ps_fallback: 0,
+            reest_in: 0,
         }
     }
 
@@ -192,6 +280,28 @@ impl Enb {
     /// Bearer state for inspection.
     pub fn bearers(&self) -> &[EnbBearer] {
         &self.bearers
+    }
+
+    /// Handover procedures still open at this eNB (source + target side).
+    /// A drained simulation must end with zero everywhere — anything else
+    /// is a wedged UE.
+    pub fn outstanding_handovers(&self) -> usize {
+        self.ho.len() + self.ho_in.len()
+    }
+
+    fn alloc_txid(&mut self) -> u32 {
+        let t = self.next_txid;
+        self.next_txid += 1;
+        t
+    }
+
+    /// Arm a handover guard timer; returns the sequence number the fire
+    /// must match to be considered live.
+    fn arm_guard(&mut self, ctx: &mut Ctx<'_>, after: Duration) -> u64 {
+        let seq = self.next_guard;
+        self.next_guard += 1;
+        ctx.schedule_in(after, token::HO_GUARD_BASE + seq);
+        seq
     }
 
     fn ue_by_radio_port(&self, p: PortId) -> Option<&UeEntry> {
@@ -257,21 +367,10 @@ impl Enb {
                     ControlMsg::RrcHandoverConfirm { .. } if self.ho_in.contains_key(&imsi) => {
                         // Target side: the UE has arrived on our radio;
                         // switch its S1 path toward us.
-                        let erabs: Vec<(Ebi, Teid)> = self
-                            .bearers
-                            .iter()
-                            .filter(|b| b.imsi == imsi && b.active)
-                            .map(|b| (b.ebi, b.enb_teid))
-                            .collect();
-                        let enb_addr = self.addr;
-                        self.send_s1ap(
-                            ctx,
-                            ControlMsg::PathSwitchRequest {
-                                imsi,
-                                enb_addr,
-                                erabs,
-                            },
-                        );
+                        self.ue_arrived(ctx, imsi);
+                    }
+                    ControlMsg::RrcReestablishmentRequest { .. } => {
+                        self.handle_reestablishment(ctx, imsi);
                     }
                     _ => {}
                 }
@@ -330,23 +429,113 @@ impl Enb {
         if bearers.is_empty() {
             return; // nothing to hand over
         }
+        let txid = self.alloc_txid();
+        let request = ControlMsg::X2HandoverRequest {
+            imsi,
+            ue_addr,
+            bearers,
+            txid,
+        };
+        let guard = self.arm_guard(ctx, HO_PREP_GUARD);
         self.ho.insert(
             imsi,
             HoPhase::Preparing {
                 port: peer.port,
                 target_radio,
+                peer_addr: peer.enb_addr,
+                txid,
+                attempts: 1,
+                guard,
+                request: Box::new(request.clone()),
             },
         );
+        self.send_x2(ctx, peer.port, peer.enb_addr, request);
+    }
+
+    /// Target side: the UE is on our radio (Handover Confirm or RRC
+    /// re-establishment). Start the Path Switch procedure — or keep the
+    /// one already running if this is a duplicate arrival.
+    fn ue_arrived(&mut self, ctx: &mut Ctx<'_>, imsi: Imsi) {
+        let Some(hin) = self.ho_in.get(&imsi) else {
+            return;
+        };
+        if hin.ps.is_some() {
+            return; // duplicate confirm: the procedure is already running
+        }
+        let erabs: Vec<(Ebi, Teid)> = self
+            .bearers
+            .iter()
+            .filter(|b| b.imsi == imsi && b.active)
+            .map(|b| (b.ebi, b.enb_teid))
+            .collect();
+        let txid = self.alloc_txid();
+        let request = ControlMsg::PathSwitchRequest {
+            imsi,
+            enb_addr: self.addr,
+            erabs,
+            txid,
+        };
+        let guard = self.arm_guard(ctx, PS_GUARD);
+        if let Some(hin) = self.ho_in.get_mut(&imsi) {
+            hin.ps = Some(PsState {
+                attempts: 1,
+                guard,
+                request: Box::new(request.clone()),
+            });
+        }
+        self.send_s1ap(ctx, request);
+    }
+
+    /// An RRC re-establishment request arrived on our radio: the UE lost
+    /// its serving cell mid-procedure (e.g. the Handover Command never
+    /// made it) and picked us. Resume whatever context we hold.
+    fn handle_reestablishment(&mut self, ctx: &mut Ctx<'_>, imsi: Imsi) {
+        self.reest_in += 1;
+        if self.ho_in.contains_key(&imsi) {
+            // Admitted over X2 but never confirmed: treat the
+            // re-establishment as the arrival and run the Path Switch.
+            self.send_rrc(ctx, imsi, ControlMsg::RrcReestablishmentConfirm { imsi });
+            self.ue_arrived(ctx, imsi);
+        } else if self.bearers.iter().any(|b| b.imsi == imsi && b.active) {
+            // Context already live here (duplicate request): just confirm.
+            self.send_rrc(ctx, imsi, ControlMsg::RrcReestablishmentConfirm { imsi });
+        } else {
+            // Nothing to resume: release the UE; its buffered traffic
+            // re-enters through the standard service request.
+            self.send_rrc(ctx, imsi, ControlMsg::RrcRelease { imsi });
+        }
+    }
+
+    /// Path Switch gave up (every retransmission lost): fall back to the
+    /// core path. The old cell is told to release, dedicated bearers are
+    /// dropped (the core still anchors them at the old cell), and the UE
+    /// is pushed to idle so a service request re-anchors its default
+    /// bearer here through the MME.
+    fn path_switch_fallback(&mut self, ctx: &mut Ctx<'_>, imsi: Imsi) {
+        let Some(hin) = self.ho_in.remove(&imsi) else {
+            return;
+        };
+        self.ps_fallback += 1;
         self.send_x2(
             ctx,
-            peer.port,
-            peer.enb_addr,
-            ControlMsg::X2HandoverRequest {
-                imsi,
-                ue_addr,
-                bearers,
-            },
+            hin.x2_port,
+            hin.src_addr,
+            ControlMsg::X2UeContextRelease { imsi },
         );
+        let dedicated: Vec<Ebi> = self
+            .bearers
+            .iter()
+            .filter(|b| b.imsi == imsi && b.ebi != Ebi::DEFAULT)
+            .map(|b| b.ebi)
+            .collect();
+        for ebi in dedicated {
+            self.bearers.retain(|b| !(b.imsi == imsi && b.ebi == ebi));
+            self.send_rrc(ctx, imsi, ControlMsg::RrcBearerRelease { ebi });
+        }
+        for b in self.bearers.iter_mut().filter(|b| b.imsi == imsi) {
+            b.active = false;
+        }
+        self.send_rrc(ctx, imsi, ControlMsg::RrcRelease { imsi });
     }
 
     fn handle_x2(&mut self, ctx: &mut Ctx<'_>, in_port: PortId, pkt: Packet) {
@@ -367,7 +556,26 @@ impl Enb {
                 imsi,
                 ue_addr,
                 bearers,
+                txid,
             } => {
+                if let Some(hin) = self.ho_in.get(&imsi) {
+                    if hin.ho_txid == txid {
+                        // Duplicate (or retransmitted) request for an
+                        // admission we already answered: re-ack the same
+                        // E-RABs instead of allocating fresh TEIDs.
+                        let erabs = hin.admitted.clone();
+                        self.send_x2(
+                            ctx,
+                            in_port,
+                            pkt.src,
+                            ControlMsg::X2HandoverRequestAck { imsi, erabs, txid },
+                        );
+                        return;
+                    }
+                    // A different transaction supersedes the stale
+                    // admission (the source cancelled and retried); fall
+                    // through to a fresh one.
+                }
                 if let Some(addr) = ue_addr {
                     if let Some(ue) = self.ues.iter_mut().find(|u| u.imsi == imsi) {
                         ue.ue_addr = Some(addr);
@@ -378,21 +586,38 @@ impl Enb {
                     let enb_teid = self.setup_erab(erab, imsi);
                     erabs.push((erab.ebi, enb_teid));
                 }
-                self.ho_in.insert(imsi, (in_port, pkt.src));
+                self.ho_in.insert(
+                    imsi,
+                    HoInCtx {
+                        x2_port: in_port,
+                        src_addr: pkt.src,
+                        ho_txid: txid,
+                        admitted: erabs.clone(),
+                        ps: None,
+                    },
+                );
                 self.send_x2(
                     ctx,
                     in_port,
                     pkt.src,
-                    ControlMsg::X2HandoverRequestAck { imsi, erabs },
+                    ControlMsg::X2HandoverRequestAck { imsi, erabs, txid },
                 );
             }
             // Source side: target is ready. Freeze the UE's downlink onto
             // the X2 forwarding tunnel and command the UE over.
-            ControlMsg::X2HandoverRequestAck { imsi, erabs } => {
-                let Some(HoPhase::Preparing { port, target_radio }) = self.ho.get(&imsi).cloned()
+            ControlMsg::X2HandoverRequestAck { imsi, erabs, txid } => {
+                let Some(HoPhase::Preparing {
+                    port,
+                    target_radio,
+                    txid: want,
+                    ..
+                }) = self.ho.get(&imsi).cloned()
                 else {
                     return;
                 };
+                if txid != want {
+                    return; // stale ack of a superseded attempt
+                }
                 self.send_x2(
                     ctx,
                     port,
@@ -403,12 +628,14 @@ impl Enb {
                         ul_count: self.ul_forwarded as u32,
                     },
                 );
+                let guard = self.arm_guard(ctx, HO_OVERALL_GUARD);
                 self.ho.insert(
                     imsi,
                     HoPhase::Forwarding {
                         port,
                         peer: pkt.src,
                         teids: erabs.into_iter().collect(),
+                        guard,
                     },
                 );
                 self.send_rrc(
@@ -416,6 +643,23 @@ impl Enb {
                     imsi,
                     ControlMsg::RrcHandoverCommand { imsi, target_radio },
                 );
+            }
+            // Target side: the source gave up on an admission we granted.
+            // Honoured only while the UE has not arrived — a cancel racing
+            // a successful arrival loses.
+            ControlMsg::X2HandoverCancel { imsi, txid } => {
+                let Some(hin) = self.ho_in.get(&imsi) else {
+                    return;
+                };
+                if hin.ho_txid != txid || hin.ps.is_some() {
+                    return;
+                }
+                let admitted = hin.admitted.clone();
+                self.ho_in.remove(&imsi);
+                self.bearers.retain(|b| {
+                    !(b.imsi == imsi && admitted.iter().any(|&(_, t)| t == b.enb_teid))
+                });
+                self.ho_in_cancelled += 1;
             }
             // Target side: PDCP sequence state from the source. The data
             // path here is packet-based, so the counts are informational.
@@ -447,7 +691,10 @@ impl Enb {
         self.touch_activity(ctx, imsi);
         // During handover execution the UE is tuning to the target cell:
         // forward its downlink over X2 instead of the (dead) radio leg.
-        if let Some(HoPhase::Forwarding { port, peer, teids }) = self.ho.get(&imsi) {
+        if let Some(HoPhase::Forwarding {
+            port, peer, teids, ..
+        }) = self.ho.get(&imsi)
+        {
             if let Some(&fwd_teid) = teids.get(&ebi) {
                 let (port, peer) = (*port, *peer);
                 let outer = gtpu::encapsulate(&inner, fwd_teid, self.addr, peer);
@@ -495,6 +742,88 @@ impl Enb {
             active: true,
         });
         enb_teid
+    }
+
+    /// A handover guard fired. Resolve the sequence number against every
+    /// live procedure; anything that does not match completed (or was
+    /// superseded) in the meantime and the fire is a no-op.
+    fn on_ho_guard(&mut self, ctx: &mut Ctx<'_>, seq: u64) {
+        // Source side: unanswered Handover Request.
+        let prep = self.ho.iter().find_map(|(&imsi, p)| match p {
+            HoPhase::Preparing { guard, .. } if *guard == seq => Some(imsi),
+            _ => None,
+        });
+        if let Some(imsi) = prep {
+            let Some(HoPhase::Preparing {
+                port,
+                peer_addr,
+                txid,
+                attempts,
+                request,
+                ..
+            }) = self.ho.get(&imsi).cloned()
+            else {
+                return;
+            };
+            if attempts < HO_MAX_ATTEMPTS {
+                let new_guard = self.arm_guard(ctx, HO_PREP_GUARD);
+                if let Some(HoPhase::Preparing {
+                    attempts, guard, ..
+                }) = self.ho.get_mut(&imsi)
+                {
+                    *attempts += 1;
+                    *guard = new_guard;
+                }
+                self.ho_retx += 1;
+                self.send_x2(ctx, port, peer_addr, (*request).clone());
+            } else {
+                // TX2RELOCprep analogue expired: cancel. The UE never left
+                // this cell; measurement may retrigger the handover later.
+                self.ho.remove(&imsi);
+                self.ho_cancelled += 1;
+                self.send_x2(
+                    ctx,
+                    port,
+                    peer_addr,
+                    ControlMsg::X2HandoverCancel { imsi, txid },
+                );
+            }
+            return;
+        }
+        // Source side: the forwarding phase never closed (lost UE Context
+        // Release). Release the old context locally.
+        let fwd = self.ho.iter().find_map(|(&imsi, p)| match p {
+            HoPhase::Forwarding { guard, .. } if *guard == seq => Some(imsi),
+            _ => None,
+        });
+        if let Some(imsi) = fwd {
+            self.ho.remove(&imsi);
+            self.bearers.retain(|b| b.imsi != imsi);
+            self.ho_out_expired += 1;
+            return;
+        }
+        // Target side: unanswered Path Switch Request.
+        let psq = self.ho_in.iter().find_map(|(&imsi, h)| match &h.ps {
+            Some(ps) if ps.guard == seq => Some(imsi),
+            _ => None,
+        });
+        if let Some(imsi) = psq {
+            let (attempts, request) = {
+                let ps = self.ho_in[&imsi].ps.as_ref().expect("matched above");
+                (ps.attempts, ps.request.clone())
+            };
+            if attempts < HO_MAX_ATTEMPTS {
+                let new_guard = self.arm_guard(ctx, PS_GUARD);
+                if let Some(ps) = self.ho_in.get_mut(&imsi).and_then(|h| h.ps.as_mut()) {
+                    ps.attempts += 1;
+                    ps.guard = new_guard;
+                }
+                self.ps_retx += 1;
+                self.send_s1ap(ctx, (*request).clone());
+            } else {
+                self.path_switch_fallback(ctx, imsi);
+            }
+        }
     }
 
     fn handle_s1ap(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
@@ -606,12 +935,14 @@ impl Enb {
                         b.gw_teid = erab.gw_teid;
                     }
                 }
-                if let Some((x2_port, src_addr)) = self.ho_in.remove(&imsi) {
+                // Idempotent: a duplicate Ack after the context is gone
+                // (or after a fallback already released it) is ignored.
+                if let Some(hin) = self.ho_in.remove(&imsi) {
                     self.ho_in_done += 1;
                     self.send_x2(
                         ctx,
-                        x2_port,
-                        src_addr,
+                        hin.x2_port,
+                        hin.src_addr,
                         ControlMsg::X2UeContextRelease { imsi },
                     );
                 }
@@ -635,6 +966,10 @@ impl Node for Enb {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, tok: u64) {
+        if tok >= token::HO_GUARD_BASE {
+            self.on_ho_guard(ctx, tok - token::HO_GUARD_BASE);
+            return;
+        }
         if tok == token::DL_RELEASE {
             if let Some(frame) = self.dl.pop() {
                 if let Some(ue) = self.ues.iter().find(|u| u.radio_addr == frame.dst) {

@@ -13,7 +13,7 @@ use crate::tft::{PacketFilter, Tft};
 use crate::wire::{ControlMsg, ErabSetup, FlowActionSpec, FlowMatchSpec, PolicyRule};
 use acacia_simnet::packet::Packet;
 use acacia_simnet::sim::{Ctx, Node, PortId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 /// MME port map.
@@ -57,8 +57,16 @@ struct MmeUeCtx {
     ue_addr: Option<Ipv4Addr>,
     default_erab: Option<ErabSetup>,
     enb_teid: Option<Teid>,
-    /// The eNB currently serving this UE (updated by Path Switch).
+    /// The eNB currently serving this UE (updated by Path Switch and by
+    /// the arrival port of UE-originated S1AP messages).
     enb_addr: Ipv4Addr,
+    /// Last Path Switch transaction handled, keyed by the requesting eNB
+    /// (transaction ids are per-eNB counters).
+    last_ps: Option<(Ipv4Addr, u32)>,
+    /// Cached Path Switch Request Ack payload: a retransmitted request
+    /// whose answer was lost is answered from here instead of re-running
+    /// the bearer relocation at the GW-C.
+    ps_ack: Option<Vec<ErabSetup>>,
 }
 
 /// The Mobility Management Entity.
@@ -69,7 +77,7 @@ pub struct Mme {
     enbs: Vec<(Ipv4Addr, PortId)>,
     gwc_addr: Ipv4Addr,
     hss_addr: Ipv4Addr,
-    ues: HashMap<Imsi, MmeUeCtx>,
+    ues: BTreeMap<Imsi, MmeUeCtx>,
     log: MsgLog,
 }
 
@@ -87,7 +95,7 @@ impl Mme {
             enbs: vec![(enb_addr, mme_port::ENB)],
             gwc_addr,
             hss_addr,
-            ues: HashMap::new(),
+            ues: BTreeMap::new(),
             log,
         }
     }
@@ -140,13 +148,27 @@ impl Mme {
             default_erab: None,
             enb_teid: None,
             enb_addr: default_enb,
+            last_ps: None,
+            ps_ack: None,
         })
     }
 
-    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: ControlMsg) {
+    /// A UE-originated S1AP message arrived on `port`: whichever eNB owns
+    /// that port is the one serving the UE now. Keeps `enb_addr` honest
+    /// when the UE re-entered through a cell the MME never heard a Path
+    /// Switch from (e.g. the core-detour fallback after a failed one).
+    fn note_serving_enb(&mut self, imsi: Imsi, port: PortId) {
+        let Some(&(addr, _)) = self.enbs.iter().find(|&&(_, p)| p == port) else {
+            return;
+        };
+        self.ctx_mut(imsi).enb_addr = addr;
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, in_port: PortId, msg: ControlMsg) {
         use ControlMsg::*;
         match msg {
             InitialUeAttach { imsi } => {
+                self.note_serving_enb(imsi, in_port);
                 self.ctx_mut(imsi).state = MmeUeState::AuthWait;
                 let m = S6aAuthInfoRequest { imsi };
                 let hss = self.hss_addr;
@@ -184,6 +206,18 @@ impl Mme {
                 );
             }
             InitialUeServiceRequest { imsi } => {
+                self.note_serving_enb(imsi, in_port);
+                // A service request for a UE the MME still believes
+                // attached means a failure path (the path-switch
+                // fallback) released the radio context unilaterally.
+                // Flush the stale core flows before rebuilding; the
+                // flush is ordered before the Modify Bearer that the
+                // restore sends on the same GTP-C link, so the rebuilt
+                // rules can never be torn down by it.
+                if self.ctx_mut(imsi).state == MmeUeState::Attached {
+                    let gwc = self.gwc_addr;
+                    self.send(ctx, mme_port::GWC, gwc, DeleteBearerCommand { imsi });
+                }
                 self.ctx_mut(imsi).state = MmeUeState::ServiceWait;
                 let (port, enb) = self.enb_route(imsi);
                 // Empty E-RAB list = restore stored bearers at the eNB.
@@ -208,6 +242,23 @@ impl Mme {
                     c.state = MmeUeState::ModifyWait;
                 }
                 let Some(teid) = self.ues[&imsi].enb_teid else {
+                    // The eNB had no stored bearer to restore (the UE
+                    // re-entered through a cell that never held its
+                    // context): rebuild the default E-RAB from the session
+                    // record instead of wedging in ServiceWait.
+                    if let Some(erab) = self.ues[&imsi].default_erab.clone() {
+                        self.ctx_mut(imsi).state = MmeUeState::ServiceWait;
+                        let (port, enb) = self.enb_route(imsi);
+                        self.send(
+                            ctx,
+                            port,
+                            enb,
+                            InitialContextSetupRequest {
+                                imsi,
+                                erabs: vec![erab],
+                            },
+                        );
+                    }
                     return;
                 };
                 let gwc = self.gwc_addr;
@@ -299,7 +350,26 @@ impl Mme {
                 imsi,
                 enb_addr,
                 erabs,
+                txid,
             } => {
+                // Duplicate / retransmitted request: never re-run the
+                // bearer relocation — either replay the cached Ack (its
+                // first copy was lost) or let the in-flight one answer.
+                if self.ctx_mut(imsi).last_ps == Some((enb_addr, txid)) {
+                    if let Some(cached) = self.ctx_mut(imsi).ps_ack.clone() {
+                        let (port, enb) = self.enb_route(imsi);
+                        self.send(
+                            ctx,
+                            port,
+                            enb,
+                            PathSwitchRequestAck {
+                                imsi,
+                                erabs: cached,
+                            },
+                        );
+                    }
+                    return;
+                }
                 let default_teid = erabs
                     .iter()
                     .find(|(ebi, _)| *ebi == Ebi::DEFAULT)
@@ -308,6 +378,8 @@ impl Mme {
                     let c = self.ctx_mut(imsi);
                     c.enb_addr = enb_addr;
                     c.enb_teid = default_teid.or(c.enb_teid);
+                    c.last_ps = Some((enb_addr, txid));
+                    c.ps_ack = None;
                 }
                 let gwc = self.gwc_addr;
                 self.send(
@@ -326,6 +398,7 @@ impl Mme {
                 erabs,
                 released,
             } => {
+                self.ctx_mut(imsi).ps_ack = Some(erabs.clone());
                 let (port, enb) = self.enb_route(imsi);
                 self.send(ctx, port, enb, PathSwitchRequestAck { imsi, erabs });
                 // Bearers the target cell cannot serve are released via the
@@ -341,9 +414,9 @@ impl Mme {
 }
 
 impl Node for Mme {
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, pkt: Packet) {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: PortId, pkt: Packet) {
         if let Some(msg) = ControlMsg::from_packet(&pkt) {
-            self.handle(ctx, msg);
+            self.handle(ctx, port, msg);
         }
     }
 }
@@ -405,7 +478,7 @@ pub struct Pcrf {
     pub addr: Ipv4Addr,
     gwc_addr: Ipv4Addr,
     /// service_id → AF address awaiting an answer.
-    pending: HashMap<u32, Ipv4Addr>,
+    pending: BTreeMap<u32, Ipv4Addr>,
     log: MsgLog,
     /// Rules pushed so far.
     pub rules_pushed: u64,
@@ -417,7 +490,7 @@ impl Pcrf {
         Pcrf {
             addr,
             gwc_addr,
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             log,
             rules_pushed: 0,
         }
@@ -542,9 +615,9 @@ struct Session {
     enb_teid: Option<Teid>,
     enb_addr: Option<Ipv4Addr>,
     /// Dedicated bearers: ebi → (local UL teid, rule).
-    dedicated: HashMap<u8, (Teid, PolicyRule)>,
+    dedicated: BTreeMap<u8, (Teid, PolicyRule)>,
     /// Pending dedicated-bearer activations: ebi → (rule, local teid).
-    pending_dedicated: HashMap<u8, (PolicyRule, Teid)>,
+    pending_dedicated: BTreeMap<u8, (PolicyRule, Teid)>,
 }
 
 /// The combined SGW-C + PGW-C (+ PCEF) controller.
@@ -553,7 +626,7 @@ pub struct GwControl {
     pub addr: Ipv4Addr,
     topo: GwTopology,
     alloc: Allocator,
-    sessions: HashMap<Imsi, Session>,
+    sessions: BTreeMap<Imsi, Session>,
     next_ue_host: u32,
     log: MsgLog,
     /// Dedicated bearers activated.
@@ -571,7 +644,7 @@ impl GwControl {
             addr,
             topo,
             alloc: Allocator::new(),
-            sessions: HashMap::new(),
+            sessions: BTreeMap::new(),
             next_ue_host: 1,
             log,
             dedicated_active: 0,
@@ -710,8 +783,8 @@ impl GwControl {
                     teid_pgw_ul: self.alloc.teid(),
                     enb_teid: None,
                     enb_addr: None,
-                    dedicated: HashMap::new(),
-                    pending_dedicated: HashMap::new(),
+                    dedicated: BTreeMap::new(),
+                    pending_dedicated: BTreeMap::new(),
                 };
                 let topo = self.topo.clone();
                 // PGW-U UL: decap to the Internet.
@@ -1045,6 +1118,56 @@ impl GwControl {
                     },
                 );
             }
+            // Failure-path flush (MME-initiated): the radio side already
+            // dropped every bearer of this UE, so tear the dedicated
+            // flows down without the per-bearer E-RAB handshake and
+            // release the S1-U legs — downlink arriving before the
+            // restore's Modify Bearer buffers at the SGW-U instead of
+            // chasing the dead eNB context, and MEC-server replies fall
+            // through to the core-detour route.
+            DeleteBearerCommand { imsi } => {
+                let Some(s) = self.sessions.get_mut(&imsi) else {
+                    return;
+                };
+                let ue_addr = s.ue_addr;
+                let dedicated: Vec<(u8, Teid)> =
+                    s.dedicated.iter().map(|(&ebi, (t, _))| (ebi, *t)).collect();
+                s.dedicated.clear();
+                s.pending_dedicated.clear();
+                let topo = self.topo.clone();
+                for &(_, teid_local_ul) in &dedicated {
+                    self.flowmod(
+                        ctx,
+                        gwc_port::LOCAL_GWU,
+                        topo.local_gwu,
+                        false,
+                        FlowMatchSpec {
+                            teid: Some(teid_local_ul),
+                            dst: None,
+                            src: None,
+                        },
+                        vec![],
+                    );
+                }
+                if !dedicated.is_empty() {
+                    self.flowmod(
+                        ctx,
+                        gwc_port::LOCAL_GWU,
+                        topo.local_gwu,
+                        false,
+                        FlowMatchSpec {
+                            teid: None,
+                            dst: Some(ue_addr),
+                            src: None,
+                        },
+                        vec![],
+                    );
+                    self.dedicated_released += dedicated.len() as u64;
+                    self.dedicated_active =
+                        self.dedicated_active.saturating_sub(dedicated.len() as u64);
+                }
+                self.remove_sgw_rules(ctx, imsi);
+            }
             // X2 handover completed: re-anchor every S1 leg on the target
             // eNB. The default bearer's SGW-U downlink rule is rewritten;
             // dedicated bearers follow to the target's local GW-U port or,
@@ -1065,14 +1188,13 @@ impl GwControl {
                 let ue_addr = s.ue_addr;
                 let teid_sgw_dl = s.teid_sgw_dl;
                 let default_teid = s.enb_teid;
-                // Stable EBI order: HashMap iteration must not leak into
-                // the FlowMod sequence.
-                let mut dedicated: Vec<(u8, Teid, PolicyRule)> = s
+                // BTreeMap iteration is EBI-ordered, so the FlowMod
+                // sequence is deterministic by construction.
+                let dedicated: Vec<(u8, Teid, PolicyRule)> = s
                     .dedicated
                     .iter()
                     .map(|(&ebi, (t, r))| (ebi, *t, r.clone()))
                     .collect();
-                dedicated.sort_by_key(|&(ebi, _, _)| ebi);
                 let topo = self.topo.clone();
                 // Rewrite the SGW-U downlink leg toward the target eNB
                 // (the SGW's paging buffer absorbs the del→add window).

@@ -195,6 +195,8 @@ pub struct LteNetwork {
     pub mec_router: NodeId,
     /// Router fanning out to cloud servers (the Internet).
     pub inet_router: NodeId,
+    /// MME-side port of each cell's S1AP link (`mme_ports[i]` ↔ cell `i`).
+    mme_ports: Vec<PortId>,
     next_ue_app_port: Vec<PortId>,
     mec_servers: usize,
     cloud_servers: usize,
@@ -447,6 +449,7 @@ impl LteNetwork {
             local_gwu,
             mec_router,
             inet_router,
+            mme_ports,
             next_ue_app_port: vec![port::UE_APP_BASE; ue_nodes.len()],
             mec_servers: 0,
             cloud_servers: 0,
@@ -768,6 +771,49 @@ impl LteNetwork {
     /// Index of the cell currently serving UE `ue_idx`.
     pub fn serving_cell(&self, ue_idx: usize) -> usize {
         self.sim.node_ref::<Ue>(self.ues[ue_idx]).serving
+    }
+
+    /// Transmit endpoint of the S1AP link direction: eNB `cell` → MME.
+    /// Pass to [`Simulator::attach_fault_plan`] to fault that direction.
+    pub fn s1ap_uplink(&self, cell: usize) -> (NodeId, PortId) {
+        (self.enbs[cell], port::ENB_S1AP)
+    }
+
+    /// Transmit endpoint of the S1AP link direction: MME → eNB `cell`.
+    pub fn s1ap_downlink(&self, cell: usize) -> (NodeId, PortId) {
+        (self.mme, self.mme_ports[cell])
+    }
+
+    /// Transmit endpoint of the X2 direction `from_cell` → `to_cell`.
+    pub fn x2_link(&self, from_cell: usize, to_cell: usize) -> (NodeId, PortId) {
+        assert_ne!(from_cell, to_cell, "an eNB has no X2 link to itself");
+        (self.enbs[from_cell], port::ENB_X2_BASE + to_cell)
+    }
+
+    /// Transmit endpoint of the radio downlink: eNB `cell` → UE `ue_idx`
+    /// (carries both RRC frames and user data toward the UE).
+    pub fn radio_downlink(&self, cell: usize, ue_idx: usize) -> (NodeId, PortId) {
+        (self.enbs[cell], port::ENB_RADIO_BASE + ue_idx)
+    }
+
+    /// Every control-plane fault-injection point — one entry per direction
+    /// of every S1AP and X2 link, in a stable cell-major order. The index
+    /// of an entry is a reproducible identity for deriving per-link fault
+    /// seeds; the label names the direction for reports.
+    pub fn control_fault_points(&self) -> Vec<((NodeId, PortId), String)> {
+        let mut points = Vec::new();
+        for i in 0..self.enbs.len() {
+            points.push((self.s1ap_uplink(i), format!("s1ap[{i}]->mme")));
+            points.push((self.s1ap_downlink(i), format!("mme->s1ap[{i}]")));
+        }
+        for i in 0..self.enbs.len() {
+            for j in 0..self.enbs.len() {
+                if i != j {
+                    points.push((self.x2_link(i, j), format!("x2[{i}->{j}]")));
+                }
+            }
+        }
+        points
     }
 
     /// Set the per-frame loss probability on every radio link (both

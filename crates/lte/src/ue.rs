@@ -94,6 +94,35 @@ pub mod token {
     pub const UL_RELEASE: u64 = 3;
     /// Periodic radio measurement sample (mobility).
     pub const MEASURE: u64 = 4;
+    /// Handover supervision (T304 analogue): `T304_BASE + epoch` checks
+    /// for downlink progress after a measurement report; a stale epoch is
+    /// a no-op.
+    pub const T304_BASE: u64 = 1 << 32;
+    /// Service-request retry: `SR_RETRY_BASE + epoch` re-sends an
+    /// unanswered RRC Service Request while data is still buffered.
+    pub const SR_RETRY_BASE: u64 = 1 << 33;
+}
+
+/// How long after a measurement report the UE waits for downlink progress
+/// before declaring the serving leg dead and re-establishing on the
+/// reported target (the T304 / radio-link-failure analogue).
+const T304: Duration = Duration::from_millis(300);
+/// Retry period for unanswered service requests.
+const SR_RETRY_PERIOD: Duration = Duration::from_millis(1000);
+
+/// Armed when a measurement report is sent; resolved by downlink progress
+/// (handover worked or was cancelled in time) or by the T304 fire
+/// (re-establish on the target).
+#[derive(Debug, Clone, Copy)]
+struct HoPending {
+    /// Epoch the guard token must carry to be live.
+    epoch: u64,
+    /// Cell index the report proposed.
+    target: usize,
+    /// `dl_delivered` when the report was sent (progress baseline).
+    dl_at_report: u64,
+    /// When the report was sent (interruption accounting on recovery).
+    reported_at: Instant,
 }
 
 /// One cell the UE can hear: the eNB's radio address and the UE-side
@@ -180,6 +209,15 @@ pub struct Ue {
     pub interruption_log: Vec<(Instant, Duration)>,
     /// Set at retune, cleared by the first post-handover downlink packet.
     pending_interrupt: Option<Instant>,
+    /// RRC re-establishments performed after a dead serving leg.
+    pub reestablishments: u64,
+    /// Service requests re-sent by the retry timer.
+    pub sr_retries: u64,
+    /// Handover supervision state (one per measurement report).
+    ho_pending: Option<HoPending>,
+    /// Epochs distinguish the live T304 / retry timer from stale ones.
+    next_epoch: u64,
+    sr_epoch: u64,
 }
 
 impl Ue {
@@ -211,6 +249,11 @@ impl Ue {
             handovers: 0,
             interruption_log: Vec::new(),
             pending_interrupt: None,
+            reestablishments: 0,
+            sr_retries: 0,
+            ho_pending: None,
+            next_epoch: 0,
+            sr_epoch: 0,
         }
     }
 
@@ -357,7 +400,63 @@ impl Ue {
                 // (or the condition re-establishes from scratch).
                 m.a3.reset();
                 self.send_rrc(ctx, report);
+                // Supervise the handover this report should trigger: if no
+                // downlink arrives within T304 the serving leg is dead.
+                self.next_epoch += 1;
+                let epoch = self.next_epoch;
+                self.ho_pending = Some(HoPending {
+                    epoch,
+                    target,
+                    dl_at_report: self.dl_delivered,
+                    reported_at: now,
+                });
+                ctx.schedule_in(T304, token::T304_BASE + epoch);
             }
+        }
+    }
+
+    /// T304 fired: no word from the network since the measurement report.
+    /// If downlink progressed the procedure resolved itself (handover
+    /// completed, or was cancelled while the source kept serving); if not,
+    /// the serving leg is dead — jump to the reported target and
+    /// re-establish the RRC connection there.
+    fn on_t304(&mut self, ctx: &mut Ctx<'_>, epoch: u64) {
+        match self.ho_pending {
+            Some(hp) if hp.epoch == epoch => {}
+            _ => return, // stale guard of an already-superseded report
+        }
+        let hp = self.ho_pending.take().expect("checked above");
+        if self.dl_delivered > hp.dl_at_report {
+            return;
+        }
+        self.serving = hp.target;
+        self.reestablishments += 1;
+        self.pending_interrupt = Some(hp.reported_at);
+        if let Some(m) = self.mobility.as_mut() {
+            m.a3.reset();
+        }
+        self.send_rrc(
+            ctx,
+            ControlMsg::RrcReestablishmentRequest { imsi: self.imsi },
+        );
+    }
+
+    /// Arm (or re-arm) the service-request retry timer.
+    fn arm_sr_retry(&mut self, ctx: &mut Ctx<'_>) {
+        self.sr_epoch += 1;
+        ctx.schedule_in(SR_RETRY_PERIOD, token::SR_RETRY_BASE + self.sr_epoch);
+    }
+
+    /// Service-request retry fired: if still idle with data waiting, the
+    /// request (or its answer) was lost somewhere — send it again.
+    fn on_sr_retry(&mut self, ctx: &mut Ctx<'_>, epoch: u64) {
+        if epoch != self.sr_epoch {
+            return;
+        }
+        if self.state == UeState::Idle && !self.idle_buffer.is_empty() {
+            self.sr_retries += 1;
+            self.send_rrc(ctx, ControlMsg::RrcServiceRequest { imsi: self.imsi });
+            self.arm_sr_retry(ctx);
         }
     }
 
@@ -450,6 +549,7 @@ impl Node for Ue {
             if self.idle_buffer.is_empty() {
                 self.promotions += 1;
                 self.send_rrc(ctx, ControlMsg::RrcServiceRequest { imsi: self.imsi });
+                self.arm_sr_retry(ctx);
             }
             if self.idle_buffer.len() < 32 {
                 self.idle_buffer.push(pkt);
@@ -463,6 +563,14 @@ impl Node for Ue {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, tok: u64) {
+        if tok >= token::SR_RETRY_BASE {
+            self.on_sr_retry(ctx, tok - token::SR_RETRY_BASE);
+            return;
+        }
+        if tok >= token::T304_BASE {
+            self.on_t304(ctx, tok - token::T304_BASE);
+            return;
+        }
         match tok {
             token::ATTACH if self.state == UeState::Detached => {
                 self.state = UeState::Attaching;

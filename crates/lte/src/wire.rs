@@ -243,6 +243,11 @@ pub enum ControlMsg {
         enb_addr: Ipv4Addr,
         /// (EBI, target-eNB downlink TEID) for every switched bearer.
         erabs: Vec<(Ebi, Teid)>,
+        /// Procedure transaction id: retransmissions reuse it, so the MME
+        /// can answer duplicates from its ack cache instead of switching
+        /// the path twice.
+        #[serde(rename = "tx", default)]
+        txid: u32,
     },
     /// MME → target eNB: path switch complete; carries any updated uplink
     /// F-TEIDs the target must use from now on.
@@ -265,6 +270,10 @@ pub enum ControlMsg {
         ue_addr: Option<Ipv4Addr>,
         /// Bearers to admit at the target.
         bearers: Vec<ErabSetup>,
+        /// Procedure transaction id: a retransmitted request carries the
+        /// same id and is re-acked with the already-admitted TEIDs.
+        #[serde(rename = "tx", default)]
+        txid: u32,
     },
     /// Target eNB → source eNB: handover admitted; the returned TEIDs
     /// double as the X2 downlink-forwarding tunnel endpoints.
@@ -274,6 +283,21 @@ pub enum ControlMsg {
         imsi: Imsi,
         /// (EBI, target-eNB TEID) per admitted bearer.
         erabs: Vec<(Ebi, Teid)>,
+        /// Echo of the request's transaction id — lets the source discard
+        /// acks of an attempt it has already cancelled.
+        #[serde(rename = "tx", default)]
+        txid: u32,
+    },
+    /// Source eNB → target eNB: abandon a prepared handover (the source's
+    /// preparation guard — the TX2RELOCprep/overall analogue — expired
+    /// without an ack). The target drops any admitted context.
+    #[serde(rename = "HOc")]
+    X2HandoverCancel {
+        /// Subscriber.
+        imsi: Imsi,
+        /// Transaction id of the abandoned preparation.
+        #[serde(rename = "tx", default)]
+        txid: u32,
     },
     /// Source eNB → target eNB: PDCP sequence-number status at the moment
     /// of handover (lossless-handover bookkeeping).
@@ -346,6 +370,16 @@ pub enum ControlMsg {
         imsi: Imsi,
         /// Bearer id.
         ebi: Ebi,
+    },
+    /// MME → GW-C: flush every dedicated bearer of a subscriber whose
+    /// radio context was released by a failure path (e.g. the
+    /// path-switch fallback) without the per-bearer handshake — the
+    /// radio side is already gone, so only the core flows need tearing
+    /// down.
+    #[serde(rename = "DBc")]
+    DeleteBearerCommand {
+        /// Subscriber.
+        imsi: Imsi,
     },
     /// MME → GW-C: UE idle; release S1-U downlink path.
     #[serde(rename = "RABq")]
@@ -545,6 +579,20 @@ pub enum ControlMsg {
         /// Subscriber.
         imsi: Imsi,
     },
+    /// UE → eNB: the T304 analogue expired without downlink progress (the
+    /// HandoverCommand or the post-handover path never materialised); the
+    /// UE re-establishes on the cell it can still hear.
+    #[serde(rename = "REq")]
+    RrcReestablishmentRequest {
+        /// Subscriber.
+        imsi: Imsi,
+    },
+    /// eNB → UE: re-establishment accepted; the UE resumes on this cell.
+    #[serde(rename = "REc")]
+    RrcReestablishmentConfirm {
+        /// Subscriber.
+        imsi: Imsi,
+    },
 }
 
 impl ControlMsg {
@@ -569,6 +617,7 @@ impl ControlMsg {
             | PathSwitchRequestAck { .. } => Protocol::S1apSctp,
             X2HandoverRequest { .. }
             | X2HandoverRequestAck { .. }
+            | X2HandoverCancel { .. }
             | X2SnStatusTransfer { .. }
             | X2UeContextRelease { .. } => Protocol::X2Sctp,
             CreateSessionRequest { .. }
@@ -577,6 +626,7 @@ impl ControlMsg {
             | CreateBearerResponse { .. }
             | DeleteBearerRequest { .. }
             | DeleteBearerResponse { .. }
+            | DeleteBearerCommand { .. }
             | ReleaseAccessBearersRequest { .. }
             | ReleaseAccessBearersResponse { .. }
             | ModifyBearerRequest { .. }
@@ -600,7 +650,9 @@ impl ControlMsg {
             | RrcPaging { .. }
             | RrcMeasurementReport { .. }
             | RrcHandoverCommand { .. }
-            | RrcHandoverConfirm { .. } => Protocol::Rrc,
+            | RrcHandoverConfirm { .. }
+            | RrcReestablishmentRequest { .. }
+            | RrcReestablishmentConfirm { .. } => Protocol::Rrc,
         }
     }
 
@@ -625,6 +677,7 @@ impl ControlMsg {
             PathSwitchRequestAck { .. } => "PathSwitchRequestAcknowledge",
             X2HandoverRequest { .. } => "X2HandoverRequest",
             X2HandoverRequestAck { .. } => "X2HandoverRequestAcknowledge",
+            X2HandoverCancel { .. } => "X2HandoverCancel",
             X2SnStatusTransfer { .. } => "X2SnStatusTransfer",
             X2UeContextRelease { .. } => "X2UEContextRelease",
             CreateSessionRequest { .. } => "CreateSessionRequest",
@@ -633,6 +686,7 @@ impl ControlMsg {
             CreateBearerResponse { .. } => "CreateBearerResponse",
             DeleteBearerRequest { .. } => "DeleteBearerRequest",
             DeleteBearerResponse { .. } => "DeleteBearerResponse",
+            DeleteBearerCommand { .. } => "DeleteBearerCommand",
             ReleaseAccessBearersRequest { .. } => "ReleaseAccessBearersRequest",
             ReleaseAccessBearersResponse { .. } => "ReleaseAccessBearersResponse",
             ModifyBearerRequest { .. } => "ModifyBearerRequest",
@@ -658,6 +712,8 @@ impl ControlMsg {
             RrcMeasurementReport { .. } => "RRC(MeasurementReport)",
             RrcHandoverCommand { .. } => "RRC(HandoverCommand)",
             RrcHandoverConfirm { .. } => "RRC(HandoverConfirm)",
+            RrcReestablishmentRequest { .. } => "RRC(ReestablishmentRequest)",
+            RrcReestablishmentConfirm { .. } => "RRC(ReestablishmentConfirm)",
         }
     }
 
@@ -686,6 +742,7 @@ impl ControlMsg {
             // X2AP (handover preparation/execution, not in the §4 counts).
             X2HandoverRequest { .. } => 420,
             X2HandoverRequestAck { .. } => 120,
+            X2HandoverCancel { .. } => 90,
             X2SnStatusTransfer { .. } => 110,
             X2UeContextRelease { .. } => 80,
             // GTPv2 — §4 sequence: Release pair + Modify pair = 352 bytes.
@@ -695,6 +752,7 @@ impl ControlMsg {
             CreateBearerResponse { .. } => 130,
             DeleteBearerRequest { .. } => 95,
             DeleteBearerResponse { .. } => 90,
+            DeleteBearerCommand { .. } => 85,
             ReleaseAccessBearersRequest { .. } => 70, // (*)
             ReleaseAccessBearersResponse { .. } => 70, // (*)
             ModifyBearerRequest { .. } => 120,        // (*)
@@ -728,6 +786,8 @@ impl ControlMsg {
             RrcMeasurementReport { .. } => 140,
             RrcHandoverCommand { .. } => 96,
             RrcHandoverConfirm { .. } => 64,
+            RrcReestablishmentRequest { .. } => 72,
+            RrcReestablishmentConfirm { .. } => 88,
         }
     }
 
@@ -864,6 +924,7 @@ mod tests {
                 imsi: imsi(),
                 enb_addr: Ipv4Addr::new(10, 1, 0, 2),
                 erabs: vec![(Ebi(5), Teid(0x3005)), (Ebi(6), Teid(0x3006))],
+                txid: 3,
             },
             PathSwitchRequestAck {
                 imsi: imsi(),
@@ -873,10 +934,16 @@ mod tests {
                 imsi: imsi(),
                 ue_addr: Some(Ipv4Addr::new(10, 10, 0, 1)),
                 bearers: vec![erab.clone()],
+                txid: 7,
             },
             X2HandoverRequestAck {
                 imsi: imsi(),
                 erabs: vec![(Ebi(5), Teid(0x3005)), (Ebi(6), Teid(0x3006))],
+                txid: 7,
+            },
+            X2HandoverCancel {
+                imsi: imsi(),
+                txid: 7,
             },
             X2SnStatusTransfer {
                 imsi: imsi(),
@@ -905,6 +972,8 @@ mod tests {
                 target_radio: Ipv4Addr::new(192, 168, 0, 2),
             },
             RrcHandoverConfirm { imsi: imsi() },
+            RrcReestablishmentRequest { imsi: imsi() },
+            RrcReestablishmentConfirm { imsi: imsi() },
         ]
     }
 

@@ -284,11 +284,12 @@ fn arb_msg_any() -> BoxedStrategy<ControlMsg> {
         })
         .boxed();
     let handover = prop_oneof![
-        (imsi.clone(), arb_ip(), erab_teids.clone()).prop_map(|(i, a, ts)| {
+        (imsi.clone(), arb_ip(), erab_teids.clone(), 0u32..1000).prop_map(|(i, a, ts, tx)| {
             ControlMsg::PathSwitchRequest {
                 imsi: i,
                 enb_addr: a,
                 erabs: ts,
+                txid: tx,
             }
         }),
         (imsi.clone(), prop::collection::vec(erab.clone(), 0..2))
@@ -296,15 +297,28 @@ fn arb_msg_any() -> BoxedStrategy<ControlMsg> {
         (
             imsi.clone(),
             prop::option::of(arb_ip()),
-            prop::collection::vec(erab.clone(), 0..2)
+            prop::collection::vec(erab.clone(), 0..2),
+            0u32..1000
         )
-            .prop_map(|(i, a, es)| ControlMsg::X2HandoverRequest {
+            .prop_map(|(i, a, es, tx)| ControlMsg::X2HandoverRequest {
                 imsi: i,
                 ue_addr: a,
                 bearers: es,
+                txid: tx,
             }),
-        (imsi.clone(), erab_teids.clone())
-            .prop_map(|(i, ts)| ControlMsg::X2HandoverRequestAck { imsi: i, erabs: ts }),
+        (imsi.clone(), erab_teids.clone(), 0u32..1000).prop_map(|(i, ts, tx)| {
+            ControlMsg::X2HandoverRequestAck {
+                imsi: i,
+                erabs: ts,
+                txid: tx,
+            }
+        }),
+        (imsi.clone(), 0u32..1000)
+            .prop_map(|(i, tx)| ControlMsg::X2HandoverCancel { imsi: i, txid: tx }),
+        imsi.clone()
+            .prop_map(|i| ControlMsg::RrcReestablishmentRequest { imsi: i }),
+        imsi.clone()
+            .prop_map(|i| ControlMsg::RrcReestablishmentConfirm { imsi: i }),
         (imsi.clone(), any::<u32>(), any::<u32>()).prop_map(|(i, dl, ul)| {
             ControlMsg::X2SnStatusTransfer {
                 imsi: i,

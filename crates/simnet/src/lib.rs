@@ -14,6 +14,8 @@
 //!   [`Ctx`] handle nodes use to send packets and arm timers.
 //! * [`link`] — serialization + propagation + drop-tail queue + jitter/loss
 //!   fault injection.
+//! * [`fault`] — deterministic per-link fault plans (drop / duplicate /
+//!   reorder / delay, targetable by message class, window or occurrence).
 //! * [`router`] — longest-prefix-match IPv4 routing, with an optional
 //!   serial per-packet processing cost (software data planes).
 //! * [`traffic`] — CBR/Poisson sources, counting sinks, echo reflectors.
@@ -44,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod cloud;
+pub mod fault;
 pub mod link;
 pub mod packet;
 pub mod router;
@@ -54,6 +57,7 @@ pub mod trace;
 pub mod traffic;
 pub mod transport;
 
+pub use fault::{FaultKind, FaultPlan, FaultRule, PacketClass};
 pub use link::{LinkConfig, LinkStats};
 pub use packet::{FiveTuple, Packet};
 pub use router::{Ipv4Net, RouteTable, Router};
@@ -64,6 +68,7 @@ pub use time::{Duration, Instant};
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::cloud::Ec2Region;
+    pub use crate::fault::{FaultKind, FaultPlan, FaultRule, PacketClass};
     pub use crate::link::LinkConfig;
     pub use crate::packet::{proto, FiveTuple, Packet};
     pub use crate::router::{Ipv4Net, RouteTable, Router};

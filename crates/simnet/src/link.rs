@@ -15,6 +15,8 @@
 //! backlog used by the drop-tail check — this reproduces the bufferbloat
 //! latency curves of the paper's Fig. 3(g)/10(b) exactly.
 
+use crate::fault::{FaultPlan, FaultVerdict};
+use crate::packet::Packet;
 use crate::sim::{NodeId, PortId};
 use crate::time::{serialization_time, Duration, Instant};
 use rand::Rng;
@@ -91,13 +93,38 @@ pub struct LinkStats {
     pub drops_queue: u64,
     /// Packets dropped by random loss.
     pub drops_loss: u64,
+    /// Packets dropped by an injected fault rule.
+    pub drops_injected: u64,
+    /// Extra copies delivered by an injected duplicate fault.
+    pub duplicates_injected: u64,
+    /// Packets held back by an injected reorder fault.
+    pub reorders_injected: u64,
+    /// Packets delayed by an injected delay fault.
+    pub delays_injected: u64,
 }
 
 impl LinkStats {
-    /// All drops combined.
+    /// All drops combined (congestion + random loss + injected).
     pub fn drops(&self) -> u64 {
-        self.drops_queue + self.drops_loss
+        self.drops_queue + self.drops_loss + self.drops_injected
     }
+
+    /// All injected-fault firings combined.
+    pub fn faults_injected(&self) -> u64 {
+        self.drops_injected
+            + self.duplicates_injected
+            + self.reorders_injected
+            + self.delays_injected
+    }
+}
+
+/// Delivery instants produced by one [`Link::transmit`] call.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct Deliveries {
+    /// When the (possibly fault-delayed) packet arrives, if not dropped.
+    pub primary: Option<Instant>,
+    /// When an injected duplicate copy arrives, if any.
+    pub duplicate: Option<Instant>,
 }
 
 /// A unidirectional link between two node ports.
@@ -109,6 +136,8 @@ pub struct Link {
     /// time, wire bytes). Purged lazily.
     in_flight: VecDeque<(Instant, u64)>,
     stats: LinkStats,
+    /// Optional injected-fault schedule with its own RNG stream.
+    fault: Option<FaultPlan>,
 }
 
 impl Link {
@@ -119,20 +148,32 @@ impl Link {
             busy_until: Instant::ZERO,
             in_flight: VecDeque::new(),
             stats: LinkStats::default(),
+            fault: None,
         }
     }
 
-    /// Offer a packet of `wire_bytes` to the link at time `now`.
+    /// Destination `(node, port)` of this link.
+    pub(crate) fn to(&self) -> (NodeId, PortId) {
+        self.to
+    }
+
+    /// Attach (or replace) the fault plan.
+    pub(crate) fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan;
+    }
+
+    /// Offer `pkt` to the link at time `now`.
     ///
-    /// Returns the delivery instant and destination `(node, port)` if the
-    /// packet is accepted, or `None` if it was dropped (queue overflow or
-    /// random loss).
+    /// Returns the delivery instant(s): `primary` is `None` when the packet
+    /// was dropped (queue overflow, random loss, or an injected drop);
+    /// `duplicate` is `Some` when an injected fault delivers a second copy.
     pub(crate) fn transmit(
         &mut self,
         now: Instant,
-        wire_bytes: u32,
+        pkt: &Packet,
         rng: &mut ChaCha8Rng,
-    ) -> Option<(Instant, (NodeId, PortId))> {
+    ) -> Deliveries {
+        let wire_bytes = pkt.wire_size();
         // Purge packets whose serialization completed.
         while let Some(&(done, _)) = self.in_flight.front() {
             if done <= now {
@@ -142,16 +183,45 @@ impl Link {
             }
         }
 
+        // Injected faults act at the link entrance, before the channel's
+        // own loss/queue model, and draw from the plan's private RNG so the
+        // global stream is untouched when no plan is attached.
+        let verdict = match &mut self.fault {
+            Some(plan) => plan.apply(now, pkt),
+            None => FaultVerdict::Pass,
+        };
+        let mut extra = Duration::ZERO;
+        let mut dup_extra = None;
+        match verdict {
+            FaultVerdict::Pass => {}
+            FaultVerdict::Drop => {
+                self.stats.drops_injected += 1;
+                return Deliveries::default();
+            }
+            FaultVerdict::Duplicate { extra: d } => {
+                self.stats.duplicates_injected += 1;
+                dup_extra = Some(d);
+            }
+            FaultVerdict::Reorder { extra: e } => {
+                self.stats.reorders_injected += 1;
+                extra = e;
+            }
+            FaultVerdict::Delay { extra: e } => {
+                self.stats.delays_injected += 1;
+                extra = e;
+            }
+        }
+
         if self.cfg.loss > 0.0 && rng.gen::<f64>() < self.cfg.loss {
             self.stats.drops_loss += 1;
-            return None;
+            return Deliveries::default();
         }
 
         if let Some(limit) = self.cfg.queue_bytes {
             let backlog: u64 = self.in_flight.iter().map(|&(_, b)| b).sum();
             if backlog + wire_bytes as u64 > limit {
                 self.stats.drops_queue += 1;
-                return None;
+                return Deliveries::default();
             }
         }
 
@@ -169,7 +239,11 @@ impl Link {
 
         self.stats.tx_packets += 1;
         self.stats.tx_bytes += wire_bytes as u64;
-        Some((done + self.cfg.delay + jitter, self.to))
+        let arrival = done + self.cfg.delay + jitter + extra;
+        Deliveries {
+            primary: Some(arrival),
+            duplicate: dup_extra.map(|d| arrival + d),
+        }
     }
 
     /// Link statistics so far.
@@ -186,21 +260,34 @@ impl Link {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultRule, PacketClass};
     use rand_chacha::rand_core::SeedableRng;
+    use std::net::Ipv4Addr;
 
     fn rng() -> ChaCha8Rng {
         ChaCha8Rng::seed_from_u64(99)
+    }
+
+    /// A packet whose wire size is exactly `wire_bytes` (UDP: 28 B of
+    /// headers + virtual payload).
+    fn pkt(wire_bytes: u32) -> Packet {
+        Packet::udp(
+            (Ipv4Addr::new(10, 0, 0, 1), 1),
+            (Ipv4Addr::new(10, 0, 0, 2), 2),
+            wire_bytes - 28,
+        )
     }
 
     #[test]
     fn infinite_rate_is_pure_delay() {
         let mut link = Link::new(LinkConfig::delay_only(Duration::from_millis(7)), (1, 0));
         let mut r = rng();
-        let (at, dest) = link
-            .transmit(Instant::from_millis(1), 1500, &mut r)
+        let at = link
+            .transmit(Instant::from_millis(1), &pkt(1500), &mut r)
+            .primary
             .unwrap();
         assert_eq!(at, Instant::from_millis(8));
-        assert_eq!(dest, (1, 0));
+        assert_eq!(link.to(), (1, 0));
     }
 
     #[test]
@@ -208,10 +295,10 @@ mod tests {
         // 1 Mbps, 1250-byte packets => 10 ms each.
         let mut link = Link::new(LinkConfig::rate_limited(1_000_000, Duration::ZERO), (0, 0));
         let mut r = rng();
-        let (a1, _) = link.transmit(Instant::ZERO, 1250, &mut r).unwrap();
-        let (a2, _) = link.transmit(Instant::ZERO, 1250, &mut r).unwrap();
-        assert_eq!(a1, Instant::from_millis(10));
-        assert_eq!(a2, Instant::from_millis(20));
+        let a1 = link.transmit(Instant::ZERO, &pkt(1250), &mut r).primary;
+        let a2 = link.transmit(Instant::ZERO, &pkt(1250), &mut r).primary;
+        assert_eq!(a1, Some(Instant::from_millis(10)));
+        assert_eq!(a2, Some(Instant::from_millis(20)));
     }
 
     #[test]
@@ -221,12 +308,24 @@ mod tests {
         let cfg = LinkConfig::rate_limited(8_000, Duration::ZERO).with_queue(2_000);
         let mut link = Link::new(cfg, (0, 0));
         let mut r = rng();
-        assert!(link.transmit(Instant::ZERO, 1000, &mut r).is_some());
-        assert!(link.transmit(Instant::ZERO, 1000, &mut r).is_some());
-        assert!(link.transmit(Instant::ZERO, 1000, &mut r).is_none());
+        assert!(link
+            .transmit(Instant::ZERO, &pkt(1000), &mut r)
+            .primary
+            .is_some());
+        assert!(link
+            .transmit(Instant::ZERO, &pkt(1000), &mut r)
+            .primary
+            .is_some());
+        assert!(link
+            .transmit(Instant::ZERO, &pkt(1000), &mut r)
+            .primary
+            .is_none());
         assert_eq!(link.stats().drops_queue, 1);
         // After the first packet drains (1 s at 8 kbps), space frees up.
-        assert!(link.transmit(Instant::from_secs(1), 1000, &mut r).is_some());
+        assert!(link
+            .transmit(Instant::from_secs(1), &pkt(1000), &mut r)
+            .primary
+            .is_some());
     }
 
     #[test]
@@ -235,7 +334,10 @@ mod tests {
         let mut link = Link::new(cfg, (0, 0));
         let mut r = rng();
         for _ in 0..10 {
-            assert!(link.transmit(Instant::ZERO, 100, &mut r).is_none());
+            assert!(link
+                .transmit(Instant::ZERO, &pkt(100), &mut r)
+                .primary
+                .is_none());
         }
         assert_eq!(link.stats().drops_loss, 10);
         assert_eq!(link.stats().tx_packets, 0);
@@ -248,7 +350,10 @@ mod tests {
         let mut link = Link::new(cfg, (0, 0));
         let mut r = rng();
         for _ in 0..100 {
-            let (at, _) = link.transmit(Instant::ZERO, 100, &mut r).unwrap();
+            let at = link
+                .transmit(Instant::ZERO, &pkt(100), &mut r)
+                .primary
+                .unwrap();
             assert!(at >= Instant::from_millis(5));
             assert!(at < Instant::from_millis(7));
         }
@@ -258,5 +363,87 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn loss_outside_unit_interval_panics() {
         let _ = LinkConfig::delay_only(Duration::ZERO).with_loss(1.5);
+    }
+
+    #[test]
+    fn injected_drop_is_counted_separately_from_loss() {
+        let mut link = Link::new(LinkConfig::delay_only(Duration::ZERO), (0, 0));
+        link.set_fault_plan(Some(
+            FaultPlan::new(5).with_rule(FaultRule::drop(PacketClass::any(), 1.0).on_nth(2)),
+        ));
+        let mut r = rng();
+        assert!(link
+            .transmit(Instant::ZERO, &pkt(100), &mut r)
+            .primary
+            .is_some());
+        assert!(link
+            .transmit(Instant::ZERO, &pkt(100), &mut r)
+            .primary
+            .is_none());
+        assert!(link
+            .transmit(Instant::ZERO, &pkt(100), &mut r)
+            .primary
+            .is_some());
+        assert_eq!(link.stats().drops_injected, 1);
+        assert_eq!(link.stats().drops_loss, 0);
+        assert_eq!(link.stats().drops(), 1);
+        assert_eq!(link.stats().tx_packets, 2);
+    }
+
+    #[test]
+    fn injected_duplicate_delivers_second_copy_later() {
+        let mut link = Link::new(LinkConfig::delay_only(Duration::from_millis(3)), (0, 0));
+        link.set_fault_plan(Some(
+            FaultPlan::new(5).with_rule(
+                FaultRule::duplicate(PacketClass::any(), 1.0)
+                    .with_extra_delay(Duration::from_millis(4)),
+            ),
+        ));
+        let mut r = rng();
+        let d = link.transmit(Instant::ZERO, &pkt(100), &mut r);
+        assert_eq!(d.primary, Some(Instant::from_millis(3)));
+        assert_eq!(d.duplicate, Some(Instant::from_millis(7)));
+        assert_eq!(link.stats().duplicates_injected, 1);
+        // The primary copy is the only one counted as a normal tx.
+        assert_eq!(link.stats().tx_packets, 1);
+    }
+
+    #[test]
+    fn injected_reorder_holds_the_packet_back() {
+        let mut link = Link::new(LinkConfig::delay_only(Duration::from_millis(1)), (0, 0));
+        link.set_fault_plan(Some(FaultPlan::new(5).with_rule(
+            FaultRule::reorder(PacketClass::any(), 1.0, Duration::from_millis(10)).on_nth(1),
+        )));
+        let mut r = rng();
+        let first = link
+            .transmit(Instant::ZERO, &pkt(100), &mut r)
+            .primary
+            .unwrap();
+        let second = link
+            .transmit(Instant::ZERO, &pkt(100), &mut r)
+            .primary
+            .unwrap();
+        assert_eq!(first, Instant::from_millis(11));
+        assert_eq!(second, Instant::from_millis(1));
+        assert!(second < first, "later offer must overtake the held packet");
+        assert_eq!(link.stats().reorders_injected, 1);
+    }
+
+    #[test]
+    fn faults_disabled_leave_the_global_rng_stream_untouched() {
+        // Same channel randomness (jitter) with and without an (empty)
+        // fault plan attached: the arrival times must be identical because
+        // the plan draws from its own stream.
+        let cfg =
+            LinkConfig::delay_only(Duration::from_millis(5)).with_jitter(Duration::from_millis(2));
+        let run = |plan: Option<FaultPlan>| {
+            let mut link = Link::new(cfg.clone(), (0, 0));
+            link.set_fault_plan(plan);
+            let mut r = rng();
+            (0..32)
+                .map(|_| link.transmit(Instant::ZERO, &pkt(100), &mut r).primary)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(None), run(Some(FaultPlan::new(123))));
     }
 }

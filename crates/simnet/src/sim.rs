@@ -7,6 +7,7 @@
 //! timestamp break on a monotonically increasing sequence number — so every
 //! run is deterministic given the seed.
 
+use crate::fault::FaultPlan;
 use crate::link::{Link, LinkConfig, LinkStats};
 use crate::packet::Packet;
 use crate::time::{Duration, Instant};
@@ -309,15 +310,25 @@ impl Simulator {
                         self.unrouted += 1;
                         continue;
                     };
-                    if let Some((arrival, dest)) =
-                        link.transmit(now, pkt.wire_size(), &mut self.rng)
-                    {
+                    let dest = link.to();
+                    let deliveries = link.transmit(now, &pkt, &mut self.rng);
+                    let dup = deliveries.duplicate.map(|at| (at, pkt.clone()));
+                    if let Some(at) = deliveries.primary {
                         let seq = self.next_seq();
                         self.heap.push(Reverse(Ev {
-                            at: arrival,
+                            at,
                             seq,
                             kind: EvKind::Arrive(dest.0, dest.1),
                             pkt: Some(pkt),
+                        }));
+                    }
+                    if let Some((at, copy)) = dup {
+                        let seq = self.next_seq();
+                        self.heap.push(Reverse(Ev {
+                            at,
+                            seq,
+                            kind: EvKind::Arrive(dest.0, dest.1),
+                            pkt: Some(copy),
                         }));
                     }
                 }
@@ -349,6 +360,24 @@ impl Simulator {
         (node.as_mut() as &mut dyn Any)
             .downcast_mut::<T>()
             .expect("node type mismatch")
+    }
+
+    /// Attach a fault plan to the link leaving `(node, port)`. Replaces any
+    /// existing plan; pass a fresh plan per link so each keeps its own RNG
+    /// stream. Panics if the port is not connected.
+    pub fn attach_fault_plan(&mut self, from: (NodeId, PortId), plan: FaultPlan) {
+        let link = self
+            .links
+            .get_mut(&from)
+            .expect("fault plan on unknown link");
+        link.set_fault_plan(Some(plan));
+    }
+
+    /// Detach the fault plan (if any) from the link leaving `(node, port)`.
+    pub fn clear_fault_plan(&mut self, from: (NodeId, PortId)) {
+        if let Some(link) = self.links.get_mut(&from) {
+            link.set_fault_plan(None);
+        }
     }
 
     /// Statistics of the link leaving `(node, port)`, if connected.
