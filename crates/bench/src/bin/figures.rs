@@ -16,7 +16,7 @@
 //! `--seed N` (or `--seed=N`) sets the master seed for seed-aware
 //! experiments (the chaos sweep); the default is 42.
 
-use acacia_bench::{run, runner, set_seed, ALL_IDS, SLOW_IDS};
+use acacia_bench::{run, runner, set_seed, ALL_IDS, EXTRA_IDS, SLOW_IDS};
 
 fn main() {
     let mut args: Vec<String> = Vec::new();
@@ -52,6 +52,9 @@ fn main() {
         for id in ALL_IDS.iter().chain(SLOW_IDS.iter()) {
             println!("  {id}");
         }
+        for id in EXTRA_IDS.iter() {
+            println!("  {id}  (benchmark; not part of 'all')");
+        }
         println!("  all  (runs everything, in paper order)");
         return;
     }
@@ -67,7 +70,11 @@ fn main() {
             None => {
                 eprintln!("unknown experiment id: {id}");
                 eprintln!("valid experiment ids:");
-                for known in ALL_IDS.iter().chain(SLOW_IDS.iter()) {
+                for known in ALL_IDS
+                    .iter()
+                    .chain(SLOW_IDS.iter())
+                    .chain(EXTRA_IDS.iter())
+                {
                     eprintln!("  {known}");
                 }
                 eprintln!("  all  (runs everything, in paper order)");
@@ -75,12 +82,10 @@ fn main() {
             }
         }
     }
-    if all {
-        // Stderr, so stdout stays byte-identical across --jobs values.
-        let timings = runner::drain_timings();
-        if !timings.is_empty() {
-            eprintln!("{}", runner::timing_report(&timings).render());
-        }
+    // Stderr, so stdout stays byte-identical across --jobs values.
+    let timings = runner::drain_timings();
+    if !timings.is_empty() {
+        eprintln!("{}", runner::timing_report(&timings).render());
     }
 }
 

@@ -49,7 +49,7 @@ pub fn fig11_frames(
     seed: u64,
 ) -> Vec<Fig11Frame> {
     let floor = FloorPlan::retail_store();
-    let db = ObjectDb::generate_retail(&floor, 5, seed);
+    let db = ObjectDb::retail_cached(5, seed);
     let model = PathLossModel::indoor_default();
     let channel = RadioChannel::new(model, seed);
     let world = ProximityWorld::from_floor(&floor, "acme", channel);
@@ -235,12 +235,14 @@ pub fn fig13_reports(frame_count: u64, exec_cap: usize) -> Vec<acacia::scenario:
     // Each worker builds and runs its own full simulation stack; only the
     // (Send) config crosses the thread boundary.
     runner::pmap("fig13", cells, |deployment| {
-        Scenario::build(ScenarioConfig {
+        let r = Scenario::build(ScenarioConfig {
             frame_count,
             exec_cap,
             ..ScenarioConfig::e2e(deployment)
         })
-        .run()
+        .run();
+        runner::report_events(r.events_processed);
+        r
     })
 }
 

@@ -49,7 +49,9 @@ fn grid(seed: u64, smoke: bool) -> Vec<(String, ChaosConfig)> {
 /// Chaos sweep data: one recovery audit per drop rate.
 pub fn chaos_reports() -> Vec<ChaosReport> {
     runner::pmap("chaos", grid(crate::seed(), false), |cfg| {
-        ChaosScenario::build(cfg).run()
+        let r = ChaosScenario::build(cfg).run();
+        runner::report_events(r.mobility.events_processed);
+        r
     })
 }
 

@@ -110,8 +110,7 @@ pub fn fig3f() -> Table {
 /// Data behind Fig. 3(h): (db_size, virtual seconds on i7-8) at each sweep
 /// resolution.
 pub fn fig3h_data() -> Vec<(Resolution, Vec<(usize, f64)>)> {
-    let floor = acacia_geo::floor::FloorPlan::retail_store();
-    let db = ObjectDb::generate_retail(&floor, 5, 99);
+    let db = ObjectDb::retail_cached(5, 99);
     let cfg = MatcherConfig {
         exec_cap: 32,
         ..MatcherConfig::default()

@@ -23,7 +23,9 @@ pub fn mobility_reports() -> Vec<acacia::mobility::MobilityReport> {
     // Each worker builds and runs its own full simulation stack; only the
     // (Send) config crosses the thread boundary.
     runner::pmap("mobility", cells, |mode| {
-        MobilityScenario::build(MobilityConfig::figure(mode)).run()
+        let r = MobilityScenario::build(MobilityConfig::figure(mode)).run();
+        runner::report_events(r.events_processed);
+        r
     })
 }
 

@@ -9,3 +9,4 @@ pub mod compute;
 pub mod localization;
 pub mod mobility;
 pub mod network;
+pub mod scale;

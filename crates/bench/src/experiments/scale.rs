@@ -1,0 +1,174 @@
+//! The scale-out benchmark: handover signalling load and engine
+//! throughput as the UE population grows.
+//!
+//! Not a figure of the original paper — its evaluation runs one UE at a
+//! time. This experiment answers the operational question the paper's §8
+//! architecture raises but never measures: what does ACACIA's per-UE
+//! bearer management *cost the control plane* as concurrent sessions
+//! scale? Each cell runs N independent UEs (N ∈ {1, 8, 32, 128}) walking
+//! the two-cell corridor with live AR sessions, and reports the X2 /
+//! S1AP / GTP-C message volume, core signalling bytes, and bearer
+//! re-anchors those walks generate. Every session must complete — a
+//! wedged count above zero fails the run's claim.
+//!
+//! Stdout carries only deterministic columns (byte-identical across
+//! `--jobs` worker counts, like every other experiment). Wall-clock
+//! throughput — the engine-overhaul headline number — goes to stderr and
+//! to `BENCH_scale.json` in the current directory, which CI parses.
+
+use crate::runner;
+use crate::table::{fmt_secs, Table};
+use acacia::scale::{ScaleConfig, ScaleReport, ScaleScenario};
+
+/// UE populations swept by the benchmark.
+pub const UE_COUNTS: [usize; 4] = [1, 8, 32, 128];
+
+/// One executed cell: the deterministic report plus its wall-clock.
+pub struct ScaleCell {
+    /// The scenario's deterministic outcome.
+    pub report: ScaleReport,
+    /// Wall-clock seconds the cell took (non-deterministic; kept off
+    /// stdout).
+    pub wall_s: f64,
+}
+
+impl ScaleCell {
+    /// Engine throughput: events dispatched per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.report.events_processed as f64 / self.wall_s.max(1e-9)
+    }
+}
+
+/// Scale sweep data: one cell per UE population.
+pub fn scale_reports() -> Vec<ScaleCell> {
+    let cells = UE_COUNTS.iter().map(|&n| (format!("N={n}"), n)).collect();
+    runner::pmap("scale", cells, |n| {
+        let t0 = std::time::Instant::now();
+        let report = ScaleScenario::build(ScaleConfig::figure(n)).run();
+        runner::report_events(report.events_processed);
+        ScaleCell {
+            report,
+            wall_s: t0.elapsed().as_secs_f64(),
+        }
+    })
+}
+
+/// Scale: signalling load and throughput vs concurrent UE count.
+pub fn scale() -> Table {
+    let cells = scale_reports();
+    let mut t = Table::new(
+        "Scale — handover signalling load vs concurrent UEs (two MEC cells)",
+        &[
+            "UEs",
+            "frames",
+            "handovers",
+            "x2 msgs",
+            "s1ap msgs",
+            "gtp-c msgs",
+            "core sig",
+            "reanchors",
+            "x2 fwd",
+            "wedged",
+            "events",
+            "sim time",
+        ],
+    );
+    for c in &cells {
+        let r = &c.report;
+        let frames_done: u64 = r.ues.iter().map(|u| u.frames_done).sum();
+        t.row(vec![
+            r.ue_count.to_string(),
+            format!("{}/{}", frames_done, r.frames_requested * r.ue_count as u64),
+            r.total_handovers().to_string(),
+            r.x2_msgs.to_string(),
+            r.s1ap_msgs.to_string(),
+            r.gtpc_msgs.to_string(),
+            format!("{:.1} kB", r.core_signalling_bytes as f64 / 1e3),
+            r.dedicated_reanchored.to_string(),
+            r.x2_forwarded.to_string(),
+            r.wedged().to_string(),
+            r.events_processed.to_string(),
+            fmt_secs(r.sim_elapsed.secs_f64()),
+        ]);
+    }
+    t.note("every UE walks MEC cell -> far cell -> back with a live AR session; signalling");
+    t.note("(X2 handover, S1AP path switch, GTP-C bearer management) scales with the walks,");
+    t.note("not the frames; 'wedged' (sessions that lost frames) must be 0 at every N");
+
+    // Wall-clock throughput is machine-dependent: stderr + JSON only, so
+    // stdout stays byte-identical across runs and --jobs values.
+    for c in &cells {
+        eprintln!(
+            "scale N={}: {} events in {:.2}s wall ({:.0} events/s)",
+            c.report.ue_count,
+            c.report.events_processed,
+            c.wall_s,
+            c.events_per_sec()
+        );
+    }
+    let json = render_json(&cells);
+    match std::fs::write("BENCH_scale.json", &json) {
+        Ok(()) => eprintln!("wrote BENCH_scale.json"),
+        Err(e) => eprintln!("could not write BENCH_scale.json: {e}"),
+    }
+    t
+}
+
+/// Hand-rolled JSON (the bench crate deliberately has no serde): every
+/// value is an integer, a float formatted with `{:.N}`, or a count, so
+/// no string escaping is needed.
+fn render_json(cells: &[ScaleCell]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"scale\",\n  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let r = &c.report;
+        let frames_done: u64 = r.ues.iter().map(|u| u.frames_done).sum();
+        out.push_str(&format!(
+            concat!(
+                "    {{\"ue_count\": {}, \"frames_done\": {}, \"frames_requested\": {}, ",
+                "\"handovers\": {}, \"x2_msgs\": {}, \"s1ap_msgs\": {}, \"gtpc_msgs\": {}, ",
+                "\"core_signalling_bytes\": {}, \"dedicated_reanchored\": {}, ",
+                "\"x2_forwarded\": {}, \"wedged\": {}, \"events_processed\": {}, ",
+                "\"sim_elapsed_s\": {:.3}, \"wall_s\": {:.3}, \"events_per_sec\": {:.0}}}{}\n"
+            ),
+            r.ue_count,
+            frames_done,
+            r.frames_requested * r.ue_count as u64,
+            r.total_handovers(),
+            r.x2_msgs,
+            r.s1ap_msgs,
+            r.gtpc_msgs,
+            r.core_signalling_bytes,
+            r.dedicated_reanchored,
+            r.x2_forwarded,
+            r.wedged(),
+            r.events_processed,
+            r.sim_elapsed.secs_f64(),
+            c.wall_s,
+            c.events_per_sec(),
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_enough_to_eyeball() {
+        let cells = vec![ScaleCell {
+            report: ScaleScenario::build(ScaleConfig::smoke(2)).run(),
+            wall_s: 1.5,
+        }];
+        let json = render_json(&cells);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert_eq!(json.matches("\"ue_count\"").count(), 1);
+        assert!(json.contains("\"wedged\": 0"));
+        // Balanced braces/brackets — the cheap structural check a
+        // serde-less crate can afford.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -68,6 +68,11 @@ pub const SLOW_IDS: [&str; 6] = [
     "chaos",
 ];
 
+/// Extra experiments runnable by id but excluded from `all` (they
+/// measure the harness, not the paper: their stderr/JSON output is
+/// wall-clock dependent).
+pub const EXTRA_IDS: [&str; 1] = ["scale"];
+
 /// Run one experiment by id.
 pub fn run(id: &str) -> Option<Table> {
     use experiments::*;
@@ -95,6 +100,7 @@ pub fn run(id: &str) -> Option<Table> {
         "ablation-radius" => application::ablation_radius(),
         "mobility" => mobility::mobility(),
         "chaos" => chaos::chaos(),
+        "scale" => scale::scale(),
         _ => return None,
     })
 }

@@ -20,6 +20,7 @@
 //! a dedicated serial path that is exactly the pre-runner `for` loop.
 //! The pool uses only `std::thread::scope` — no new dependencies.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -38,6 +39,32 @@ pub struct CellTiming {
     pub cell: String,
     /// Wall-clock seconds the cell took.
     pub wall_s: f64,
+    /// Engine events the cell's simulation dispatched (0 when the cell
+    /// did not call [`report_events`]).
+    pub events: u64,
+}
+
+thread_local! {
+    /// Events reported by the cell currently running on this worker.
+    static CELL_EVENTS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Report how many engine events the current cell's simulation
+/// dispatched. Call from inside the closure passed to [`pmap`]; the
+/// runner attaches the count to that cell's timing record so the stderr
+/// report can show throughput (events/sec) per experiment.
+pub fn report_events(events: u64) {
+    CELL_EVENTS.with(|c| c.set(c.get().saturating_add(events)));
+}
+
+/// Run one cell: time it, capture any event count it reports, record.
+fn run_cell<I, T>(experiment: &str, label: String, cell: I, f: impl Fn(I) -> T) -> T {
+    CELL_EVENTS.with(|c| c.set(0));
+    let t0 = std::time::Instant::now();
+    let result = f(cell);
+    let events = CELL_EVENTS.with(Cell::take);
+    record(experiment, label, t0.elapsed().as_secs_f64(), events);
+    result
 }
 
 /// Set the worker count used by [`pmap`]. `None` (or `Some(0)`) restores
@@ -74,10 +101,7 @@ where
     if workers <= 1 {
         let mut out = Vec::with_capacity(cells.len());
         for (label, cell) in cells {
-            let t0 = std::time::Instant::now();
-            let result = f(cell);
-            record(experiment, label, t0.elapsed().as_secs_f64());
-            out.push(result);
+            out.push(run_cell(experiment, label, cell, &f));
         }
         return out;
     }
@@ -103,10 +127,7 @@ where
                     .expect("cell lock")
                     .take()
                     .expect("cell claimed once");
-                let t0 = std::time::Instant::now();
-                let result = f(cell);
-                record(experiment, label, t0.elapsed().as_secs_f64());
-                *slots[i].lock().expect("slot lock") = Some(result);
+                *slots[i].lock().expect("slot lock") = Some(run_cell(experiment, label, cell, &f));
             });
         }
     });
@@ -135,11 +156,12 @@ where
     pmap(experiment, cells, f)
 }
 
-fn record(experiment: &str, cell: String, wall_s: f64) {
+fn record(experiment: &str, cell: String, wall_s: f64, events: u64) {
     TIMINGS.lock().expect("timings lock").push(CellTiming {
         experiment: experiment.to_string(),
         cell,
         wall_s,
+        events,
     });
 }
 
@@ -149,8 +171,10 @@ pub fn drain_timings() -> Vec<CellTiming> {
 }
 
 /// Render the drained timings as a per-experiment report: cell count,
-/// total cell seconds, and the slowest cell (the lower bound on that
-/// experiment's parallel wall-clock).
+/// total cell seconds, engine events dispatched, throughput, and the
+/// slowest cell (the lower bound on that experiment's parallel
+/// wall-clock). Experiments whose cells never call [`report_events`]
+/// show `-` in the event columns.
 pub fn timing_report(timings: &[CellTiming]) -> crate::table::Table {
     let mut t = crate::table::Table::new(
         &format!("Cell timing report ({} workers)", jobs()),
@@ -158,6 +182,8 @@ pub fn timing_report(timings: &[CellTiming]) -> crate::table::Table {
             "experiment",
             "cells",
             "cell time (s)",
+            "events",
+            "events/s",
             "slowest cell",
             "(s)",
         ],
@@ -168,11 +194,18 @@ pub fn timing_report(timings: &[CellTiming]) -> crate::table::Table {
             order.push(&c.experiment);
         }
     }
-    let mut grand_total = 0.0;
+    let (mut grand_total, mut grand_events) = (0.0, 0u64);
     for exp in order {
         let cells: Vec<&CellTiming> = timings.iter().filter(|c| c.experiment == exp).collect();
         let total: f64 = cells.iter().map(|c| c.wall_s).sum();
+        let events: u64 = cells.iter().map(|c| c.events).sum();
         grand_total += total;
+        grand_events += events;
+        let (ev, ev_s) = if events == 0 {
+            ("-".to_string(), "-".to_string())
+        } else {
+            (events.to_string(), format!("{:.0}", events as f64 / total))
+        };
         let slowest = cells
             .iter()
             .max_by(|a, b| a.wall_s.partial_cmp(&b.wall_s).expect("finite timing"))
@@ -181,12 +214,22 @@ pub fn timing_report(timings: &[CellTiming]) -> crate::table::Table {
             exp.to_string(),
             cells.len().to_string(),
             format!("{total:.2}"),
+            ev,
+            ev_s,
             slowest.cell.clone(),
             format!("{:.2}", slowest.wall_s),
         ]);
     }
+    let throughput = if grand_events == 0 {
+        String::new()
+    } else {
+        format!(
+            "; {grand_events} events dispatched ({:.0} events/s of cell time)",
+            grand_events as f64 / grand_total
+        )
+    };
     t.note(&format!(
-        "total cell time {grand_total:.2}s; wall-clock is bounded below by each experiment's slowest cell"
+        "total cell time {grand_total:.2}s{throughput}; wall-clock is bounded below by each experiment's slowest cell"
     ));
     t
 }
@@ -229,5 +272,23 @@ mod tests {
         assert_eq!(timings.len(), 3);
         let report = timing_report(&timings);
         assert_eq!(report.len(), 1);
+    }
+
+    #[test]
+    fn events_ride_with_their_cell() {
+        set_jobs(Some(2));
+        let cells = vec![("a".to_string(), 10u64), ("b".to_string(), 20)];
+        let _ = pmap("evt", cells, |n| {
+            report_events(n);
+            n
+        });
+        let mut by_cell: Vec<(String, u64)> = drain_timings()
+            .into_iter()
+            .filter(|c| c.experiment == "evt")
+            .map(|c| (c.cell, c.events))
+            .collect();
+        set_jobs(None);
+        by_cell.sort();
+        assert_eq!(by_cell, vec![("a".to_string(), 10), ("b".to_string(), 20)]);
     }
 }

@@ -9,7 +9,7 @@
 
 use crate::msg::{AppMsg, FrameMeta, APP_PORT, AR_PORT, MRS_PORT};
 use acacia_simnet::packet::Packet;
-use acacia_simnet::sim::{Ctx, Node, PortId};
+use acacia_simnet::sim::{Ctx, Node, PortId, TimerHandle};
 use acacia_simnet::time::{Duration, Instant};
 use acacia_vision::compress::Codec;
 use acacia_vision::compute::{Device, DeviceProfile};
@@ -174,6 +174,9 @@ pub struct ArFrontend {
     /// Epoch of the live retransmission timer; stale timers (armed before
     /// the last `arm_retx`) are ignored when they fire.
     retx_epoch: u64,
+    /// Engine handle of the live retransmission timer, so re-arming
+    /// cancels the superseded one in the scheduler.
+    retx_timer: Option<TimerHandle>,
     /// Consecutive stalled checks while awaiting the server's result (the
     /// server may legitimately be computing for a while).
     result_stall_checks: u32,
@@ -222,6 +225,7 @@ impl ArFrontend {
             uploading: false,
             retx_watermark: (u64::MAX, 0),
             retx_epoch: 0,
+            retx_timer: None,
             result_stall_checks: 0,
             retransmissions: 0,
             reanchor_requests: 0,
@@ -313,13 +317,17 @@ impl ArFrontend {
         Duration::from_millis(500)
     }
 
-    /// (Re)arm the loss-recovery timer, invalidating any pending one.
+    /// (Re)arm the loss-recovery timer, cancelling any pending one in the
+    /// scheduler (the epoch check remains as a second line of defence).
     fn arm_retx(&mut self, ctx: &mut Ctx<'_>) {
         self.retx_epoch += 1;
-        ctx.schedule_in(
+        if let Some(h) = self.retx_timer.take() {
+            ctx.cancel_timer(h);
+        }
+        self.retx_timer = Some(ctx.schedule_in_cancellable(
             self.retx_timeout(),
             token::RETRANSMIT | (self.retx_epoch << token::BITS),
-        );
+        ));
     }
 
     fn check_retransmit(&mut self, ctx: &mut Ctx<'_>) {
@@ -489,6 +497,7 @@ impl Node for ArFrontend {
             if tok >> token::BITS != self.retx_epoch {
                 return;
             }
+            self.retx_timer = None; // this fire consumed the live timer
             if self.phase == Phase::AwaitingMrs {
                 // MRS request or ack lost: ask again (the MRS side is
                 // idempotent per service).

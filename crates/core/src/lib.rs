@@ -36,6 +36,7 @@ pub mod mobility;
 pub mod mrs;
 pub mod msg;
 pub mod retail;
+pub mod scale;
 pub mod scenario;
 pub mod search;
 
@@ -48,6 +49,7 @@ pub use mobility::{MobilityConfig, MobilityMode, MobilityReport, MobilityScenari
 pub use mrs::{Mrs, ServerInstance};
 pub use msg::{AppMsg, FrameMeta};
 pub use retail::{CustomerApp, ShopperNotification, StoreApp};
+pub use scale::{ScaleConfig, ScaleReport, ScaleScenario, ScaleUeReport};
 pub use scenario::{Deployment, Scenario, ScenarioConfig, SessionReport};
 pub use search::{candidates, SearchContext, SearchStrategy};
 

@@ -163,6 +163,9 @@ pub struct MobilityReport {
     pub dedicated_reanchored: u64,
     /// Dedicated bearers released at handover (fallback path).
     pub dedicated_released: u64,
+    /// Engine events dispatched over the whole run (throughput metering;
+    /// deterministic for a fixed config and seed).
+    pub events_processed: u64,
 }
 
 impl MobilityReport {
@@ -222,7 +225,7 @@ impl MobilityScenario {
         });
 
         let floor = FloorPlan::retail_store();
-        let db = ObjectDb::generate_retail(&floor, cfg.db_per_subsection, cfg.seed);
+        let db = ObjectDb::retail_cached(cfg.db_per_subsection, cfg.seed);
         let locmgr = LocalizationManager::new(LocalizationMetadata::for_floor(
             &floor,
             &acacia_d2d::technology::ProximityTech::LteDirect.pathloss(),
@@ -428,6 +431,7 @@ impl MobilityScenario {
             reanchors: (client.reanchor_requests, client.reanchor_acks),
             dedicated_reanchored: gwc.dedicated_reanchored,
             dedicated_released: gwc.dedicated_released,
+            events_processed: self.net.sim.events_processed(),
         };
         (report, self.net)
     }

@@ -1,0 +1,416 @@
+//! Multi-UE scale-out scenario: N independent AR sessions crossing the
+//! same two-cell MEC topology.
+//!
+//! The paper evaluates ACACIA per-session; this scenario asks how the
+//! *infrastructure* behaves as sessions multiply: N UEs attach, perform
+//! the MRS connectivity handshake (each getting a dedicated bearer to the
+//! shared MEC server), and walk staggered there-and-back trajectories
+//! that hand each of them over twice. The interesting outputs are the
+//! control-plane signalling volume (X2 / S1AP / GTP-C message counts grow
+//! with the handover count, not the data volume) and the simulation
+//! engine's event throughput, which the `figures scale` benchmark tracks
+//! as UEs scale from 1 to 128.
+//!
+//! The per-UE frame interval has a floor of `N × per_frame_budget` so the
+//! *aggregate* offered load at the serial MEC server stays below its
+//! capacity — scale-out of sessions, not of one server's compute. Without
+//! this the server's queue grows without bound at high N and every
+//! session wedges behind it, which is a compute-sizing story, not a
+//! mobility one.
+
+use crate::arclient::{ArFrontend, ArFrontendConfig};
+use crate::arserver::{ArServer, ArServerConfig};
+use crate::locmgr::{LocalizationManager, LocalizationMetadata};
+use crate::mrs::{port as mrs_port, Mrs, ServerInstance};
+use crate::msg::APP_PORT;
+use crate::scenario::SERVICE;
+use crate::search::SearchStrategy;
+use acacia_geo::floor::FloorPlan;
+use acacia_geo::Point;
+use acacia_lte::enb::Enb;
+use acacia_lte::entities::{pcrf_port, GwControl};
+use acacia_lte::mobility::Waypoint;
+use acacia_lte::network::{CellConfig, LteConfig, LteNetwork};
+use acacia_lte::ue::{AppSelector, Ue};
+use acacia_lte::wire::Protocol;
+use acacia_simnet::link::LinkConfig;
+use acacia_simnet::sim::NodeId;
+use acacia_simnet::time::Duration;
+use acacia_vision::compute::Device;
+use acacia_vision::db::ObjectDb;
+
+/// Scale-out scenario parameters.
+#[derive(Debug, Clone)]
+pub struct ScaleConfig {
+    /// Number of UEs running concurrent AR sessions.
+    pub ue_count: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Frames each session captures.
+    pub frame_count: u64,
+    /// Per-UE pacing between captures, sized so a session spans the walk
+    /// (and therefore its handovers). See [`ScaleConfig::frame_interval`].
+    pub base_frame_interval: Duration,
+    /// Serial-server time budget one frame may consume: the effective
+    /// interval never drops below `ue_count × per_frame_budget`, keeping
+    /// the aggregate frame rate below the shared server's capacity at
+    /// any scale.
+    pub per_frame_budget: Duration,
+    /// Walk speed, m/s.
+    pub speed_mps: f64,
+    /// Start offset between consecutive UEs. Sized to one
+    /// [`frame_interval`](ScaleConfig::frame_interval) spread across the
+    /// whole population, so frame captures interleave into a steady
+    /// arrival stream at the serial server — bursty arrivals queue past
+    /// the client's stall timeout and trigger a re-upload storm.
+    pub stagger: Duration,
+    /// Objects per subsection in the database.
+    pub db_per_subsection: usize,
+    /// Matching execution cap.
+    pub exec_cap: usize,
+}
+
+impl ScaleConfig {
+    /// The benchmark configuration for a given UE count.
+    pub fn figure(ue_count: usize) -> ScaleConfig {
+        let mut cfg = ScaleConfig {
+            ue_count,
+            seed: 42,
+            frame_count: 8,
+            base_frame_interval: Duration::from_millis(2_500),
+            // Measured serial-server occupancy per frame is ~220 ms
+            // (decode + detect + match at exec_cap 24, one object per
+            // subsection); 300 ms caps utilization near 73% at any N.
+            per_frame_budget: Duration::from_millis(300),
+            speed_mps: 4.0,
+            stagger: Duration::from_nanos(0),
+            db_per_subsection: 1,
+            exec_cap: 24,
+        };
+        // Captures land `interval / N` apart — a uniform ring, never a
+        // burst, so the server queue stays bounded by its utilization.
+        cfg.stagger = Duration::from_nanos(cfg.frame_interval().nanos() / ue_count as u64);
+        cfg
+    }
+
+    /// Smaller/faster variant for tests.
+    pub fn smoke(ue_count: usize) -> ScaleConfig {
+        ScaleConfig {
+            frame_count: 4,
+            speed_mps: 6.0,
+            ..ScaleConfig::figure(ue_count)
+        }
+    }
+
+    /// The effective per-UE frame interval: the base interval, raised to
+    /// `ue_count × per_frame_budget` once the UE count is large enough
+    /// that the base pacing would oversubscribe the serial server.
+    pub fn frame_interval(&self) -> Duration {
+        let floor = Duration::from_nanos(self.per_frame_budget.nanos() * self.ue_count as u64);
+        self.base_frame_interval.max(floor)
+    }
+}
+
+/// Per-UE outcome of a scale-out run.
+#[derive(Debug, Clone)]
+pub struct ScaleUeReport {
+    /// Frames that completed end-to-end.
+    pub frames_done: u64,
+    /// Serving-cell switches completed.
+    pub handovers: u64,
+    /// Client-side retransmissions.
+    pub retransmissions: u64,
+}
+
+/// Results of a scale-out run.
+#[derive(Debug, Clone)]
+pub struct ScaleReport {
+    /// UEs that ran.
+    pub ue_count: usize,
+    /// Frames each session was asked to complete.
+    pub frames_requested: u64,
+    /// Per-UE outcomes, in UE-index order.
+    pub ues: Vec<ScaleUeReport>,
+    /// X2AP messages on the wire (handover signalling).
+    pub x2_msgs: u64,
+    /// S1AP messages on the wire (path switches, attach, paging).
+    pub s1ap_msgs: u64,
+    /// GTPv2-C messages on the wire (bearer management).
+    pub gtpc_msgs: u64,
+    /// Total core-network signalling bytes (excludes radio RRC).
+    pub core_signalling_bytes: u64,
+    /// Dedicated bearers relocated onto a new cell's local gateway.
+    pub dedicated_reanchored: u64,
+    /// Downlink packets forwarded over X2 during handover execution.
+    pub x2_forwarded: u64,
+    /// Engine events dispatched over the whole run.
+    pub events_processed: u64,
+    /// Simulated time the run covered.
+    pub sim_elapsed: Duration,
+}
+
+impl ScaleReport {
+    /// Sessions that did not complete every requested frame.
+    pub fn wedged(&self) -> usize {
+        self.ues
+            .iter()
+            .filter(|u| u.frames_done < self.frames_requested)
+            .count()
+    }
+
+    /// Total handovers across every UE.
+    pub fn total_handovers(&self) -> u64 {
+        self.ues.iter().map(|u| u.handovers).sum()
+    }
+}
+
+/// Same geometry as the mobility scenario: two cells 40 m apart, walks
+/// between 2 m and 38 m cross the A3 boundary once in each direction.
+const CELL_SPACING_M: f64 = 40.0;
+const WALK_NEAR_M: f64 = 2.0;
+const WALK_FAR_M: f64 = 38.0;
+
+/// A built scale-out scenario.
+pub struct ScaleScenario {
+    /// The network (owns the simulator).
+    pub net: LteNetwork,
+    /// Client nodes, in UE-index order.
+    pub clients: Vec<NodeId>,
+    /// The shared MEC server node.
+    pub server: NodeId,
+    cfg: ScaleConfig,
+}
+
+impl ScaleScenario {
+    /// Build the scenario: N UEs attached, MRS wired, clients connected.
+    pub fn build(cfg: ScaleConfig) -> ScaleScenario {
+        assert!(cfg.ue_count >= 1, "scale-out needs at least one UE");
+        let mut net = LteNetwork::new(LteConfig {
+            seed: cfg.seed,
+            ue_count: cfg.ue_count,
+            cells: vec![
+                CellConfig {
+                    pos: Point::new(0.0, 0.0),
+                    mec: true,
+                },
+                CellConfig {
+                    pos: Point::new(CELL_SPACING_M, 0.0),
+                    mec: true,
+                },
+            ],
+            // Safety net: a UE that loses its path switch can still reach
+            // the MEC server over the default bearer + core detour.
+            core_detour: true,
+            ..LteConfig::default()
+        });
+
+        let floor = FloorPlan::retail_store();
+        let db = ObjectDb::retail_cached(cfg.db_per_subsection, cfg.seed);
+        let locmgr = LocalizationManager::new(LocalizationMetadata::for_floor(
+            &floor,
+            &acacia_d2d::technology::ProximityTech::LteDirect.pathloss(),
+        ));
+        let server_addr = acacia_lte::network::addr::MEC_BASE;
+        let (server, assigned) = net.add_mec_server(Box::new(ArServer::new(
+            ArServerConfig {
+                addr: server_addr,
+                device: Device::I7Octa,
+                strategy: SearchStrategy::Naive,
+                exec_cap: cfg.exec_cap,
+            },
+            db.clone(),
+            floor,
+            locmgr,
+        )));
+        assert_eq!(assigned, server_addr);
+
+        let mrs_addr = acacia_lte::network::addr::CLOUD_BASE;
+        let mut mrs_node = Mrs::new(mrs_addr);
+        mrs_node.register_service(
+            SERVICE,
+            ServerInstance {
+                addr: server_addr,
+                distance: 1.0,
+            },
+        );
+        let (mrs, assigned) = net.add_cloud_server(
+            Box::new(mrs_node),
+            LinkConfig::delay_only(Duration::from_micros(800)),
+        );
+        assert_eq!(assigned, mrs_addr);
+        net.sim.connect(
+            (mrs, mrs_port::RX),
+            (net.pcrf, pcrf_port::AF),
+            LinkConfig::delay_only(Duration::from_micros(500)),
+        );
+
+        // Every user photographs the same subsection; the vision work is
+        // identical across UEs, keeping the benchmark's host time in the
+        // network and engine rather than the feature pipeline.
+        let scene_ids: Vec<u64> = db.in_subsections(&[0]).iter().map(|o| o.id).collect();
+        let frame_interval = cfg.frame_interval();
+
+        let mut clients = Vec::with_capacity(cfg.ue_count);
+        for i in 0..cfg.ue_count {
+            let ue_ip = net.attach(i);
+            let client_cfg = ArFrontendConfig {
+                ue_ip,
+                server: server_addr,
+                mrs: Some((mrs_addr, SERVICE.to_string())),
+                frame_count: cfg.frame_count,
+                min_frame_interval: Some(frame_interval),
+                scene_ids: scene_ids.clone(),
+                ..ArFrontendConfig::new(ue_ip, server_addr)
+            };
+            let client = net.connect_ue_app(
+                i,
+                Box::new(ArFrontend::new(client_cfg)),
+                AppSelector::port(APP_PORT),
+            );
+            clients.push(client);
+        }
+
+        ScaleScenario {
+            net,
+            clients,
+            server,
+            cfg,
+        }
+    }
+
+    /// Run every session to completion (or a generous deadline) and
+    /// collect the report.
+    pub fn run(mut self) -> ScaleReport {
+        let start = self.net.sim.now();
+        let walk_s = 2.0 * (WALK_FAR_M - WALK_NEAR_M) / self.cfg.speed_mps;
+        for (i, &client) in self.clients.iter().enumerate() {
+            let offset = Duration::from_nanos(self.cfg.stagger.nanos() * i as u64);
+            self.net
+                .sim
+                .schedule_timer(client, start + offset, ArFrontend::KICKOFF);
+            // The walk begins with the UE's stagger dwell at the near end,
+            // so handovers spread out the same way the sessions do.
+            self.net.start_mobility(
+                i,
+                vec![
+                    Waypoint::dwelling(Point::new(WALK_NEAR_M, 0.0), offset),
+                    Waypoint::passing(Point::new(WALK_FAR_M, 0.0)),
+                    Waypoint::passing(Point::new(WALK_NEAR_M, 0.0)),
+                ],
+                self.cfg.speed_mps,
+            );
+        }
+
+        // Deadline: every stagger has elapsed, every walk has finished,
+        // every session has had twice its paced duration plus slack for
+        // the server queue and recovery timers.
+        let stagger_total =
+            Duration::from_nanos(self.cfg.stagger.nanos() * self.cfg.ue_count as u64);
+        let session =
+            Duration::from_nanos(self.cfg.frame_interval().nanos() * self.cfg.frame_count.max(1));
+        let walk_end = start + stagger_total + Duration::from_secs_f64(walk_s);
+        let deadline =
+            walk_end + Duration::from_nanos(session.nanos() * 2) + Duration::from_secs(30);
+        while self.net.sim.now() < deadline {
+            let t = self.net.sim.now() + Duration::from_millis(200);
+            self.net.sim.run_until(t);
+            // Sessions may finish before the last UE crosses back; keep
+            // the network running until the walks (and their trailing
+            // handovers) are over so the signalling counts are complete.
+            if self.net.sim.now() < walk_end {
+                continue;
+            }
+            let all_done = self
+                .clients
+                .iter()
+                .all(|&c| self.net.sim.node_ref::<ArFrontend>(c).done());
+            if all_done {
+                break;
+            }
+        }
+        // Drain in-flight traffic so counters settle.
+        let drain = self.net.sim.now() + Duration::from_millis(500);
+        self.net.sim.run_until(drain);
+
+        let mut ues = Vec::with_capacity(self.cfg.ue_count);
+        for (i, &client) in self.clients.iter().enumerate() {
+            let c = self.net.sim.node_ref::<ArFrontend>(client);
+            let ue = self.net.sim.node_ref::<Ue>(self.net.ues[i]);
+            ues.push(ScaleUeReport {
+                frames_done: c.frames.len() as u64,
+                handovers: ue.handovers,
+                retransmissions: c.retransmissions,
+            });
+        }
+        let mut x2_forwarded = 0;
+        for &enb in &self.net.enbs {
+            x2_forwarded += self.net.sim.node_ref::<Enb>(enb).x2_forwarded;
+        }
+        let gwc = self.net.sim.node_ref::<GwControl>(self.net.gwc);
+        ScaleReport {
+            ue_count: self.cfg.ue_count,
+            frames_requested: self.cfg.frame_count,
+            ues,
+            x2_msgs: self.net.log.count(Protocol::X2Sctp),
+            s1ap_msgs: self.net.log.count(Protocol::S1apSctp),
+            gtpc_msgs: self.net.log.count(Protocol::Gtpv2),
+            core_signalling_bytes: self.net.log.core_bytes(),
+            dedicated_reanchored: gwc.dedicated_reanchored,
+            x2_forwarded,
+            events_processed: self.net.sim.events_processed(),
+            sim_elapsed: self.net.sim.now() - start,
+        }
+    }
+}
+
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<ScaleConfig>();
+    assert_send::<ScaleReport>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_ues_complete_and_hand_over() {
+        let report = ScaleScenario::build(ScaleConfig::smoke(2)).run();
+        assert_eq!(report.ue_count, 2);
+        assert_eq!(report.wedged(), 0, "every session completes");
+        assert!(
+            report.ues.iter().all(|u| u.handovers >= 2),
+            "each UE crosses the boundary twice: {:?}",
+            report.ues
+        );
+        assert!(report.x2_msgs > 0, "handovers produce X2 signalling");
+        assert!(report.events_processed > 0);
+    }
+
+    #[test]
+    fn signalling_grows_with_ue_count() {
+        let one = ScaleScenario::build(ScaleConfig::smoke(1)).run();
+        let four = ScaleScenario::build(ScaleConfig::smoke(4)).run();
+        assert_eq!(one.wedged(), 0);
+        assert_eq!(four.wedged(), 0);
+        assert!(
+            four.x2_msgs > one.x2_msgs,
+            "more UEs, more handover signalling: {} vs {}",
+            four.x2_msgs,
+            one.x2_msgs
+        );
+        assert!(four.total_handovers() > one.total_handovers());
+    }
+
+    #[test]
+    fn interval_floor_scales_with_ue_count() {
+        let small = ScaleConfig::figure(8);
+        let big = ScaleConfig::figure(128);
+        assert_eq!(small.frame_interval(), small.base_frame_interval);
+        assert_eq!(
+            big.frame_interval().nanos(),
+            big.per_frame_budget.nanos() * 128
+        );
+        assert!(big.frame_interval() > big.base_frame_interval);
+    }
+}

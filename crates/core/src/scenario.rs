@@ -153,6 +153,9 @@ pub struct SessionReport {
     pub bearer_setup: Option<Duration>,
     /// Fraction of frames matched to the correct object.
     pub accuracy: f64,
+    /// Engine events dispatched over the whole run (throughput metering;
+    /// deterministic for a fixed config and seed).
+    pub events_processed: u64,
 }
 
 impl SessionReport {
@@ -188,7 +191,7 @@ impl Scenario {
     /// Build the scenario.
     pub fn build(cfg: ScenarioConfig) -> Scenario {
         let floor = FloorPlan::retail_store();
-        let db = ObjectDb::generate_retail(&floor, cfg.db_per_subsection, cfg.seed);
+        let db = ObjectDb::retail_cached(cfg.db_per_subsection, cfg.seed);
         // The discovery technology fixes both the radio model (which the
         // localization regression must be calibrated against) and the
         // discovery cadence.
@@ -376,6 +379,7 @@ impl Scenario {
             frames: client.frames.clone(),
             bearer_setup: client.bearer_setup,
             accuracy: server.accuracy(),
+            events_processed: self.net.sim.events_processed(),
         }
     }
 }

@@ -14,7 +14,7 @@ use crate::radio::{self, port, RadioPayload, RadioScheduler};
 use crate::wire::{ControlMsg, ErabSetup};
 use crate::{gtpu, tft::Tft};
 use acacia_simnet::packet::Packet;
-use acacia_simnet::sim::{Ctx, Node, PortId};
+use acacia_simnet::sim::{Ctx, Node, PortId, TimerHandle};
 use acacia_simnet::time::Duration;
 use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
@@ -183,6 +183,10 @@ pub struct Enb {
     next_txid: u32,
     /// Next guard-timer sequence number.
     next_guard: u64,
+    /// Engine timer handle for each live guard seq: procedures that end
+    /// before their guard fires cancel it in the scheduler instead of
+    /// relying on the fire being a stale no-op.
+    guard_timers: BTreeMap<u64, TimerHandle>,
     /// Uplink user packets forwarded onto S1.
     pub ul_forwarded: u64,
     /// Downlink user frames scheduled to UEs.
@@ -232,6 +236,7 @@ impl Enb {
             ho_in: BTreeMap::new(),
             next_txid: 1,
             next_guard: 0,
+            guard_timers: BTreeMap::new(),
             ul_forwarded: 0,
             dl_forwarded: 0,
             no_bearer: 0,
@@ -300,8 +305,17 @@ impl Enb {
     fn arm_guard(&mut self, ctx: &mut Ctx<'_>, after: Duration) -> u64 {
         let seq = self.next_guard;
         self.next_guard += 1;
-        ctx.schedule_in(after, token::HO_GUARD_BASE + seq);
+        let handle = ctx.schedule_in_cancellable(after, token::HO_GUARD_BASE + seq);
+        self.guard_timers.insert(seq, handle);
         seq
+    }
+
+    /// Cancel a still-armed guard timer (the procedure it supervised
+    /// resolved first). A seq whose timer already fired is a no-op.
+    fn cancel_guard(&mut self, ctx: &mut Ctx<'_>, seq: u64) {
+        if let Some(handle) = self.guard_timers.remove(&seq) {
+            ctx.cancel_timer(handle);
+        }
     }
 
     fn ue_by_radio_port(&self, p: PortId) -> Option<&UeEntry> {
@@ -610,6 +624,7 @@ impl Enb {
                     port,
                     target_radio,
                     txid: want,
+                    guard: prep_guard,
                     ..
                 }) = self.ho.get(&imsi).cloned()
                 else {
@@ -618,6 +633,8 @@ impl Enb {
                 if txid != want {
                     return; // stale ack of a superseded attempt
                 }
+                // Preparation succeeded: retire its guard in the scheduler.
+                self.cancel_guard(ctx, prep_guard);
                 self.send_x2(
                     ctx,
                     port,
@@ -667,7 +684,11 @@ impl Enb {
             // Source side: the path switch completed; drop the UE context
             // and stop forwarding.
             ControlMsg::X2UeContextRelease { imsi } => {
-                self.ho.remove(&imsi);
+                match self.ho.remove(&imsi) {
+                    Some(HoPhase::Preparing { guard, .. })
+                    | Some(HoPhase::Forwarding { guard, .. }) => self.cancel_guard(ctx, guard),
+                    None => {}
+                }
                 self.bearers.retain(|b| b.imsi != imsi);
                 self.ho_out_done += 1;
             }
@@ -748,6 +769,8 @@ impl Enb {
     /// live procedure; anything that does not match completed (or was
     /// superseded) in the meantime and the fire is a no-op.
     fn on_ho_guard(&mut self, ctx: &mut Ctx<'_>, seq: u64) {
+        // This seq's timer just fired; its handle is spent.
+        self.guard_timers.remove(&seq);
         // Source side: unanswered Handover Request.
         let prep = self.ho.iter().find_map(|(&imsi, p)| match p {
             HoPhase::Preparing { guard, .. } if *guard == seq => Some(imsi),
@@ -938,6 +961,9 @@ impl Enb {
                 // Idempotent: a duplicate Ack after the context is gone
                 // (or after a fallback already released it) is ignored.
                 if let Some(hin) = self.ho_in.remove(&imsi) {
+                    if let Some(ps) = &hin.ps {
+                        self.cancel_guard(ctx, ps.guard);
+                    }
                     self.ho_in_done += 1;
                     self.send_x2(
                         ctx,

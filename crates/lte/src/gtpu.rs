@@ -30,7 +30,11 @@ pub fn serialize_inner(pkt: &Packet) -> Bytes {
 }
 
 /// Reverse of [`serialize_inner`]. Returns `None` on malformed input.
-pub fn deserialize_inner(data: &[u8], created: Instant) -> Option<Packet> {
+///
+/// Takes the serialized frame as a [`Bytes`] so the inner payload can be
+/// re-sliced out of the tunnel buffer without copying — decapsulation and
+/// radio deframing are per-packet hot paths.
+pub fn deserialize_inner(data: &Bytes, created: Instant) -> Option<Packet> {
     if data.len() < 26 {
         return None;
     }
@@ -56,7 +60,7 @@ pub fn deserialize_inner(data: &[u8], created: Instant) -> Option<Packet> {
         dst_port,
         protocol,
         tos,
-        payload: Bytes::copy_from_slice(&data[28..28 + plen]),
+        payload: data.slice(28..28 + plen),
         app_len,
         id,
         created,
@@ -107,8 +111,34 @@ pub fn decapsulate(outer: &Packet) -> Option<(Teid, Packet)> {
         return None;
     }
     let teid = Teid(u32::from_be_bytes(p[4..8].try_into().ok()?));
-    let inner = deserialize_inner(&p[8..], outer.created)?;
+    let inner = deserialize_inner(&p.slice(8..), outer.created)?;
     Some((teid, inner))
+}
+
+/// Read the inner packet's `(src, dst)` addresses from a GTP-U packet
+/// without materializing the inner packet (cheap flow-table matching).
+///
+/// Validates the same framing invariants as [`decapsulate`] so the two
+/// agree on which packets are well-formed tunnels.
+pub fn peek_inner_addrs(pkt: &Packet) -> Option<(Ipv4Addr, Ipv4Addr)> {
+    if !is_gtpu(pkt) {
+        return None;
+    }
+    let p = &pkt.payload;
+    if p.len() < 8 || p[1] != 255 {
+        return None;
+    }
+    let d = &p[8..];
+    if d.len() < 28 {
+        return None;
+    }
+    let plen = u16::from_be_bytes(d[26..28].try_into().ok()?) as usize;
+    if d.len() < 28 + plen {
+        return None;
+    }
+    let src = Ipv4Addr::from(u32::from_be_bytes(d[0..4].try_into().ok()?));
+    let dst = Ipv4Addr::from(u32::from_be_bytes(d[4..8].try_into().ok()?));
+    Some((src, dst))
 }
 
 /// Is this packet a GTP-U tunnel packet?
@@ -189,6 +219,33 @@ mod tests {
         let (_, back) = decapsulate(&outer).unwrap();
         assert_eq!(&back.payload[..], b"hello control bytes");
         assert_eq!(back.wire_size(), p.wire_size());
+    }
+
+    #[test]
+    fn peek_inner_addrs_agrees_with_decapsulate() {
+        let p = inner();
+        let outer = encapsulate(&p, Teid(7), ip(10), ip(11));
+        assert_eq!(peek_inner_addrs(&outer), Some((p.src, p.dst)));
+        // Non-tunnel and truncated packets peek as None, exactly where
+        // decapsulate fails.
+        assert_eq!(peek_inner_addrs(&p), None);
+        let mut cut = outer.clone();
+        cut.payload = cut.payload.slice(0..20);
+        assert!(decapsulate(&cut).is_none());
+        assert_eq!(peek_inner_addrs(&cut), None);
+    }
+
+    #[test]
+    fn decapsulated_payload_shares_the_tunnel_buffer() {
+        let mut p = inner();
+        p.payload = Bytes::from_static(b"shared zero-copy payload");
+        let outer = encapsulate(&p, Teid(3), ip(10), ip(11));
+        let (_, back) = decapsulate(&outer).unwrap();
+        // The inner payload is a sub-slice of the outer buffer, not a copy.
+        let outer_range =
+            outer.payload.as_ptr() as usize..outer.payload.as_ptr() as usize + outer.payload.len();
+        assert!(outer_range.contains(&(back.payload.as_ptr() as usize)));
+        assert_eq!(&back.payload[..], b"shared zero-copy payload");
     }
 
     #[test]

@@ -99,7 +99,7 @@ pub fn parse_frame(pkt: &Packet) -> Option<RadioPayload> {
                 return None;
             }
             let ebi = Ebi(pkt.payload[1]);
-            let inner = crate::gtpu::deserialize_inner(&pkt.payload[2..], pkt.created)?;
+            let inner = crate::gtpu::deserialize_inner(&pkt.payload.slice(2..), pkt.created)?;
             Some(RadioPayload::Data { ebi, inner })
         }
         FRAME_RRC => {

@@ -207,10 +207,12 @@ impl FlowSwitch {
     }
 
     fn lookup(&mut self, pkt: &Packet) -> Option<usize> {
-        // Decapsulate once: for tunnelled packets, address matches apply to
-        // the *inner* endpoints so rules can steer by UE/server address.
-        let (teid, esrc, edst) = match gtpu::decapsulate(pkt) {
-            Some((t, inner)) => (Some(t), inner.src, inner.dst),
+        // Peek the tunnel header: for tunnelled packets, address matches
+        // apply to the *inner* endpoints so rules can steer by UE/server
+        // address. The inner packet is never materialized here — only the
+        // rule that wins may decapsulate.
+        let (teid, esrc, edst) = match gtpu::peek_inner_addrs(pkt) {
+            Some((s, d)) => (gtpu::peek_teid(pkt), s, d),
             None => (None, pkt.src, pkt.dst),
         };
         let idx = self
@@ -222,9 +224,12 @@ impl FlowSwitch {
     }
 
     fn execute(&mut self, ctx: &mut Ctx<'_>, rule_idx: usize, pkt: Packet) {
-        let actions = self.rules[rule_idx].actions.clone();
         let mut current = pkt;
-        for action in actions {
+        // Step through the rule's actions by index: cloning one small
+        // action per step instead of the whole Vec keeps the per-packet
+        // path allocation-free.
+        for i in 0..self.rules[rule_idx].actions.len() {
+            let action = self.rules[rule_idx].actions[i].clone();
             match action {
                 FlowActionSpec::GtpEncap { peer, teid } => {
                     current = gtpu::encapsulate(&current, teid, self.addr, peer);

@@ -15,7 +15,7 @@ use crate::radio::{self, port, RadioPayload, RadioScheduler};
 use crate::tft::{Direction, Tft};
 use crate::wire::ControlMsg;
 use acacia_simnet::packet::Packet;
-use acacia_simnet::sim::{Ctx, Node, PortId};
+use acacia_simnet::sim::{Ctx, Node, PortId, TimerHandle};
 use acacia_simnet::time::{Duration, Instant};
 use std::net::Ipv4Addr;
 
@@ -218,6 +218,11 @@ pub struct Ue {
     /// Epochs distinguish the live T304 / retry timer from stale ones.
     next_epoch: u64,
     sr_epoch: u64,
+    /// Engine handle of the live T304 guard: superseding reports cancel
+    /// the old timer in the scheduler instead of letting it fire stale.
+    t304_timer: Option<TimerHandle>,
+    /// Engine handle of the live service-request retry timer.
+    sr_timer: Option<TimerHandle>,
 }
 
 impl Ue {
@@ -254,6 +259,8 @@ impl Ue {
             ho_pending: None,
             next_epoch: 0,
             sr_epoch: 0,
+            t304_timer: None,
+            sr_timer: None,
         }
     }
 
@@ -410,7 +417,10 @@ impl Ue {
                     dl_at_report: self.dl_delivered,
                     reported_at: now,
                 });
-                ctx.schedule_in(T304, token::T304_BASE + epoch);
+                if let Some(h) = self.t304_timer.take() {
+                    ctx.cancel_timer(h);
+                }
+                self.t304_timer = Some(ctx.schedule_in_cancellable(T304, token::T304_BASE + epoch));
             }
         }
     }
@@ -425,6 +435,7 @@ impl Ue {
             Some(hp) if hp.epoch == epoch => {}
             _ => return, // stale guard of an already-superseded report
         }
+        self.t304_timer = None; // this fire consumed the live guard
         let hp = self.ho_pending.take().expect("checked above");
         if self.dl_delivered > hp.dl_at_report {
             return;
@@ -441,10 +452,16 @@ impl Ue {
         );
     }
 
-    /// Arm (or re-arm) the service-request retry timer.
+    /// Arm (or re-arm) the service-request retry timer, cancelling any
+    /// previously armed one in the scheduler.
     fn arm_sr_retry(&mut self, ctx: &mut Ctx<'_>) {
         self.sr_epoch += 1;
-        ctx.schedule_in(SR_RETRY_PERIOD, token::SR_RETRY_BASE + self.sr_epoch);
+        if let Some(h) = self.sr_timer.take() {
+            ctx.cancel_timer(h);
+        }
+        self.sr_timer = Some(
+            ctx.schedule_in_cancellable(SR_RETRY_PERIOD, token::SR_RETRY_BASE + self.sr_epoch),
+        );
     }
 
     /// Service-request retry fired: if still idle with data waiting, the
@@ -453,6 +470,7 @@ impl Ue {
         if epoch != self.sr_epoch {
             return;
         }
+        self.sr_timer = None; // this fire consumed the live timer
         if self.state == UeState::Idle && !self.idle_buffer.is_empty() {
             self.sr_retries += 1;
             self.send_rrc(ctx, ControlMsg::RrcServiceRequest { imsi: self.imsi });
@@ -463,6 +481,10 @@ impl Ue {
     /// Send packets buffered during the idle period now that the RRC
     /// connection is back.
     fn flush_idle_buffer(&mut self, ctx: &mut Ctx<'_>) {
+        // The service request was answered: the pending retry is moot.
+        if let Some(h) = self.sr_timer.take() {
+            ctx.cancel_timer(h);
+        }
         if self.idle_buffer.is_empty() {
             return;
         }

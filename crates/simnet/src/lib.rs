@@ -12,6 +12,8 @@
 //!   and *virtual payload lengths* for volume traffic.
 //! * [`sim`] — the [`Simulator`] event loop, the [`Node`] trait and the
 //!   [`Ctx`] handle nodes use to send packets and arm timers.
+//! * [`wheel`] — the timing-wheel priority queue behind the event loop
+//!   (O(1) amortized for the near-future timers that dominate).
 //! * [`link`] — serialization + propagation + drop-tail queue + jitter/loss
 //!   fault injection.
 //! * [`fault`] — deterministic per-link fault plans (drop / duplicate /
@@ -56,12 +58,13 @@ pub mod time;
 pub mod trace;
 pub mod traffic;
 pub mod transport;
+pub mod wheel;
 
 pub use fault::{FaultKind, FaultPlan, FaultRule, PacketClass};
 pub use link::{LinkConfig, LinkStats};
 pub use packet::{FiveTuple, Packet};
 pub use router::{Ipv4Net, RouteTable, Router};
-pub use sim::{Ctx, Node, NodeId, PortId, Simulator};
+pub use sim::{Ctx, Node, NodeId, PortId, Simulator, TimerHandle};
 pub use stats::Series;
 pub use time::{Duration, Instant};
 

@@ -6,17 +6,23 @@
 //! and schedule further timers. Event ordering is total — ties on the
 //! timestamp break on a monotonically increasing sequence number — so every
 //! run is deterministic given the seed.
+//!
+//! The run loop is built for throughput: events live in a timing wheel
+//! ([`crate::wheel`]) instead of a binary heap, links hang off a dense
+//! per-node port table so `send` is two array indexes, the per-dispatch
+//! action buffer is reused across events, and guard timers can be
+//! cancelled ([`Ctx::cancel_timer`]) so dead expiries are dropped at the
+//! queue instead of round-tripping through a node.
 
 use crate::fault::FaultPlan;
 use crate::link::{Link, LinkConfig, LinkStats};
 use crate::packet::Packet;
 use crate::time::{Duration, Instant};
+use crate::wheel::TimerWheel;
 use rand::RngCore;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::any::Any;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
 
 /// Identifier of a node within a simulator.
 pub type NodeId = usize;
@@ -38,10 +44,65 @@ pub trait Node: Any {
     fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
 }
 
+/// Handle to a cancellable timer (see [`Ctx::schedule_in_cancellable`]).
+///
+/// Generation-tagged: the handle names a slab slot plus the generation it
+/// was armed in, so a handle left over from a completed or cancelled timer
+/// can never affect a later timer that happens to reuse the slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerHandle {
+    slot: u32,
+    gen: u32,
+}
+
+/// Generation slab backing [`TimerHandle`]s.
+#[derive(Default)]
+struct TimerSlab {
+    gens: Vec<u32>,
+    free: Vec<u32>,
+}
+
+impl TimerSlab {
+    /// Allocate a live handle.
+    fn alloc(&mut self) -> TimerHandle {
+        if let Some(slot) = self.free.pop() {
+            TimerHandle {
+                slot,
+                gen: self.gens[slot as usize],
+            }
+        } else {
+            self.gens.push(0);
+            TimerHandle {
+                slot: (self.gens.len() - 1) as u32,
+                gen: 0,
+            }
+        }
+    }
+
+    /// Consume a handle: returns `true` (and frees the slot) iff it was
+    /// still live. Used both by cancellation and by expiry.
+    fn invalidate(&mut self, h: TimerHandle) -> bool {
+        if self.gens[h.slot as usize] == h.gen {
+            self.gens[h.slot as usize] = self.gens[h.slot as usize].wrapping_add(1);
+            self.free.push(h.slot);
+            true
+        } else {
+            false
+        }
+    }
+}
+
 /// Deferred side effects produced by a node during a hook invocation.
 enum Action {
-    Send { port: PortId, pkt: Packet },
-    Timer { at: Instant, token: u64 },
+    Send {
+        port: PortId,
+        pkt: Packet,
+    },
+    Timer {
+        at: Instant,
+        token: u64,
+        guard: Option<TimerHandle>,
+    },
 }
 
 /// Handle given to nodes during event dispatch.
@@ -51,6 +112,7 @@ pub struct Ctx<'a> {
     actions: &'a mut Vec<Action>,
     rng: &'a mut ChaCha8Rng,
     next_pkt_id: &'a mut u64,
+    timers: &'a mut TimerSlab,
 }
 
 impl Ctx<'_> {
@@ -73,13 +135,45 @@ impl Ctx<'_> {
 
     /// Schedule a timer for this node at an absolute instant.
     pub fn schedule_at(&mut self, at: Instant, token: u64) {
-        self.actions.push(Action::Timer { at, token });
+        self.actions.push(Action::Timer {
+            at,
+            token,
+            guard: None,
+        });
     }
 
     /// Schedule a timer `d` from now.
     pub fn schedule_in(&mut self, d: Duration, token: u64) {
         let at = self.now + d;
         self.schedule_at(at, token);
+    }
+
+    /// Schedule a cancellable timer at an absolute instant. The returned
+    /// handle can be passed to [`Ctx::cancel_timer`] to suppress the
+    /// expiry; a cancelled timer is dropped inside the engine without
+    /// invoking [`Node::on_timer`].
+    pub fn schedule_at_cancellable(&mut self, at: Instant, token: u64) -> TimerHandle {
+        let guard = self.timers.alloc();
+        self.actions.push(Action::Timer {
+            at,
+            token,
+            guard: Some(guard),
+        });
+        guard
+    }
+
+    /// Schedule a cancellable timer `d` from now (see
+    /// [`Ctx::schedule_at_cancellable`]).
+    pub fn schedule_in_cancellable(&mut self, d: Duration, token: u64) -> TimerHandle {
+        let at = self.now + d;
+        self.schedule_at_cancellable(at, token)
+    }
+
+    /// Cancel a timer armed with [`Ctx::schedule_at_cancellable`]. Returns
+    /// `true` if the timer was still pending; `false` if it already fired
+    /// or was already cancelled (both safe to call).
+    pub fn cancel_timer(&mut self, handle: TimerHandle) -> bool {
+        self.timers.invalidate(handle)
     }
 
     /// The simulation-wide deterministic RNG.
@@ -99,45 +193,34 @@ impl Ctx<'_> {
 enum EvKind {
     /// Packet delivery at (node, port).
     Arrive(NodeId, PortId),
-    /// Timer expiry at node with a token.
-    Timer(NodeId, u64),
+    /// Timer expiry at node with a token, optionally guarded by a
+    /// cancellation handle.
+    Timer(NodeId, u64, Option<TimerHandle>),
 }
 
-struct Ev {
-    at: Instant,
-    seq: u64,
+/// Event payload stored in the wheel (the `(at, seq)` key lives in the
+/// wheel entry itself).
+struct EvPayload {
     kind: EvKind,
     pkt: Option<Packet>,
-}
-
-impl PartialEq for Ev {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Ev {}
-impl PartialOrd for Ev {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Ev {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
 }
 
 /// The discrete-event network simulator.
 pub struct Simulator {
     now: Instant,
     seq: u64,
-    heap: BinaryHeap<Reverse<Ev>>,
+    queue: TimerWheel<EvPayload>,
     nodes: Vec<Option<Box<dyn Node>>>,
-    links: HashMap<(NodeId, PortId), Link>,
+    /// Dense link table: `links[node][port]`, grown on connect.
+    links: Vec<Vec<Option<Link>>>,
     rng: ChaCha8Rng,
     next_pkt_id: u64,
     unrouted: u64,
     events_processed: u64,
+    timers: TimerSlab,
+    timer_fires_skipped: u64,
+    /// Reusable per-dispatch action buffer.
+    scratch: Vec<Action>,
 }
 
 impl Simulator {
@@ -146,13 +229,16 @@ impl Simulator {
         Simulator {
             now: Instant::ZERO,
             seq: 0,
-            heap: BinaryHeap::new(),
+            queue: TimerWheel::new(),
             nodes: Vec::new(),
-            links: HashMap::new(),
+            links: Vec::new(),
             rng: ChaCha8Rng::seed_from_u64(seed),
             next_pkt_id: 0,
             unrouted: 0,
             events_processed: 0,
+            timers: TimerSlab::default(),
+            timer_fires_skipped: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -161,9 +247,15 @@ impl Simulator {
         self.now
     }
 
-    /// Number of events dispatched so far.
+    /// Number of events dispatched so far (cancelled timer expiries
+    /// included, for parity with runs that dispatch them as no-ops).
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Timer expiries dropped at the queue because the timer was cancelled.
+    pub fn timer_fires_skipped(&self) -> u64 {
+        self.timer_fires_skipped
     }
 
     /// Packets sent out of unconnected ports (usually a topology bug).
@@ -174,6 +266,7 @@ impl Simulator {
     /// Add a node, returning its id.
     pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
         self.nodes.push(Some(node));
+        self.links.push(Vec::new());
         self.nodes.len() - 1
     }
 
@@ -187,8 +280,12 @@ impl Simulator {
     ) {
         assert!(from.0 < self.nodes.len(), "unknown source node");
         assert!(to.0 < self.nodes.len(), "unknown destination node");
-        let prev = self.links.insert(from, Link::new(cfg, to));
-        assert!(prev.is_none(), "port {from:?} already connected");
+        let ports = &mut self.links[from.0];
+        if ports.len() <= from.1 {
+            ports.resize_with(from.1 + 1, || None);
+        }
+        assert!(ports[from.1].is_none(), "port {from:?} already connected");
+        ports[from.1] = Some(Link::new(cfg, to));
     }
 
     /// Connect two nodes with a symmetric pair of links.
@@ -210,26 +307,38 @@ impl Simulator {
         self.connect_simplex(b, a, b_to_a);
     }
 
+    fn link_mut(&mut self, from: (NodeId, PortId)) -> Option<&mut Link> {
+        self.links.get_mut(from.0)?.get_mut(from.1)?.as_mut()
+    }
+
+    fn link_ref(&self, from: (NodeId, PortId)) -> Option<&Link> {
+        self.links.get(from.0)?.get(from.1)?.as_ref()
+    }
+
     /// Schedule an initial timer for a node (used to kick off sources).
     pub fn schedule_timer(&mut self, node: NodeId, at: Instant, token: u64) {
         let seq = self.next_seq();
-        self.heap.push(Reverse(Ev {
+        self.queue.schedule(
             at,
             seq,
-            kind: EvKind::Timer(node, token),
-            pkt: None,
-        }));
+            EvPayload {
+                kind: EvKind::Timer(node, token, None),
+                pkt: None,
+            },
+        );
     }
 
     /// Inject a packet arriving at `(node, port)` at time `at`.
     pub fn inject_packet(&mut self, node: NodeId, port: PortId, at: Instant, pkt: Packet) {
         let seq = self.next_seq();
-        self.heap.push(Reverse(Ev {
+        self.queue.schedule(
             at,
             seq,
-            kind: EvKind::Arrive(node, port),
-            pkt: Some(pkt),
-        }));
+            EvPayload {
+                kind: EvKind::Arrive(node, port),
+                pkt: Some(pkt),
+            },
+        );
     }
 
     fn next_seq(&mut self) -> u64 {
@@ -238,18 +347,32 @@ impl Simulator {
         s
     }
 
+    /// Queue a packet arrival (seq assignment + wheel insert in one place).
+    #[inline]
+    fn push_arrival(&mut self, at: Instant, dest: (NodeId, PortId), pkt: Packet) {
+        let seq = self.next_seq();
+        self.queue.schedule(
+            at,
+            seq,
+            EvPayload {
+                kind: EvKind::Arrive(dest.0, dest.1),
+                pkt: Some(pkt),
+            },
+        );
+    }
+
     /// Run until the event queue drains or `limit` is reached, whichever is
     /// first. Returns the number of events processed by this call.
     pub fn run_until(&mut self, limit: Instant) -> u64 {
         let mut n = 0;
-        while let Some(Reverse(ev)) = self.heap.peek() {
-            if ev.at > limit {
+        while let Some((at, _)) = self.queue.peek_key() {
+            if at > limit {
                 break;
             }
-            let Reverse(ev) = self.heap.pop().expect("peeked event vanished");
-            assert!(ev.at >= self.now, "event scheduled in the past");
-            self.now = ev.at;
-            self.dispatch(ev);
+            let (at, _, payload) = self.queue.pop().expect("peeked event vanished");
+            assert!(at >= self.now, "event scheduled in the past");
+            self.now = at;
+            self.dispatch(payload);
             n += 1;
         }
         // Even if no event lands exactly at `limit`, the clock advances.
@@ -263,24 +386,31 @@ impl Simulator {
     /// Run until the event queue is fully drained.
     pub fn run_until_idle(&mut self) -> u64 {
         let mut n = 0;
-        while let Some(Reverse(ev)) = self.heap.pop() {
-            assert!(ev.at >= self.now, "event scheduled in the past");
-            self.now = ev.at;
-            self.dispatch(ev);
+        while let Some((at, _, payload)) = self.queue.pop() {
+            assert!(at >= self.now, "event scheduled in the past");
+            self.now = at;
+            self.dispatch(payload);
             n += 1;
         }
         self.events_processed += n;
         n
     }
 
-    fn dispatch(&mut self, ev: Ev) {
+    fn dispatch(&mut self, ev: EvPayload) {
         let node_id = match ev.kind {
-            EvKind::Arrive(n, _) | EvKind::Timer(n, _) => n,
+            EvKind::Arrive(n, _) | EvKind::Timer(n, _, _) => n,
         };
+        // Cancelled guard timers die here, before the node is touched.
+        if let EvKind::Timer(_, _, Some(guard)) = ev.kind {
+            if !self.timers.invalidate(guard) {
+                self.timer_fires_skipped += 1;
+                return;
+            }
+        }
         let mut node = self.nodes[node_id]
             .take()
             .unwrap_or_else(|| panic!("node {node_id} re-entered during dispatch"));
-        let mut actions = Vec::new();
+        let mut actions = std::mem::take(&mut self.scratch);
         {
             let mut ctx = Ctx {
                 now: self.now,
@@ -288,59 +418,62 @@ impl Simulator {
                 actions: &mut actions,
                 rng: &mut self.rng,
                 next_pkt_id: &mut self.next_pkt_id,
+                timers: &mut self.timers,
             };
             match ev.kind {
                 EvKind::Arrive(_, port) => {
                     let pkt = ev.pkt.expect("arrival without a packet");
                     node.on_packet(&mut ctx, port, pkt);
                 }
-                EvKind::Timer(_, token) => node.on_timer(&mut ctx, token),
+                EvKind::Timer(_, token, _) => node.on_timer(&mut ctx, token),
             }
         }
         self.nodes[node_id] = Some(node);
-        self.apply_actions(node_id, actions);
+        self.apply_actions(node_id, &mut actions);
+        self.scratch = actions;
     }
 
-    fn apply_actions(&mut self, node_id: NodeId, actions: Vec<Action>) {
-        for action in actions {
+    fn apply_actions(&mut self, node_id: NodeId, actions: &mut Vec<Action>) {
+        for action in actions.drain(..) {
             match action {
                 Action::Send { port, pkt } => {
                     let now = self.now;
-                    let Some(link) = self.links.get_mut(&(node_id, port)) else {
+                    let Some(link) = self
+                        .links
+                        .get_mut(node_id)
+                        .and_then(|ports| ports.get_mut(port))
+                        .and_then(Option::as_mut)
+                    else {
                         self.unrouted += 1;
                         continue;
                     };
                     let dest = link.to();
                     let deliveries = link.transmit(now, &pkt, &mut self.rng);
-                    let dup = deliveries.duplicate.map(|at| (at, pkt.clone()));
-                    if let Some(at) = deliveries.primary {
-                        let seq = self.next_seq();
-                        self.heap.push(Reverse(Ev {
-                            at,
-                            seq,
-                            kind: EvKind::Arrive(dest.0, dest.1),
-                            pkt: Some(pkt),
-                        }));
-                    }
-                    if let Some((at, copy)) = dup {
-                        let seq = self.next_seq();
-                        self.heap.push(Reverse(Ev {
-                            at,
-                            seq,
-                            kind: EvKind::Arrive(dest.0, dest.1),
-                            pkt: Some(copy),
-                        }));
+                    match (deliveries.primary, deliveries.duplicate) {
+                        (Some(at), None) => self.push_arrival(at, dest, pkt),
+                        (Some(at), Some(dup_at)) => {
+                            // Payloads are shared buffers, so the duplicate
+                            // is a header-only copy.
+                            self.push_arrival(at, dest, pkt.clone());
+                            self.push_arrival(dup_at, dest, pkt);
+                        }
+                        // Primary dropped: the duplicate takes the original
+                        // packet, no clone needed.
+                        (None, Some(dup_at)) => self.push_arrival(dup_at, dest, pkt),
+                        (None, None) => {}
                     }
                 }
-                Action::Timer { at, token } => {
+                Action::Timer { at, token, guard } => {
                     let at = at.max(self.now);
                     let seq = self.next_seq();
-                    self.heap.push(Reverse(Ev {
+                    self.queue.schedule(
                         at,
                         seq,
-                        kind: EvKind::Timer(node_id, token),
-                        pkt: None,
-                    }));
+                        EvPayload {
+                            kind: EvKind::Timer(node_id, token, guard),
+                            pkt: None,
+                        },
+                    );
                 }
             }
         }
@@ -366,32 +499,26 @@ impl Simulator {
     /// existing plan; pass a fresh plan per link so each keeps its own RNG
     /// stream. Panics if the port is not connected.
     pub fn attach_fault_plan(&mut self, from: (NodeId, PortId), plan: FaultPlan) {
-        let link = self
-            .links
-            .get_mut(&from)
-            .expect("fault plan on unknown link");
+        let link = self.link_mut(from).expect("fault plan on unknown link");
         link.set_fault_plan(Some(plan));
     }
 
     /// Detach the fault plan (if any) from the link leaving `(node, port)`.
     pub fn clear_fault_plan(&mut self, from: (NodeId, PortId)) {
-        if let Some(link) = self.links.get_mut(&from) {
+        if let Some(link) = self.link_mut(from) {
             link.set_fault_plan(None);
         }
     }
 
     /// Statistics of the link leaving `(node, port)`, if connected.
     pub fn link_stats(&self, from: (NodeId, PortId)) -> Option<&LinkStats> {
-        self.links.get(&from).map(|l| l.stats())
+        self.link_ref(from).map(|l| l.stats())
     }
 
     /// Mutate the configuration of an existing link (e.g. change its rate
     /// mid-experiment).
     pub fn reconfigure_link(&mut self, from: (NodeId, PortId), f: impl FnOnce(&mut LinkConfig)) {
-        let link = self
-            .links
-            .get_mut(&from)
-            .expect("reconfigure of unknown link");
+        let link = self.link_mut(from).expect("reconfigure of unknown link");
         link.reconfigure(f);
     }
 }
@@ -533,5 +660,50 @@ mod tests {
         }
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43), "jitter should depend on the seed");
+    }
+
+    /// Node that arms a cancellable timer, then cancels it on the next
+    /// (plain) timer, counting which expiries actually reached it.
+    struct Canceller {
+        armed: Option<TimerHandle>,
+        fired: Vec<u64>,
+    }
+    impl Node for Canceller {
+        fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortId, _: Packet) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+            self.fired.push(token);
+            match token {
+                0 => {
+                    // Arm a guard far in the future, and a checkpoint before
+                    // it that will cancel it.
+                    self.armed = Some(ctx.schedule_in_cancellable(Duration::from_millis(100), 99));
+                    ctx.schedule_in(Duration::from_millis(10), 1);
+                }
+                1 => {
+                    let h = self.armed.take().expect("guard armed");
+                    assert!(ctx.cancel_timer(h), "guard should still be pending");
+                    assert!(!ctx.cancel_timer(h), "double cancel is a no-op");
+                    // A fresh cancellable timer that is allowed to fire.
+                    ctx.schedule_in_cancellable(Duration::from_millis(5), 2);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_timers_never_reach_the_node() {
+        let mut sim = Simulator::new(3);
+        let n = sim.add_node(Box::new(Canceller {
+            armed: None,
+            fired: Vec::new(),
+        }));
+        sim.schedule_timer(n, Instant::ZERO, 0);
+        sim.run_until_idle();
+        assert_eq!(sim.node_ref::<Canceller>(n).fired, vec![0, 1, 2]);
+        assert_eq!(sim.timer_fires_skipped(), 1);
+        // The cancelled expiry still popped from the queue and is counted,
+        // matching runs where stale guards dispatch as no-ops.
+        assert_eq!(sim.events_processed(), 4);
     }
 }

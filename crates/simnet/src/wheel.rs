@@ -1,0 +1,313 @@
+//! A timing-wheel (calendar-queue) priority queue for the event scheduler.
+//!
+//! The simulator's workload is dominated by near-future events: link
+//! serialization completions microseconds ahead, guard timers tens of
+//! milliseconds ahead. A binary heap pays `O(log n)` per operation on that
+//! workload; the wheel pays amortized `O(1)` by hashing events into
+//! fixed-width time slots and only heap-ordering the (tiny) population of
+//! the slot currently being drained.
+//!
+//! Structure:
+//!
+//! * a ring of [`SLOTS`] buckets, each [`SLOT_WIDTH`] of simulated time
+//!   wide (the ring horizon is `SLOTS * SLOT_WIDTH` ≈ 268 ms);
+//! * `cur`, a small binary heap holding every pending event at or before
+//!   the cursor bucket — the only place fine-grained `(at, seq)` ordering
+//!   is enforced;
+//! * an occupancy bitmap so advancing the cursor over empty slots costs a
+//!   couple of word scans rather than a per-slot walk;
+//! * an overflow heap for events beyond the ring horizon, migrated into
+//!   the ring lazily as the cursor approaches them.
+//!
+//! Ordering is **exactly** the total order of a `BinaryHeap<Reverse<(at,
+//! seq)>>`: every event in `cur` is in a bucket ≤ cursor, every ring event
+//! in a bucket strictly after the cursor, and every overflow event beyond
+//! the ring horizon, so the minimum of `cur` is always the global minimum.
+//! This invariant holds for *any* insertion sequence (even instants before
+//! the cursor, which are routed into `cur`), which is what the
+//! scheduler-equivalence property test in `tests/prop.rs` exercises.
+
+use crate::time::Instant;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// log2 of the slot width in nanoseconds (2^16 ns = 65.536 µs per slot).
+const SLOT_SHIFT: u32 = 16;
+/// Number of ring slots; must be a power of two.
+const SLOTS: usize = 4096;
+/// Occupancy bitmap words.
+const WORDS: usize = SLOTS / 64;
+/// Width of one slot in simulated time.
+pub const SLOT_WIDTH: u64 = 1 << SLOT_SHIFT;
+
+/// A scheduled entry: the `(at, seq)` key plus an arbitrary payload.
+struct Entry<T> {
+    at: Instant,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A timing-wheel priority queue over `(Instant, seq)` keys.
+///
+/// Pops events in strictly ascending `(at, seq)` order — byte-identical to
+/// a `BinaryHeap<Reverse<(at, seq, ..)>>` — while keeping insert and pop
+/// amortized `O(1)` for the near-future events that dominate simulation
+/// workloads.
+pub struct TimerWheel<T> {
+    /// Bucket index the cursor points at; all events in buckets ≤ cursor
+    /// live in `cur`.
+    cursor: u64,
+    /// Heap of events due in or before the cursor bucket.
+    cur: BinaryHeap<Reverse<Entry<T>>>,
+    /// The ring: unsorted per-slot event lists for buckets in
+    /// `(cursor, cursor + SLOTS)`.
+    slots: Box<[Vec<Entry<T>>]>,
+    /// One bit per slot: set iff the slot list is non-empty.
+    occupied: [u64; WORDS],
+    /// Events beyond the ring horizon.
+    overflow: BinaryHeap<Reverse<Entry<T>>>,
+    len: usize,
+}
+
+impl<T> Default for TimerWheel<T> {
+    fn default() -> Self {
+        TimerWheel::new()
+    }
+}
+
+impl<T> TimerWheel<T> {
+    /// An empty wheel with the cursor at t = 0.
+    pub fn new() -> TimerWheel<T> {
+        TimerWheel {
+            cursor: 0,
+            cur: BinaryHeap::new(),
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; WORDS],
+            overflow: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn bucket(at: Instant) -> u64 {
+        at.nanos() >> SLOT_SHIFT
+    }
+
+    /// Schedule `item` at `(at, seq)`. `seq` must be unique across live
+    /// entries (the simulator's global event sequence guarantees this).
+    pub fn schedule(&mut self, at: Instant, seq: u64, item: T) {
+        self.len += 1;
+        self.route(Entry { at, seq, item });
+    }
+
+    /// Place an entry in `cur`, the ring, or overflow based on its bucket.
+    #[inline]
+    fn route(&mut self, e: Entry<T>) {
+        let b = Self::bucket(e.at);
+        if b <= self.cursor {
+            self.cur.push(Reverse(e));
+        } else if b < self.cursor + SLOTS as u64 {
+            let s = (b as usize) & (SLOTS - 1);
+            if self.slots[s].is_empty() {
+                self.occupied[s / 64] |= 1 << (s % 64);
+            }
+            self.slots[s].push(e);
+        } else {
+            self.overflow.push(Reverse(e));
+        }
+    }
+
+    /// Key of the next event to pop, without removing it.
+    pub fn peek_key(&mut self) -> Option<(Instant, u64)> {
+        if self.len == 0 {
+            return None;
+        }
+        self.advance();
+        self.cur.peek().map(|Reverse(e)| (e.at, e.seq))
+    }
+
+    /// Remove and return the globally earliest `(at, seq, item)`.
+    pub fn pop(&mut self) -> Option<(Instant, u64, T)> {
+        if self.len == 0 {
+            return None;
+        }
+        self.advance();
+        let Reverse(e) = self.cur.pop().expect("advance left cur empty");
+        self.len -= 1;
+        Some((e.at, e.seq, e.item))
+    }
+
+    /// Move the cursor forward until `cur` holds the next pending event.
+    /// Requires `len > 0`.
+    fn advance(&mut self) {
+        while self.cur.is_empty() {
+            if let Some(b) = self.next_occupied_bucket() {
+                self.cursor = b;
+                let s = (b as usize) & (SLOTS - 1);
+                self.occupied[s / 64] &= !(1 << (s % 64));
+                let mut v = std::mem::take(&mut self.slots[s]);
+                for e in v.drain(..) {
+                    self.cur.push(Reverse(e));
+                }
+                self.slots[s] = v; // keep the allocation
+            } else {
+                // Ring empty: jump the cursor to the earliest overflow
+                // event's bucket.
+                let Reverse(head) = self.overflow.peek().expect("wheel len out of sync");
+                self.cursor = Self::bucket(head.at);
+            }
+            self.migrate_overflow();
+        }
+    }
+
+    /// Pull overflow events that now fall within the ring horizon.
+    fn migrate_overflow(&mut self) {
+        let horizon = self.cursor + SLOTS as u64;
+        while let Some(Reverse(head)) = self.overflow.peek() {
+            if Self::bucket(head.at) >= horizon {
+                break;
+            }
+            let Reverse(e) = self.overflow.pop().expect("peeked entry vanished");
+            self.route(e);
+        }
+    }
+
+    /// The first occupied ring bucket strictly after the cursor, if any.
+    fn next_occupied_bucket(&self) -> Option<u64> {
+        let c = (self.cursor as usize) & (SLOTS - 1);
+        let base = self.cursor - c as u64;
+        let mut idx = (c + 1) & (SLOTS - 1);
+        let mut remaining = SLOTS - 1;
+        while remaining > 0 {
+            let word = idx / 64;
+            let bit = idx % 64;
+            let span = (64 - bit).min(remaining);
+            let mut bits = self.occupied[word] >> bit;
+            if span < 64 {
+                bits &= (1u64 << span) - 1;
+            }
+            if bits != 0 {
+                let s = idx + bits.trailing_zeros() as usize;
+                let b = if s > c {
+                    base + s as u64
+                } else {
+                    base + (SLOTS + s) as u64
+                };
+                return Some(b);
+            }
+            idx = (idx + span) & (SLOTS - 1);
+            remaining -= span;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(w: &mut TimerWheel<u32>) -> Vec<(u64, u64, u32)> {
+        let mut out = Vec::new();
+        while let Some((at, seq, item)) = w.pop() {
+            out.push((at.nanos(), seq, item));
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_key_order() {
+        let mut w = TimerWheel::new();
+        w.schedule(Instant::from_nanos(500), 0, 1);
+        w.schedule(Instant::from_nanos(100), 1, 2);
+        w.schedule(Instant::from_millis(5), 2, 3);
+        w.schedule(Instant::from_secs(2), 3, 4); // beyond the horizon
+        w.schedule(Instant::from_nanos(100), 4, 5); // tie on `at`
+        assert_eq!(
+            drain(&mut w),
+            vec![
+                (100, 1, 2),
+                (100, 4, 5),
+                (500, 0, 1),
+                (5_000_000, 2, 3),
+                (2_000_000_000, 3, 4),
+            ]
+        );
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn interleaved_inserts_stay_ordered() {
+        let mut w = TimerWheel::new();
+        w.schedule(Instant::from_millis(10), 0, 0);
+        assert_eq!(w.pop().unwrap().2, 0);
+        // Insert at the cursor's own instant and far beyond the horizon.
+        w.schedule(Instant::from_millis(10), 1, 1);
+        w.schedule(Instant::from_secs(10), 2, 2);
+        w.schedule(Instant::from_millis(300), 3, 3);
+        assert_eq!(w.pop().unwrap().2, 1);
+        assert_eq!(w.pop().unwrap().2, 3);
+        assert_eq!(w.pop().unwrap().2, 2);
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn peek_matches_pop_and_is_stable() {
+        let mut w = TimerWheel::new();
+        w.schedule(Instant::from_micros(70), 0, 10);
+        w.schedule(Instant::from_micros(70), 1, 11);
+        assert_eq!(w.peek_key(), Some((Instant::from_micros(70), 0)));
+        assert_eq!(w.peek_key(), Some((Instant::from_micros(70), 0)));
+        assert_eq!(w.pop().unwrap().1, 0);
+        assert_eq!(w.peek_key(), Some((Instant::from_micros(70), 1)));
+    }
+
+    #[test]
+    fn empty_ring_jumps_to_overflow() {
+        let mut w = TimerWheel::new();
+        // Two events far apart, both beyond the initial horizon.
+        w.schedule(Instant::from_secs(100), 0, 1);
+        w.schedule(Instant::from_secs(1), 1, 2);
+        assert_eq!(w.pop().unwrap().2, 2);
+        assert_eq!(w.pop().unwrap().2, 1);
+    }
+
+    #[test]
+    fn dense_same_slot_population() {
+        let mut w = TimerWheel::new();
+        for i in 0..1000u64 {
+            w.schedule(Instant::from_nanos(1_000_000 + (i % 7)), i, i as u32);
+        }
+        let out = drain(&mut w);
+        assert_eq!(out.len(), 1000);
+        for pair in out.windows(2) {
+            assert!((pair[0].0, pair[0].1) < (pair[1].0, pair[1].1));
+        }
+    }
+}

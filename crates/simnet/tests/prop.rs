@@ -113,6 +113,62 @@ proptest! {
         }
     }
 
+    /// The timing wheel pops in exactly the ascending `(at, seq)` order a
+    /// binary-heap reference model produces, for any interleaving of
+    /// schedules and pops — near-cursor ties, in-ring events, and
+    /// beyond-horizon overflow alike. This is the equivalence that let the
+    /// engine swap its `BinaryHeap` event queue for the wheel without
+    /// changing a byte of experiment output.
+    #[test]
+    fn wheel_matches_heap_reference(
+        // (selector, raw): selector % 5 < 3 schedules (selector % 3 picks
+        // the delta regime), otherwise pops.
+        ops in prop::collection::vec((any::<u8>(), any::<u32>()), 1..400)
+    ) {
+        use acacia_simnet::wheel::TimerWheel;
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let mut wheel: TimerWheel<u64> = TimerWheel::new();
+        let mut heap: BinaryHeap<Reverse<(Instant, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut now = 0u64; // advances to each popped deadline, like the engine clock
+        for (selector, raw) in ops {
+            if selector % 5 < 3 {
+                // Three delta regimes: same-slot ties, in-ring, and far
+                // enough to land in (and migrate out of) overflow.
+                let delta = match selector % 3 {
+                    0 => u64::from(raw) & 0xFFFF,
+                    1 => u64::from(raw) << 4,
+                    _ => u64::from(raw) << 16,
+                };
+                let at = Instant::from_nanos(now + delta);
+                wheel.schedule(at, seq, seq);
+                heap.push(Reverse((at, seq)));
+                seq += 1;
+            } else {
+                prop_assert_eq!(
+                    wheel.peek_key(),
+                    heap.peek().map(|&Reverse((at, s))| (at, s))
+                );
+                match (heap.pop(), wheel.pop()) {
+                    (None, None) => {}
+                    (Some(Reverse((at, s))), got) => {
+                        prop_assert_eq!(got, Some((at, s, s)));
+                        now = at.nanos();
+                    }
+                    (None, got) => prop_assert_eq!(got, None),
+                }
+            }
+        }
+        // Drain: the full backlog comes out in reference order.
+        while let Some(Reverse((at, s))) = heap.pop() {
+            prop_assert_eq!(wheel.pop(), Some((at, s, s)));
+        }
+        prop_assert_eq!(wheel.pop(), None);
+        prop_assert!(wheel.is_empty());
+    }
+
     /// Simulation runs are deterministic functions of the seed.
     #[test]
     fn determinism(seed in any::<u64>()) {

@@ -108,6 +108,45 @@ impl ObjectDb {
         ObjectDb { objects }
     }
 
+    /// Memoized [`ObjectDb::generate_retail`] over the standard
+    /// [`FloorPlan::retail_store`] layout.
+    ///
+    /// Database generation is a pure function of `(per_subsection, seed)`
+    /// for a fixed floor, and experiment sweeps rebuild the identical
+    /// database for every grid cell; this caches the generated database
+    /// process-wide and hands out clones, which is a plain memcpy instead
+    /// of thousands of seeded RNG draws and normalizations per object.
+    pub fn retail_cached(per_subsection: usize, seed: u64) -> ObjectDb {
+        use std::collections::HashMap;
+        use std::sync::{Arc, Mutex, OnceLock};
+        type DbCache = Mutex<HashMap<(usize, u64), Arc<ObjectDb>>>;
+        static CACHE: OnceLock<DbCache> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let hit = cache
+            .lock()
+            .expect("retail db cache poisoned")
+            .get(&(per_subsection, seed))
+            .cloned();
+        let db = match hit {
+            Some(db) => db,
+            None => {
+                // Generate outside the lock; a racing duplicate insert is
+                // harmless (both values are identical).
+                let db = Arc::new(ObjectDb::generate_retail(
+                    &FloorPlan::retail_store(),
+                    per_subsection,
+                    seed,
+                ));
+                cache
+                    .lock()
+                    .expect("retail db cache poisoned")
+                    .insert((per_subsection, seed), db.clone());
+                db
+            }
+        };
+        (*db).clone()
+    }
+
     /// Number of objects.
     pub fn len(&self) -> usize {
         self.objects.len()
@@ -239,6 +278,25 @@ mod tests {
         for o in db.objects() {
             assert!(floor.subsections[o.subsection].rect.contains(o.pos));
             assert_eq!(floor.subsections[o.subsection].section, o.section);
+        }
+    }
+
+    #[test]
+    fn retail_cached_matches_direct_generation() {
+        let direct = ObjectDb::generate_retail(&FloorPlan::retail_store(), 2, 31);
+        let cached = ObjectDb::retail_cached(2, 31);
+        let again = ObjectDb::retail_cached(2, 31);
+        assert_eq!(cached.len(), direct.len());
+        for ((a, b), c) in cached
+            .objects()
+            .iter()
+            .zip(direct.objects())
+            .zip(again.objects())
+        {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.features, b.features);
+            assert_eq!(a.features, c.features);
+            assert_eq!(a.tag, b.tag);
         }
     }
 
