@@ -59,13 +59,14 @@ pub const ALL_IDS: [&str; 17] = [
 ];
 
 /// Extended ids that take noticeably longer (included in `all`).
-pub const SLOW_IDS: [&str; 6] = [
+pub const SLOW_IDS: [&str; 7] = [
     "fig11b",
     "fig12",
     "fig13",
     "ablation-radius",
     "mobility",
     "chaos",
+    "loaded",
 ];
 
 /// Extra experiments runnable by id but excluded from `all` (they
@@ -101,6 +102,7 @@ pub fn run(id: &str) -> Option<Table> {
         "mobility" => mobility::mobility(),
         "chaos" => chaos::chaos(),
         "scale" => scale::scale(),
+        "loaded" => loaded::loaded(),
         _ => return None,
     })
 }

@@ -31,6 +31,7 @@ pub mod arclient;
 pub mod arserver;
 pub mod chaos;
 pub mod device_manager;
+pub mod loaded;
 pub mod locmgr;
 pub mod mobility;
 pub mod mrs;
@@ -44,6 +45,7 @@ pub use arclient::{ArFrontend, ArFrontendConfig, FrameStats};
 pub use arserver::{ArServer, ArServerConfig, FrameRecord};
 pub use chaos::{ChaosConfig, ChaosReport, ChaosScenario};
 pub use device_manager::{AppId, ConnectivityAction, DeviceManager, ServiceInfo};
+pub use loaded::{LoadedConfig, LoadedReport, LoadedScenario, LoadedUeReport};
 pub use locmgr::{LocalizationManager, LocalizationMetadata};
 pub use mobility::{MobilityConfig, MobilityMode, MobilityReport, MobilityScenario};
 pub use mrs::{Mrs, ServerInstance};
@@ -59,6 +61,7 @@ pub mod prelude {
     pub use crate::arserver::{ArServer, ArServerConfig};
     pub use crate::chaos::{ChaosConfig, ChaosReport, ChaosScenario};
     pub use crate::device_manager::{DeviceManager, ServiceInfo};
+    pub use crate::loaded::{LoadedConfig, LoadedReport, LoadedScenario};
     pub use crate::locmgr::{LocalizationManager, LocalizationMetadata};
     pub use crate::mobility::{MobilityConfig, MobilityMode, MobilityReport, MobilityScenario};
     pub use crate::mrs::{Mrs, ServerInstance};

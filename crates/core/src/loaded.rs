@@ -1,0 +1,427 @@
+//! Congested multi-UE handover scenario: the scale-out walk under
+//! background load swept through and above the shared core's capacity.
+//!
+//! The paper's Fig. 3(g) shows what congestion does to a *cloud* path:
+//! once offered load crosses the core link's capacity, the bottleneck
+//! queue fills and every flow through it sees seconds of queueing delay
+//! and mounting loss. ACACIA's answer is architectural: dedicated-bearer
+//! AR traffic terminates at the eNB-local MEC gateway and never crosses
+//! the congested core, and what little of it must share a link rides a
+//! higher DSCP class than the best-effort background (see
+//! `acacia_simnet::link`'s strict-priority scheduler).
+//!
+//! This scenario stresses exactly that claim at scale: N UEs walk the
+//! two-cell course (two handovers each) while a constant-bit-rate
+//! background flood crosses the SGW-U → PGW-U core leg, and each UE
+//! additionally pings a cloud reflector through that same leg. Above
+//! capacity the cloud probes inflate toward `queue_bytes / rate`
+//! (~1 s at the defaults — the paper's 1.008 s) and start dropping,
+//! while the MEC sessions keep completing and per-handover interruption
+//! stays bounded: congestion collapse on the shared path, business as
+//! usual on the context-aware one.
+//!
+//! Sequencing matters: the background window opens only after the last
+//! UE's stagger has elapsed, i.e. after every MRS handshake has placed
+//! its dedicated bearer. Bearer *setup* crosses the core (the MRS lives
+//! in the cloud), so flooding during setup would starve sessions before
+//! they reach the protected path — a provisioning-under-congestion
+//! story, not the steady-state handover story this experiment measures.
+
+use crate::scale::{ScaleConfig, ScaleScenario};
+use acacia_lte::network::addr;
+use acacia_lte::ue::{AppSelector, Ue};
+use acacia_simnet::link::{ClassStats, LinkConfig};
+use acacia_simnet::packet::proto;
+use acacia_simnet::sim::NodeId;
+use acacia_simnet::time::Duration;
+use acacia_simnet::traffic::Reflector;
+use acacia_simnet::transport::PingAgent;
+
+/// Loaded-scenario parameters.
+#[derive(Debug, Clone)]
+pub struct LoadedConfig {
+    /// The underlying scale-out scenario (UE count, pacing, walks), with
+    /// its core narrowed to [`LoadedConfig::CORE_RATE_BPS`].
+    pub scale: ScaleConfig,
+    /// Background constant-bit-rate load through the core, bits/s.
+    /// Zero disables the flood (the unloaded baseline).
+    pub bg_rate_bps: u64,
+    /// Per-UE cloud-probe spacing.
+    pub probe_interval: Duration,
+    /// Cloud probes each UE sends.
+    pub probe_count: u64,
+}
+
+impl LoadedConfig {
+    /// Narrowed shared-core rate: 100 Mbit/s, the regime of Fig. 3(g).
+    pub const CORE_RATE_BPS: u64 = 100_000_000;
+    /// Core queue bound. 12 MiB at 100 Mbit/s drains in ~1.0 s — the
+    /// saturated RTT plateau of Fig. 3(g).
+    pub const CORE_QUEUE_BYTES: u64 = 12 * 1024 * 1024;
+
+    /// The benchmark configuration: `ue_count` sessions against a
+    /// `bg_mbps` Mbit/s flood.
+    pub fn figure(ue_count: usize, bg_mbps: u64) -> LoadedConfig {
+        let mut scale = ScaleConfig::figure(ue_count);
+        scale.core_rate_bps = Self::CORE_RATE_BPS;
+        scale.core_queue_bytes = Self::CORE_QUEUE_BYTES;
+        LoadedConfig {
+            scale,
+            bg_rate_bps: bg_mbps * 1_000_000,
+            probe_interval: Duration::from_millis(200),
+            probe_count: 50,
+        }
+    }
+
+    /// Smaller/faster variant for tests.
+    pub fn smoke(ue_count: usize, bg_mbps: u64) -> LoadedConfig {
+        let mut cfg = LoadedConfig::figure(ue_count, bg_mbps);
+        cfg.scale = ScaleConfig {
+            core_rate_bps: cfg.scale.core_rate_bps,
+            core_queue_bytes: cfg.scale.core_queue_bytes,
+            ..ScaleConfig::smoke(ue_count)
+        };
+        cfg.probe_count = 25;
+        cfg
+    }
+}
+
+/// Per-UE outcome of a loaded run.
+#[derive(Debug, Clone)]
+pub struct LoadedUeReport {
+    /// Frames that completed end-to-end (MEC path).
+    pub frames_done: u64,
+    /// Serving-cell switches completed.
+    pub handovers: u64,
+    /// Client-side retransmissions.
+    pub retransmissions: u64,
+    /// Per-handover downlink interruption, milliseconds. Resolved by the
+    /// 25 ms MEC liveness probe, as in the mobility scenario.
+    pub interruptions_ms: Vec<f64>,
+    /// Cloud-probe round trips, milliseconds (congested path).
+    pub probe_rtts_ms: Vec<f64>,
+    /// Cloud probes sent.
+    pub probes_sent: u64,
+    /// Cloud probes never answered.
+    pub probes_lost: u64,
+    /// MEC liveness-probe round trips, milliseconds (dedicated bearer).
+    pub mec_rtts_ms: Vec<f64>,
+    /// MEC probes sent.
+    pub mec_probes_sent: u64,
+    /// MEC probes never answered (lost in handover gaps).
+    pub mec_probes_lost: u64,
+}
+
+/// Results of a loaded run.
+#[derive(Debug, Clone)]
+pub struct LoadedReport {
+    /// UEs that ran.
+    pub ue_count: usize,
+    /// Background load offered through the core, bits/s.
+    pub bg_rate_bps: u64,
+    /// The core leg's capacity, bits/s.
+    pub core_rate_bps: u64,
+    /// Frames each session was asked to complete.
+    pub frames_requested: u64,
+    /// Per-UE outcomes, in UE-index order.
+    pub ues: Vec<LoadedUeReport>,
+    /// Per-DSCP-class queue counters on the SGW-U → PGW-U leg, in
+    /// ascending class order.
+    pub core_classes: Vec<(u8, ClassStats)>,
+    /// Total queue-bound drops on that leg (all classes).
+    pub core_drops_queue: u64,
+    /// X2AP messages on the wire (handover signalling).
+    pub x2_msgs: u64,
+    /// Engine events dispatched over the whole run.
+    pub events_processed: u64,
+    /// Simulated time the run covered.
+    pub sim_elapsed: Duration,
+}
+
+impl LoadedReport {
+    /// Sessions that did not complete every requested frame.
+    pub fn wedged(&self) -> usize {
+        self.ues
+            .iter()
+            .filter(|u| u.frames_done < self.frames_requested)
+            .count()
+    }
+
+    /// Total handovers across every UE.
+    pub fn total_handovers(&self) -> u64 {
+        self.ues.iter().map(|u| u.handovers).sum()
+    }
+
+    /// Total client-side retransmissions across every UE.
+    pub fn total_retransmissions(&self) -> u64 {
+        self.ues.iter().map(|u| u.retransmissions).sum()
+    }
+
+    /// Every per-handover interruption across every UE, milliseconds.
+    pub fn interruptions_ms(&self) -> Vec<f64> {
+        self.ues
+            .iter()
+            .flat_map(|u| u.interruptions_ms.iter().copied())
+            .collect()
+    }
+
+    /// Worst single-handover interruption, milliseconds (0 if none).
+    pub fn interrupt_max_ms(&self) -> f64 {
+        self.interruptions_ms().into_iter().fold(0.0, f64::max)
+    }
+
+    /// Every cloud-probe RTT across every UE, milliseconds.
+    pub fn probe_rtts_ms(&self) -> Vec<f64> {
+        self.ues
+            .iter()
+            .flat_map(|u| u.probe_rtts_ms.iter().copied())
+            .collect()
+    }
+
+    /// Cloud probes sent across every UE.
+    pub fn probes_sent(&self) -> u64 {
+        self.ues.iter().map(|u| u.probes_sent).sum()
+    }
+
+    /// Cloud probes lost across every UE.
+    pub fn probes_lost(&self) -> u64 {
+        self.ues.iter().map(|u| u.probes_lost).sum()
+    }
+
+    /// Every MEC liveness-probe RTT across every UE, milliseconds.
+    pub fn mec_rtts_ms(&self) -> Vec<f64> {
+        self.ues
+            .iter()
+            .flat_map(|u| u.mec_rtts_ms.iter().copied())
+            .collect()
+    }
+
+    /// MEC probes sent across every UE.
+    pub fn mec_probes_sent(&self) -> u64 {
+        self.ues.iter().map(|u| u.mec_probes_sent).sum()
+    }
+
+    /// MEC probes lost across every UE.
+    pub fn mec_probes_lost(&self) -> u64 {
+        self.ues.iter().map(|u| u.mec_probes_lost).sum()
+    }
+}
+
+/// A built loaded scenario.
+pub struct LoadedScenario {
+    scale: ScaleScenario,
+    probes: Vec<NodeId>,
+    mec_probes: Vec<NodeId>,
+    cfg: LoadedConfig,
+}
+
+impl LoadedScenario {
+    /// MEC liveness-probe spacing: resolves handover interruption to
+    /// ±25 ms, matching the mobility scenario's instrument.
+    const MEC_PROBE_INTERVAL: Duration = Duration::from_millis(25);
+
+    /// Build the scenario: the scale-out topology plus a cloud reflector,
+    /// a cloud-probe agent and a MEC liveness-probe agent per UE.
+    pub fn build(cfg: LoadedConfig) -> LoadedScenario {
+        let mut scale = ScaleScenario::build(cfg.scale.clone());
+        // The congestion witness: a reflector on the far side of the
+        // core, 2 ms beyond the internet — the Fig. 3(g) cloud server.
+        let (_, cloud_addr) = scale.net.add_cloud_server(
+            Box::new(Reflector::new()),
+            LinkConfig::delay_only(Duration::from_millis(2)),
+        );
+        // MEC probes run from each UE's kickoff to past the end of the
+        // last walk (same course geometry as the scale scenario).
+        let walk = Duration::from_secs_f64(2.0 * crate::scale::WALK_SPAN_M / cfg.scale.speed_mps);
+        let stagger_total =
+            Duration::from_nanos(cfg.scale.stagger.nanos() * cfg.scale.ue_count as u64);
+        let mec_count = (stagger_total + walk + Duration::from_secs(2)).millis()
+            / Self::MEC_PROBE_INTERVAL.millis();
+        let mut probes = Vec::with_capacity(cfg.scale.ue_count);
+        let mut mec_probes = Vec::with_capacity(cfg.scale.ue_count);
+        for i in 0..cfg.scale.ue_count {
+            let ue_ip = scale
+                .net
+                .sim
+                .node_ref::<Ue>(scale.net.ues[i])
+                .ip
+                .expect("scale build attaches every UE");
+            let agent = PingAgent::new(ue_ip, cloud_addr, cfg.probe_interval, cfg.probe_count);
+            let probe =
+                scale
+                    .net
+                    .connect_ue_app(i, Box::new(agent), AppSelector::protocol(proto::ICMP));
+            probes.push(probe);
+            // The dedicated-bearer instrument: answered by the AR server,
+            // riding whatever bearer the TFT puts AR-server traffic on.
+            let mec_agent =
+                PingAgent::new(ue_ip, addr::MEC_BASE, Self::MEC_PROBE_INTERVAL, mec_count);
+            let mec_probe = scale.net.connect_ue_app(
+                i,
+                Box::new(mec_agent),
+                AppSelector::protocol(proto::ICMP),
+            );
+            mec_probes.push(mec_probe);
+        }
+        LoadedScenario {
+            scale,
+            probes,
+            mec_probes,
+            cfg,
+        }
+    }
+
+    /// Run every session to completion under load and collect the report.
+    pub fn run(mut self) -> LoadedReport {
+        let timeline = self.scale.schedule();
+        // Open the flood only after the last stagger: every dedicated
+        // bearer is in place, so congestion hits steady-state sessions
+        // and their handovers, not the (core-crossing) MRS handshakes.
+        let bg_start = timeline.start + timeline.stagger_total + Duration::from_secs(1);
+        if self.cfg.bg_rate_bps > 0 {
+            self.scale.net.start_background_traffic(
+                self.cfg.bg_rate_bps,
+                bg_start,
+                timeline.deadline,
+            );
+        }
+        // Cloud probes start once the bottleneck queue has begun to fill;
+        // MEC liveness probes run from the start so every handover in
+        // every walk is resolved.
+        let probe_start = bg_start + Duration::from_secs(2);
+        for &p in &self.probes {
+            self.scale
+                .net
+                .sim
+                .schedule_timer(p, probe_start, PingAgent::KICKOFF);
+        }
+        for &p in &self.mec_probes {
+            self.scale
+                .net
+                .sim
+                .schedule_timer(p, timeline.start, PingAgent::KICKOFF);
+        }
+        self.scale.await_sessions(&timeline);
+        let base = self.scale.collect(&timeline);
+
+        let net = &self.scale.net;
+        let mut ues = Vec::with_capacity(base.ues.len());
+        for (i, s) in base.ues.iter().enumerate() {
+            let ue = net.sim.node_ref::<Ue>(net.ues[i]);
+            let probe = net.sim.node_ref::<PingAgent>(self.probes[i]);
+            let mec = net.sim.node_ref::<PingAgent>(self.mec_probes[i]);
+            ues.push(LoadedUeReport {
+                frames_done: s.frames_done,
+                handovers: s.handovers,
+                retransmissions: s.retransmissions,
+                interruptions_ms: ue
+                    .interruption_log
+                    .iter()
+                    .map(|&(_, d)| d.secs_f64() * 1e3)
+                    .collect(),
+                probe_rtts_ms: probe.rtts().iter().map(|d| d.secs_f64() * 1e3).collect(),
+                probes_sent: probe.sent(),
+                probes_lost: probe.lost(),
+                mec_rtts_ms: mec.rtts().iter().map(|d| d.secs_f64() * 1e3).collect(),
+                mec_probes_sent: mec.sent(),
+                mec_probes_lost: mec.lost(),
+            });
+        }
+        let core = net
+            .sim
+            .link_stats(net.core_uplink())
+            .expect("the SGW-U → PGW-U leg always exists");
+        LoadedReport {
+            ue_count: base.ue_count,
+            bg_rate_bps: self.cfg.bg_rate_bps,
+            core_rate_bps: self.cfg.scale.core_rate_bps,
+            frames_requested: base.frames_requested,
+            ues,
+            core_classes: core.classes.iter().map(|(&c, &s)| (c, s)).collect(),
+            core_drops_queue: core.drops_queue,
+            x2_msgs: base.x2_msgs,
+            events_processed: base.events_processed,
+            sim_elapsed: base.sim_elapsed,
+        }
+    }
+}
+
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<LoadedConfig>();
+    assert_send::<LoadedReport>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn median(mut v: Vec<f64>) -> f64 {
+        assert!(!v.is_empty());
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    }
+
+    #[test]
+    fn congestion_inflates_cloud_path_but_sessions_and_handovers_survive() {
+        let unloaded = LoadedScenario::build(LoadedConfig::smoke(2, 0)).run();
+        let loaded = LoadedScenario::build(LoadedConfig::smoke(2, 110)).run();
+
+        // Every MEC session completes in both regimes.
+        assert_eq!(unloaded.wedged(), 0, "unloaded baseline must not wedge");
+        assert_eq!(loaded.wedged(), 0, "congestion must not wedge MEC sessions");
+        assert!(unloaded.total_handovers() >= 4);
+        assert!(loaded.total_handovers() >= 4);
+
+        // The cloud path collapses above capacity…
+        let base_ms = median(unloaded.probe_rtts_ms());
+        let cong_ms = median(loaded.probe_rtts_ms());
+        assert!(base_ms < 60.0, "unloaded cloud RTT sane: {base_ms:.1} ms");
+        assert!(
+            cong_ms > 5.0 * base_ms,
+            "110% load must inflate the cloud RTT: {base_ms:.1} → {cong_ms:.1} ms"
+        );
+
+        // …while handover interruption stays bounded in both regimes.
+        assert!(
+            unloaded.interrupt_max_ms() <= 60.0,
+            "unloaded interruption: {:.1} ms",
+            unloaded.interrupt_max_ms()
+        );
+        assert!(
+            loaded.interrupt_max_ms() <= 60.0,
+            "congested interruption: {:.1} ms",
+            loaded.interrupt_max_ms()
+        );
+    }
+
+    #[test]
+    fn per_class_counters_surface_on_the_core_leg() {
+        let loaded = LoadedScenario::build(LoadedConfig::smoke(1, 110)).run();
+        assert!(
+            !loaded.core_classes.is_empty(),
+            "the loaded core leg must report per-class stats"
+        );
+        // Background + default-bearer traffic is stamped DSCP 1 (ToS 4).
+        let best_effort = loaded
+            .core_classes
+            .iter()
+            .find(|&&(c, _)| c == 1)
+            .map(|&(_, s)| s)
+            .expect("best-effort class present on the core leg");
+        assert!(best_effort.enqueued > 0);
+        assert!(
+            best_effort.drops_queue > 0,
+            "110% load must overflow the best-effort queue"
+        );
+        assert_eq!(
+            loaded.core_drops_queue,
+            loaded
+                .core_classes
+                .iter()
+                .map(|&(_, s)| s.drops_queue)
+                .sum::<u64>(),
+            "link-level drops are the sum of per-class drops"
+        );
+    }
+}

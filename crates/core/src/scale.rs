@@ -35,7 +35,7 @@ use acacia_lte::ue::{AppSelector, Ue};
 use acacia_lte::wire::Protocol;
 use acacia_simnet::link::LinkConfig;
 use acacia_simnet::sim::NodeId;
-use acacia_simnet::time::Duration;
+use acacia_simnet::time::{Duration, Instant};
 use acacia_vision::compute::Device;
 use acacia_vision::db::ObjectDb;
 
@@ -68,6 +68,12 @@ pub struct ScaleConfig {
     pub db_per_subsection: usize,
     /// Matching execution cap.
     pub exec_cap: usize,
+    /// Shared-core link rate (S-GW ↔ P-GW ↔ Internet), bits/s. The
+    /// default matches [`LteConfig::default`]; the loaded scenario lowers
+    /// it to put background traffic through and above capacity.
+    pub core_rate_bps: u64,
+    /// Shared-core queue bound, bytes.
+    pub core_queue_bytes: u64,
 }
 
 impl ScaleConfig {
@@ -86,6 +92,8 @@ impl ScaleConfig {
             stagger: Duration::from_nanos(0),
             db_per_subsection: 1,
             exec_cap: 24,
+            core_rate_bps: 1_000_000_000,
+            core_queue_bytes: 4 * 1024 * 1024,
         };
         // Captures land `interval / N` apart — a uniform ring, never a
         // burst, so the server queue stays bounded by its utilization.
@@ -169,6 +177,24 @@ impl ScaleReport {
 const CELL_SPACING_M: f64 = 40.0;
 const WALK_NEAR_M: f64 = 2.0;
 const WALK_FAR_M: f64 = 38.0;
+/// One-way walk length, shared with the loaded scenario's probe sizing.
+pub(crate) const WALK_SPAN_M: f64 = WALK_FAR_M - WALK_NEAR_M;
+
+/// Timing anchors of a scheduled run, in simulated time.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleTimeline {
+    /// When [`ScaleScenario::schedule`] was called.
+    pub start: Instant,
+    /// Total stagger span: the last UE's session kicks off at
+    /// `start + stagger_total` (and its MRS handshake completes shortly
+    /// after). Load injected later than this can no longer starve a
+    /// bearer setup.
+    pub stagger_total: Duration,
+    /// When the last UE finishes its walk.
+    pub walk_end: Instant,
+    /// Hard stop for [`ScaleScenario::await_sessions`].
+    pub deadline: Instant,
+}
 
 /// A built scale-out scenario.
 pub struct ScaleScenario {
@@ -188,6 +214,8 @@ impl ScaleScenario {
         let mut net = LteNetwork::new(LteConfig {
             seed: cfg.seed,
             ue_count: cfg.ue_count,
+            core_rate_bps: cfg.core_rate_bps,
+            core_queue_bytes: cfg.core_queue_bytes,
             cells: vec![
                 CellConfig {
                     pos: Point::new(0.0, 0.0),
@@ -278,9 +306,11 @@ impl ScaleScenario {
         }
     }
 
-    /// Run every session to completion (or a generous deadline) and
-    /// collect the report.
-    pub fn run(mut self) -> ScaleReport {
+    /// Schedule every session kickoff and walk, returning the run's
+    /// timing anchors. Composable: the loaded scenario schedules its
+    /// background load and probes against the same timeline before
+    /// letting the sessions run.
+    pub fn schedule(&mut self) -> ScaleTimeline {
         let start = self.net.sim.now();
         let walk_s = 2.0 * (WALK_FAR_M - WALK_NEAR_M) / self.cfg.speed_mps;
         for (i, &client) in self.clients.iter().enumerate() {
@@ -311,13 +341,24 @@ impl ScaleScenario {
         let walk_end = start + stagger_total + Duration::from_secs_f64(walk_s);
         let deadline =
             walk_end + Duration::from_nanos(session.nanos() * 2) + Duration::from_secs(30);
-        while self.net.sim.now() < deadline {
+        ScaleTimeline {
+            start,
+            stagger_total,
+            walk_end,
+            deadline,
+        }
+    }
+
+    /// Run until every session completes (or the timeline's deadline),
+    /// then drain in-flight traffic so counters settle.
+    pub fn await_sessions(&mut self, timeline: &ScaleTimeline) {
+        while self.net.sim.now() < timeline.deadline {
             let t = self.net.sim.now() + Duration::from_millis(200);
             self.net.sim.run_until(t);
             // Sessions may finish before the last UE crosses back; keep
             // the network running until the walks (and their trailing
             // handovers) are over so the signalling counts are complete.
-            if self.net.sim.now() < walk_end {
+            if self.net.sim.now() < timeline.walk_end {
                 continue;
             }
             let all_done = self
@@ -331,7 +372,10 @@ impl ScaleScenario {
         // Drain in-flight traffic so counters settle.
         let drain = self.net.sim.now() + Duration::from_millis(500);
         self.net.sim.run_until(drain);
+    }
 
+    /// Collect the report for a run that began at `timeline.start`.
+    pub fn collect(&self, timeline: &ScaleTimeline) -> ScaleReport {
         let mut ues = Vec::with_capacity(self.cfg.ue_count);
         for (i, &client) in self.clients.iter().enumerate() {
             let c = self.net.sim.node_ref::<ArFrontend>(client);
@@ -358,8 +402,16 @@ impl ScaleScenario {
             dedicated_reanchored: gwc.dedicated_reanchored,
             x2_forwarded,
             events_processed: self.net.sim.events_processed(),
-            sim_elapsed: self.net.sim.now() - start,
+            sim_elapsed: self.net.sim.now() - timeline.start,
         }
+    }
+
+    /// Run every session to completion (or a generous deadline) and
+    /// collect the report.
+    pub fn run(mut self) -> ScaleReport {
+        let timeline = self.schedule();
+        self.await_sessions(&timeline);
+        self.collect(&timeline)
     }
 }
 

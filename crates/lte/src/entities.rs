@@ -817,6 +817,11 @@ impl GwControl {
                         src: None,
                     },
                     vec![
+                        // Downlink TFT: best-effort class; the encap
+                        // copies the inner ToS onto the tunnel header.
+                        FlowActionSpec::SetTos {
+                            tos: Qci::DEFAULT_BEARER.tos(),
+                        },
                         FlowActionSpec::GtpEncap {
                             peer: topo.sgw_u,
                             teid: session.teid_sgw_dl,
@@ -1054,6 +1059,10 @@ impl GwControl {
                         src: None,
                     },
                     vec![
+                        // Downlink TFT: dedicated-bearer QCI class.
+                        FlowActionSpec::SetTos {
+                            tos: rule.qci.tos(),
+                        },
                         FlowActionSpec::GtpEncap {
                             peer: enb_addr,
                             teid: enb_teid,
@@ -1235,7 +1244,7 @@ impl GwControl {
                 }
                 let target_mec = topo.enb_has_mec(enb_addr);
                 let mut released = Vec::new();
-                for (ebi, teid_local_ul, _rule) in dedicated {
+                for (ebi, teid_local_ul, rule) in dedicated {
                     let target_teid = enb_teids.iter().find(|(e, _)| e.0 == ebi).map(|&(_, t)| t);
                     if let (true, Some(new_teid)) = (target_mec, target_teid) {
                         // Relocate: point the local GW-U downlink rule at
@@ -1263,6 +1272,11 @@ impl GwControl {
                                 src: None,
                             },
                             vec![
+                                // Re-stamp the dedicated class after
+                                // re-anchoring on the target eNB.
+                                FlowActionSpec::SetTos {
+                                    tos: rule.qci.tos(),
+                                },
                                 FlowActionSpec::GtpEncap {
                                     peer: enb_addr,
                                     teid: new_teid,

@@ -17,6 +17,7 @@ use crate::entities::{
 use crate::ids::Imsi;
 use crate::log::MsgLog;
 use crate::mobility::{A3Config, CellSite, Trajectory, Waypoint};
+use crate::qci::Qci;
 use crate::radio::{params, port};
 use crate::switch::{FlowSwitch, SwitchCosts};
 use crate::ue::{token as ue_token, AppSelector, Ue, UeMobility, UeState};
@@ -700,6 +701,7 @@ impl LteNetwork {
         );
         let src = self.sim.add_node(Box::new(
             UdpSource::cbr((addr::BG_SOURCE, 7000), (sink_addr, 7001), rate_bps, 1_400)
+                .with_tos(Qci::DEFAULT_BEARER.tos())
                 .window(start, stop),
         ));
         // Background traffic enters the SGW-U on a dedicated port and is
@@ -794,6 +796,15 @@ impl LteNetwork {
     /// (carries both RRC frames and user data toward the UE).
     pub fn radio_downlink(&self, cell: usize, ue_idx: usize) -> (NodeId, PortId) {
         (self.enbs[cell], port::ENB_RADIO_BASE + ue_idx)
+    }
+
+    /// Transmit endpoint of the shared-core uplink: SGW-U → PGW-U, the
+    /// leg where background traffic and default-bearer uplink contend
+    /// (the bottleneck of the paper's Fig. 3(g)). Pass to
+    /// [`Simulator::link_stats`] to read its per-class queue counters.
+    pub fn core_uplink(&self) -> (NodeId, PortId) {
+        const SGW_PORT_PGW: PortId = 2;
+        (self.sgw_u, SGW_PORT_PGW)
     }
 
     /// Every control-plane fault-injection point — one entry per direction

@@ -69,9 +69,15 @@ impl Qci {
     }
 
     /// DSCP/TOS byte used to mark this class's packets in the data plane.
+    ///
+    /// Monotone mapping: higher scheduling priority (smaller number) ⇒
+    /// higher DSCP, with priority `p` mapped to DSCP `10 - p`. Priorities
+    /// at or beyond 10 saturate to DSCP 0 (best effort) instead of
+    /// colliding with priority 9's band, so the mapping is strictly
+    /// monotone over the whole TS 23.203 priority range 1–9 and
+    /// non-increasing beyond it.
     pub fn tos(&self) -> u8 {
-        // Simple monotone mapping: higher priority ⇒ higher DSCP.
-        (10 - self.priority().min(9)) << 2
+        10u8.saturating_sub(self.priority()) << 2
     }
 }
 
@@ -117,6 +123,53 @@ mod tests {
     fn tos_is_monotone_in_priority() {
         assert!(Qci(5).tos() > Qci(9).tos());
         assert!(Qci(7).tos() > Qci(8).tos());
+    }
+
+    #[test]
+    fn tos_mapping_pinned_for_gbr_and_non_gbr() {
+        // DSCP = 10 - priority, ToS = DSCP << 2. Pin every class the
+        // repo's scenarios can mark so the link scheduler's class layout
+        // is frozen: GBR 1–4 …
+        assert_eq!(Qci(1).tos(), 32); // priority 2
+        assert_eq!(Qci(2).tos(), 24); // priority 4
+        assert_eq!(Qci(3).tos(), 28); // priority 3
+        assert_eq!(Qci(4).tos(), 20); // priority 5
+                                      // … and all of NON_GBR (5–9).
+        assert_eq!(Qci(5).tos(), 36); // priority 1
+        assert_eq!(Qci(6).tos(), 16); // priority 6
+        assert_eq!(Qci(7).tos(), 12); // priority 7
+        assert_eq!(Qci(8).tos(), 8); // priority 8
+        assert_eq!(Qci(9).tos(), 4); // priority 9
+    }
+
+    #[test]
+    fn tos_is_strictly_monotone_and_collision_free_across_known_classes() {
+        // Sort QCIs 1–9 by scheduling priority; the ToS sequence must be
+        // strictly decreasing — no two classes share a DSCP band.
+        let mut qcis: Vec<Qci> = (1..=9).map(Qci).collect();
+        qcis.sort_by_key(|q| q.priority());
+        for w in qcis.windows(2) {
+            assert!(
+                w[0].tos() > w[1].tos(),
+                "{} (prio {}) and {} (prio {}) must map to distinct, ordered bands",
+                w[0],
+                w[0].priority(),
+                w[1],
+                w[1].priority()
+            );
+        }
+    }
+
+    #[test]
+    fn tos_saturates_to_best_effort_for_out_of_range_priorities() {
+        // Unknown QCIs take priority 9 (ToS 4, DSCP 1); they must never
+        // collide upward into a real class's band, and the former
+        // priority-10 wraparound (which aliased priority 9's band) is
+        // pinned out: DSCP saturates at 0.
+        assert_eq!(Qci(0).tos(), 4);
+        assert_eq!(Qci(77).tos(), 4);
+        assert_eq!(10u8.saturating_sub(10) << 2, 0);
+        assert_eq!(10u8.saturating_sub(200) << 2, 0);
     }
 
     #[test]

@@ -241,6 +241,7 @@ impl FlowSwitch {
                         return;
                     }
                 },
+                FlowActionSpec::SetTos { tos } => current.tos = tos,
                 FlowActionSpec::Output { port } => {
                     self.forwarded += 1;
                     ctx.send(port, current);

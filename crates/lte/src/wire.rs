@@ -127,6 +127,12 @@ pub enum FlowActionSpec {
     },
     /// GTP-decapsulate.
     GtpDecap,
+    /// Stamp the packet's IP ToS byte (TFT-style QCI marking; a subsequent
+    /// `GtpEncap` copies the inner ToS onto the outer header).
+    SetTos {
+        /// ToS byte to stamp (DSCP in the top six bits).
+        tos: u8,
+    },
     /// Send out of `port` (terminal).
     Output {
         /// Output port.

@@ -262,8 +262,12 @@ fn second_ue_attaches_independently() {
 #[test]
 fn background_traffic_inflates_latency_at_saturation() {
     // A compact version of Fig. 3(g): with a 100 Mbps core and heavy
-    // background load, cloud RTT explodes; without it, it stays near base.
-    fn median_rtt(bg_bps: u64) -> f64 {
+    // background load, cloud RTT explodes; without it, it stays near
+    // base. A concurrent dedicated QCI 3 bearer to a MEC reflector is
+    // the control: its traffic terminates at the local gateway, so its
+    // RTT must hold the class's delay budget through the congestion.
+    // Returns (cloud median ms, dedicated median ms).
+    fn median_rtts(bg_bps: u64) -> (f64, f64) {
         let mut net = LteNetwork::new(LteConfig {
             core_rate_bps: 100_000_000,
             core_queue_bytes: 12 * 1024 * 1024,
@@ -273,7 +277,19 @@ fn background_traffic_inflates_latency_at_saturation() {
             Box::new(Reflector::new()),
             LinkConfig::delay_only(Duration::from_millis(2)),
         );
+        let (_, mec_addr) = net.add_mec_server(Box::new(Reflector::new()));
         let ue_ip = net.attach(0);
+        net.activate_dedicated_bearer(
+            0,
+            PolicyRule {
+                service_id: 3,
+                ue_addr: ue_ip,
+                server_addr: mec_addr,
+                server_port: 0,
+                qci: Qci(3),
+                install: true,
+            },
+        );
         if bg_bps > 0 {
             let t0 = net.sim.now();
             net.start_background_traffic(bg_bps, t0, t0 + Duration::from_secs(30));
@@ -288,19 +304,50 @@ fn background_traffic_inflates_latency_at_saturation() {
             )),
             AppSelector::protocol(proto::ICMP),
         );
+        let mec_agent = net.connect_ue_app(
+            0,
+            Box::new(PingAgent::new(
+                ue_ip,
+                mec_addr,
+                Duration::from_millis(500),
+                20,
+            )),
+            AppSelector::protocol(proto::ICMP),
+        );
         // Let the queue build for a couple of seconds first.
         let t = net.sim.now() + Duration::from_secs(3);
         net.sim.schedule_timer(agent, t, PingAgent::KICKOFF);
+        net.sim.schedule_timer(mec_agent, t, PingAgent::KICKOFF);
         net.run_for(Duration::from_secs(20));
         let rtts = net.sim.node_ref::<PingAgent>(agent).rtts();
-        acacia_simnet::stats::Series::from_durations_ms(rtts).median()
+        let mec_rtts = net.sim.node_ref::<PingAgent>(mec_agent).rtts();
+        (
+            acacia_simnet::stats::Series::from_durations_ms(rtts).median(),
+            acacia_simnet::stats::Series::from_durations_ms(mec_rtts).median(),
+        )
     }
 
-    let unloaded = median_rtt(0);
-    let saturated = median_rtt(110_000_000);
+    let (unloaded, mec_unloaded) = median_rtts(0);
+    let (saturated, mec_saturated) = median_rtts(110_000_000);
     assert!(unloaded < 60.0, "unloaded median {unloaded} ms");
     assert!(
         saturated > 5.0 * unloaded,
         "saturated {saturated} ms vs unloaded {unloaded} ms"
+    );
+    // The dedicated bearer holds QCI 3's delay budget in both regimes —
+    // the congested core never touches its path.
+    let budget = f64::from(Qci(3).delay_budget_ms());
+    assert!(
+        mec_unloaded < budget,
+        "unloaded dedicated median {mec_unloaded} ms vs {budget} ms budget"
+    );
+    assert!(
+        mec_saturated < budget,
+        "saturated dedicated median {mec_saturated} ms vs {budget} ms budget"
+    );
+    // And congestion barely moves it while the cloud path collapses.
+    assert!(
+        mec_saturated < 2.0 * mec_unloaded.max(1.0),
+        "dedicated RTT must not inflate: {mec_unloaded} -> {mec_saturated} ms"
     );
 }

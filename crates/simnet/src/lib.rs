@@ -61,7 +61,7 @@ pub mod transport;
 pub mod wheel;
 
 pub use fault::{FaultKind, FaultPlan, FaultRule, PacketClass};
-pub use link::{LinkConfig, LinkStats};
+pub use link::{ClassStats, LinkConfig, LinkStats};
 pub use packet::{FiveTuple, Packet};
 pub use router::{Ipv4Net, RouteTable, Router};
 pub use sim::{Ctx, Node, NodeId, PortId, Simulator, TimerHandle};

@@ -4,16 +4,45 @@
 //!
 //! * a transmission **rate** (bits/s; `0` means infinitely fast),
 //! * a **propagation delay**,
-//! * a drop-tail **queue** bounded in bytes (`None` = unbounded),
+//! * per-class drop-tail **queues** bounded in bytes (`None` = unbounded),
 //! * optional uniform **jitter** added to each delivery, and
 //! * an optional i.i.d. **loss** probability.
 //!
-//! Serialization is modelled analytically with a `busy_until` watermark: a
-//! packet handed to the link at time `t` begins transmitting at
-//! `max(t, busy_until)` and occupies the transmitter for its serialization
-//! time. The bytes standing between `t` and `busy_until` are the queue
-//! backlog used by the drop-tail check — this reproduces the bufferbloat
-//! latency curves of the paper's Fig. 3(g)/10(b) exactly.
+//! # Strict-priority scheduling
+//!
+//! Packets are classified by DSCP — the top six bits of the IP ToS byte
+//! (`tos >> 2`), which is what [`Qci::tos`] in the LTE layer produces.
+//! Higher DSCP is strictly higher priority. Each class owns its own
+//! byte-bounded drop-tail queue; within a class service is FIFO.
+//!
+//! Serialization is modelled analytically with per-class committed
+//! intervals: a packet of class `c` handed to the link at time `t` begins
+//! transmitting at
+//!
+//! ```text
+//! start = max(t, reserved(c), active())
+//! ```
+//!
+//! where `reserved(c)` is the latest committed completion over all classes
+//! with priority **≥ c** (a new packet can never overtake equal- or
+//! higher-priority traffic), and `active()` is the completion time of
+//! whichever packet is on the wire at `t` (a transmission in progress is
+//! never preempted — preemption happens at dequeue time only). Queued
+//! lower-priority packets that have *not* yet reached the wire are
+//! overtaken. The bytes standing between `t` and the class's committed
+//! horizon are the backlog used by that class's drop-tail check; with all
+//! traffic in a single class this degenerates exactly to the old
+//! single-FIFO `busy_until` watermark, reproducing the bufferbloat latency
+//! curves of the paper's Fig. 3(g)/10(b) byte-for-byte.
+//!
+//! One approximation keeps the model enqueue-time-analytic (and therefore
+//! deterministic and allocation-light): completion times already promised
+//! to lower-priority packets are never revised when higher-priority
+//! traffic arrives later, so under sustained cross-class load committed
+//! intervals may overlap and low-priority delay is *understated* relative
+//! to a cycle-accurate scheduler. See DESIGN.md for the ledger entry.
+//!
+//! [`Qci::tos`]: ../../acacia_lte/qci/struct.Qci.html
 
 use crate::fault::{FaultPlan, FaultVerdict};
 use crate::packet::Packet;
@@ -21,7 +50,7 @@ use crate::sim::{NodeId, PortId};
 use crate::time::{serialization_time, Duration, Instant};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Static configuration of a link.
 #[derive(Debug, Clone)]
@@ -31,7 +60,8 @@ pub struct LinkConfig {
     pub rate_bps: u64,
     /// One-way propagation delay.
     pub delay: Duration,
-    /// Drop-tail queue bound in bytes (`None` = unbounded).
+    /// Drop-tail queue bound in bytes, applied to each priority class's
+    /// queue independently (`None` = unbounded).
     pub queue_bytes: Option<u64>,
     /// Uniform random extra delay in `[0, jitter)` applied per packet.
     pub jitter: Duration,
@@ -82,6 +112,20 @@ impl LinkConfig {
     }
 }
 
+/// Per-priority-class counters exported per link.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClassStats {
+    /// Packets accepted into this class's queue.
+    pub enqueued: u64,
+    /// Wire bytes accepted into this class's queue.
+    pub enqueued_bytes: u64,
+    /// Packets dropped because this class's queue bound was exceeded.
+    pub drops_queue: u64,
+    /// Bytes committed but not yet drained, as of the last offer to the
+    /// link (backlogs are settled lazily, like the queues themselves).
+    pub backlog_bytes: u64,
+}
+
 /// Counters exported per link.
 #[derive(Debug, Clone, Default)]
 pub struct LinkStats {
@@ -101,6 +145,12 @@ pub struct LinkStats {
     pub reorders_injected: u64,
     /// Packets delayed by an injected delay fault.
     pub delays_injected: u64,
+    /// Total transmitter busy time committed (sum of serialization times
+    /// of accepted packets). A scheduler may reorder service but never
+    /// invents or destroys work, so this is scheduler-invariant.
+    pub busy: Duration,
+    /// Per-DSCP-class counters, keyed by `tos >> 2`.
+    pub classes: BTreeMap<u8, ClassStats>,
 }
 
 impl LinkStats {
@@ -116,6 +166,12 @@ impl LinkStats {
             + self.reorders_injected
             + self.delays_injected
     }
+
+    /// Counters for one DSCP class (`None` if the class was never offered
+    /// a packet).
+    pub fn class(&self, dscp: u8) -> Option<&ClassStats> {
+        self.classes.get(&dscp)
+    }
 }
 
 /// Delivery instants produced by one [`Link::transmit`] call.
@@ -127,14 +183,22 @@ pub(crate) struct Deliveries {
     pub duplicate: Option<Instant>,
 }
 
+/// One priority class's committed transmissions: `(start, done, wire
+/// bytes)`, FIFO within the class, purged lazily once serialization
+/// completes. `backlog` is the byte sum of the queue, maintained
+/// incrementally so the drop-tail check is O(1).
+#[derive(Debug, Default)]
+struct ClassQueue {
+    q: VecDeque<(Instant, Instant, u64)>,
+    backlog: u64,
+}
+
 /// A unidirectional link between two node ports.
 pub struct Link {
     cfg: LinkConfig,
     to: (NodeId, PortId),
-    busy_until: Instant,
-    /// Packets currently queued or in transmission: (serialization-done
-    /// time, wire bytes). Purged lazily.
-    in_flight: VecDeque<(Instant, u64)>,
+    /// Committed transmissions per DSCP class, keyed by `tos >> 2`.
+    queues: BTreeMap<u8, ClassQueue>,
     stats: LinkStats,
     /// Optional injected-fault schedule with its own RNG stream.
     fault: Option<FaultPlan>,
@@ -145,8 +209,7 @@ impl Link {
         Link {
             cfg,
             to,
-            busy_until: Instant::ZERO,
-            in_flight: VecDeque::new(),
+            queues: BTreeMap::new(),
             stats: LinkStats::default(),
             fault: None,
         }
@@ -174,12 +237,19 @@ impl Link {
         rng: &mut ChaCha8Rng,
     ) -> Deliveries {
         let wire_bytes = pkt.wire_size();
+        let class = pkt.tos >> 2;
         // Purge packets whose serialization completed.
-        while let Some(&(done, _)) = self.in_flight.front() {
-            if done <= now {
-                self.in_flight.pop_front();
-            } else {
-                break;
+        for (dscp, cq) in self.queues.iter_mut() {
+            while let Some(&(_, done, bytes)) = cq.q.front() {
+                if done <= now {
+                    cq.q.pop_front();
+                    cq.backlog -= bytes;
+                } else {
+                    break;
+                }
+            }
+            if let Some(cs) = self.stats.classes.get_mut(dscp) {
+                cs.backlog_bytes = cq.backlog;
             }
         }
 
@@ -218,18 +288,39 @@ impl Link {
         }
 
         if let Some(limit) = self.cfg.queue_bytes {
-            let backlog: u64 = self.in_flight.iter().map(|&(_, b)| b).sum();
+            let backlog = self.queues.get(&class).map_or(0, |cq| cq.backlog);
             if backlog + wire_bytes as u64 > limit {
                 self.stats.drops_queue += 1;
+                let cs = self.stats.classes.entry(class).or_default();
+                cs.drops_queue += 1;
                 return Deliveries::default();
             }
         }
 
-        let start = self.busy_until.max(now);
+        // Strict priority: wait for everything already committed at equal
+        // or higher priority, and for the transmission (of any class)
+        // occupying the wire right now — but overtake queued lower-class
+        // packets that have not started.
+        let reserved = self
+            .queues
+            .range(class..)
+            .filter_map(|(_, cq)| cq.q.back().map(|&(_, done, _)| done))
+            .max()
+            .unwrap_or(Instant::ZERO);
+        let active = self
+            .queues
+            .values()
+            .filter_map(|cq| cq.q.front())
+            .filter(|&&(start, _, _)| start <= now)
+            .map(|&(_, done, _)| done)
+            .max()
+            .unwrap_or(Instant::ZERO);
+        let start = now.max(reserved).max(active);
         let tx = serialization_time(wire_bytes as u64, self.cfg.rate_bps);
         let done = start + tx;
-        self.busy_until = done;
-        self.in_flight.push_back((done, wire_bytes as u64));
+        let cq = self.queues.entry(class).or_default();
+        cq.q.push_back((start, done, wire_bytes as u64));
+        cq.backlog += wire_bytes as u64;
 
         let jitter = if self.cfg.jitter > Duration::ZERO {
             Duration::from_nanos(rng.gen_range(0..self.cfg.jitter.nanos().max(1)))
@@ -239,6 +330,11 @@ impl Link {
 
         self.stats.tx_packets += 1;
         self.stats.tx_bytes += wire_bytes as u64;
+        self.stats.busy += tx;
+        let cs = self.stats.classes.entry(class).or_default();
+        cs.enqueued += 1;
+        cs.enqueued_bytes += wire_bytes as u64;
+        cs.backlog_bytes = cq.backlog;
         let arrival = done + self.cfg.delay + jitter + extra;
         Deliveries {
             primary: Some(arrival),
@@ -278,6 +374,11 @@ mod tests {
         )
     }
 
+    /// Same, with an explicit ToS byte (class = tos >> 2).
+    fn pkt_tos(wire_bytes: u32, tos: u8) -> Packet {
+        pkt(wire_bytes).with_tos(tos)
+    }
+
     #[test]
     fn infinite_rate_is_pure_delay() {
         let mut link = Link::new(LinkConfig::delay_only(Duration::from_millis(7)), (1, 0));
@@ -299,6 +400,7 @@ mod tests {
         let a2 = link.transmit(Instant::ZERO, &pkt(1250), &mut r).primary;
         assert_eq!(a1, Some(Instant::from_millis(10)));
         assert_eq!(a2, Some(Instant::from_millis(20)));
+        assert_eq!(link.stats().busy, Duration::from_millis(20));
     }
 
     #[test]
@@ -445,5 +547,108 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(None), run(Some(FaultPlan::new(123))));
+    }
+
+    #[test]
+    fn high_class_overtakes_queued_low_class() {
+        // 1 Mbps, 1250-byte packets => 10 ms each. Three best-effort
+        // packets committed at t=0 occupy [0,10], [10,20], [20,30]. A
+        // high-priority packet offered at t=5 must wait only for the
+        // transmission in progress ([0,10]) and go next.
+        let mut link = Link::new(LinkConfig::rate_limited(1_000_000, Duration::ZERO), (0, 0));
+        let mut r = rng();
+        for _ in 0..3 {
+            link.transmit(Instant::ZERO, &pkt_tos(1250, 4), &mut r);
+        }
+        let hi = link
+            .transmit(Instant::from_millis(5), &pkt_tos(1250, 28), &mut r)
+            .primary
+            .unwrap();
+        assert_eq!(hi, Instant::from_millis(20));
+    }
+
+    #[test]
+    fn equal_class_never_overtakes() {
+        let mut link = Link::new(LinkConfig::rate_limited(1_000_000, Duration::ZERO), (0, 0));
+        let mut r = rng();
+        for _ in 0..3 {
+            link.transmit(Instant::ZERO, &pkt_tos(1250, 28), &mut r);
+        }
+        let same = link
+            .transmit(Instant::from_millis(5), &pkt_tos(1250, 28), &mut r)
+            .primary
+            .unwrap();
+        assert_eq!(same, Instant::from_millis(40));
+    }
+
+    #[test]
+    fn low_class_waits_for_all_higher_commitments() {
+        let mut link = Link::new(LinkConfig::rate_limited(1_000_000, Duration::ZERO), (0, 0));
+        let mut r = rng();
+        // High-priority committed [0,10], [10,20].
+        link.transmit(Instant::ZERO, &pkt_tos(1250, 28), &mut r);
+        link.transmit(Instant::ZERO, &pkt_tos(1250, 28), &mut r);
+        // Best effort offered at t=5 starts only at 20.
+        let lo = link
+            .transmit(Instant::from_millis(5), &pkt_tos(1250, 4), &mut r)
+            .primary
+            .unwrap();
+        assert_eq!(lo, Instant::from_millis(30));
+    }
+
+    #[test]
+    fn active_transmission_is_never_preempted() {
+        let mut link = Link::new(LinkConfig::rate_limited(1_000_000, Duration::ZERO), (0, 0));
+        let mut r = rng();
+        // Best-effort transmission in progress over [0,10].
+        link.transmit(Instant::ZERO, &pkt_tos(1250, 4), &mut r);
+        // Highest priority offered mid-serialization waits for the wire.
+        let hi = link
+            .transmit(Instant::from_millis(3), &pkt_tos(1250, 252), &mut r)
+            .primary
+            .unwrap();
+        assert_eq!(hi, Instant::from_millis(20));
+    }
+
+    #[test]
+    fn queue_bounds_apply_per_class() {
+        // Bound fits one 1000-byte packet per class: a second best-effort
+        // offer drops, but a high-priority offer still gets in.
+        let cfg = LinkConfig::rate_limited(8_000, Duration::ZERO).with_queue(1_000);
+        let mut link = Link::new(cfg, (0, 0));
+        let mut r = rng();
+        assert!(link
+            .transmit(Instant::ZERO, &pkt_tos(1000, 4), &mut r)
+            .primary
+            .is_some());
+        assert!(link
+            .transmit(Instant::ZERO, &pkt_tos(1000, 4), &mut r)
+            .primary
+            .is_none());
+        assert!(link
+            .transmit(Instant::ZERO, &pkt_tos(1000, 28), &mut r)
+            .primary
+            .is_some());
+        let stats = link.stats();
+        assert_eq!(stats.drops_queue, 1);
+        assert_eq!(stats.class(1).unwrap().drops_queue, 1);
+        assert_eq!(stats.class(1).unwrap().enqueued, 1);
+        assert_eq!(stats.class(7).unwrap().enqueued, 1);
+        assert_eq!(stats.class(7).unwrap().drops_queue, 0);
+    }
+
+    #[test]
+    fn per_class_counters_track_bytes_and_backlog() {
+        let mut link = Link::new(LinkConfig::rate_limited(1_000_000, Duration::ZERO), (0, 0));
+        let mut r = rng();
+        link.transmit(Instant::ZERO, &pkt_tos(1250, 4), &mut r);
+        link.transmit(Instant::ZERO, &pkt_tos(1250, 4), &mut r);
+        let cs = *link.stats().class(1).unwrap();
+        assert_eq!(cs.enqueued, 2);
+        assert_eq!(cs.enqueued_bytes, 2_500);
+        assert_eq!(cs.backlog_bytes, 2_500);
+        // Both drain by t=20ms; the next offer settles the backlog.
+        link.transmit(Instant::from_millis(20), &pkt_tos(1250, 4), &mut r);
+        assert_eq!(link.stats().class(1).unwrap().backlog_bytes, 1_250);
     }
 }

@@ -4,12 +4,12 @@
 //! simnet engine overhaul (timing-wheel scheduler, zero-copy payloads,
 //! cancellable timers) is only legal because it changes *nothing* the
 //! experiments observe — this test pins that contract at the byte level
-//! for the three experiments that exercise the engine hardest. Any
+//! for the experiments that exercise the engine hardest. Any
 //! scheduler or hot-path change that reorders events, perturbs a
 //! floating-point accumulation, or shifts a timer shows up here as a
 //! one-character diff long before a human would notice it in a table.
 //!
-//! Ignored by default (it reruns three figure-scale grids); CI runs it
+//! Ignored by default (it reruns four figure-scale grids); CI runs it
 //! with `--release -- --ignored`.
 
 use acacia_bench::{run, runner, set_seed};
@@ -24,7 +24,7 @@ fn mobility_family_matches_checked_in_figures_output() {
     .expect("figures_output.txt is checked in at the repo root");
     runner::set_jobs(None);
     set_seed(42);
-    for id in ["fig13", "mobility", "chaos"] {
+    for id in ["fig13", "mobility", "chaos", "loaded"] {
         // `Table::print` emits `render()` plus one trailing newline.
         let rendered = format!("{}\n", run(id).expect("known experiment id").render());
         assert!(
