@@ -15,6 +15,14 @@
 //!
 //! `--seed N` (or `--seed=N`) sets the master seed for seed-aware
 //! experiments (the chaos sweep); the default is 42.
+//!
+//! `--shards N` (or `--shards=N`) sets the engine's shard count: every
+//! simulation partitions its topology into N region shards running on N
+//! threads with conservative-lookahead synchronization. Stdout is
+//! byte-identical for every shard count — `--shards 1` is the serial
+//! engine, and any `--shards N` run must match it exactly. The `city`
+//! experiment sweeps shard counts itself and restores this flag's value
+//! afterwards.
 
 use acacia_bench::{run, runner, set_seed, ALL_IDS, EXTRA_IDS, SLOW_IDS};
 
@@ -42,6 +50,16 @@ fn main() {
             match v.parse::<u64>() {
                 Ok(n) => set_seed(n),
                 Err(_) => die("--seed expects an unsigned integer"),
+            }
+        } else if a == "--shards" {
+            match raw.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => acacia_simnet::set_default_shards(Some(n)),
+                _ => die("--shards expects a positive integer"),
+            }
+        } else if let Some(v) = a.strip_prefix("--shards=") {
+            match v.parse::<usize>() {
+                Ok(n) if n >= 1 => acacia_simnet::set_default_shards(Some(n)),
+                _ => die("--shards expects a positive integer"),
             }
         } else {
             args.push(a);

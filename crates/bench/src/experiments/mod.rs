@@ -5,6 +5,7 @@
 
 pub mod application;
 pub mod chaos;
+pub mod city;
 pub mod compute;
 pub mod loaded;
 pub mod localization;

@@ -42,11 +42,17 @@ pub struct CellTiming {
     /// Engine events the cell's simulation dispatched (0 when the cell
     /// did not call [`report_events`]).
     pub events: u64,
+    /// Per-shard breakdown of `events` for cells that ran a sharded
+    /// engine and called [`report_shard_events`] (empty otherwise).
+    pub shard_events: Vec<u64>,
 }
 
 thread_local! {
     /// Events reported by the cell currently running on this worker.
     static CELL_EVENTS: Cell<u64> = const { Cell::new(0) };
+    /// Per-shard events reported by the cell currently running here.
+    static CELL_SHARD_EVENTS: std::cell::RefCell<Vec<u64>> =
+        const { std::cell::RefCell::new(Vec::new()) };
 }
 
 /// Report how many engine events the current cell's simulation
@@ -57,13 +63,37 @@ pub fn report_events(events: u64) {
     CELL_EVENTS.with(|c| c.set(c.get().saturating_add(events)));
 }
 
+/// Report the per-shard split of the current cell's events (the
+/// simulator's `events_by_shard()`). Complements [`report_events`]; the
+/// timing report prints the split so per-shard occupancy — the scaling
+/// claim — is visible without re-running anything.
+pub fn report_shard_events(by_shard: &[u64]) {
+    CELL_SHARD_EVENTS.with(|c| {
+        let mut v = c.borrow_mut();
+        if v.len() < by_shard.len() {
+            v.resize(by_shard.len(), 0);
+        }
+        for (slot, &n) in v.iter_mut().zip(by_shard) {
+            *slot = slot.saturating_add(n);
+        }
+    });
+}
+
 /// Run one cell: time it, capture any event count it reports, record.
 fn run_cell<I, T>(experiment: &str, label: String, cell: I, f: impl Fn(I) -> T) -> T {
     CELL_EVENTS.with(|c| c.set(0));
+    CELL_SHARD_EVENTS.with(|c| c.borrow_mut().clear());
     let t0 = std::time::Instant::now();
     let result = f(cell);
     let events = CELL_EVENTS.with(Cell::take);
-    record(experiment, label, t0.elapsed().as_secs_f64(), events);
+    let shard_events = CELL_SHARD_EVENTS.with(|c| std::mem::take(&mut *c.borrow_mut()));
+    record(
+        experiment,
+        label,
+        t0.elapsed().as_secs_f64(),
+        events,
+        shard_events,
+    );
     result
 }
 
@@ -156,12 +186,13 @@ where
     pmap(experiment, cells, f)
 }
 
-fn record(experiment: &str, cell: String, wall_s: f64, events: u64) {
+fn record(experiment: &str, cell: String, wall_s: f64, events: u64, shard_events: Vec<u64>) {
     TIMINGS.lock().expect("timings lock").push(CellTiming {
         experiment: experiment.to_string(),
         cell,
         wall_s,
         events,
+        shard_events,
     });
 }
 
@@ -229,8 +260,22 @@ pub fn timing_report(timings: &[CellTiming]) -> crate::table::Table {
         )
     };
     t.note(&format!(
-        "total cell time {grand_total:.2}s{throughput}; wall-clock is bounded below by each experiment's slowest cell"
+        "whole run: total cell time {grand_total:.2}s{throughput}; wall-clock is bounded below by each experiment's slowest cell"
     ));
+    // Per-shard splits for cells that ran a sharded engine, so occupancy
+    // balance (the scaling claim) is readable straight off the report.
+    for c in timings.iter().filter(|c| c.shard_events.len() > 1) {
+        let split: Vec<String> = c.shard_events.iter().map(|n| n.to_string()).collect();
+        let max = c.shard_events.iter().copied().max().unwrap_or(0);
+        let min = c.shard_events.iter().copied().min().unwrap_or(0).max(1);
+        t.note(&format!(
+            "{} {}: per-shard events [{}], imbalance {:.2}x",
+            c.experiment,
+            c.cell,
+            split.join(", "),
+            max as f64 / min as f64
+        ));
+    }
     t
 }
 
@@ -272,6 +317,27 @@ mod tests {
         assert_eq!(timings.len(), 3);
         let report = timing_report(&timings);
         assert_eq!(report.len(), 1);
+    }
+
+    #[test]
+    fn shard_splits_ride_with_their_cell_and_reach_the_report() {
+        set_jobs(Some(1));
+        let _ = pmap("shardrep", vec![("shards=2".to_string(), ())], |()| {
+            report_events(30);
+            report_shard_events(&[10, 20]);
+        });
+        let timings: Vec<CellTiming> = drain_timings()
+            .into_iter()
+            .filter(|c| c.experiment == "shardrep")
+            .collect();
+        set_jobs(None);
+        assert_eq!(timings.len(), 1);
+        assert_eq!(timings[0].events, 30);
+        assert_eq!(timings[0].shard_events, vec![10, 20]);
+        let rendered = timing_report(&timings).render();
+        assert!(rendered.contains("per-shard events [10, 20]"), "{rendered}");
+        assert!(rendered.contains("imbalance 2.00x"), "{rendered}");
+        assert!(rendered.contains("whole run"), "{rendered}");
     }
 
     #[test]

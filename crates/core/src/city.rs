@@ -1,0 +1,563 @@
+//! City-scale sharded scenario: R independent MEC regions, each a
+//! two-cell site with its own AR server and local gateway, sharing one
+//! LTE core.
+//!
+//! This is the workload the sharded event engine exists for. Every
+//! region is a copy of the scale scenario's geometry — two MEC cells
+//! 40 m apart, a population of UEs walking staggered there-and-back
+//! trajectories that hand each of them over twice — placed 1 km from its
+//! neighbours and pinned to its own [`CellConfig::region`], so the
+//! engine can run each region on its own shard. Cross-region traffic is
+//! limited to the shared control plane (MME / GW-C / PCRF / MRS in the
+//! core region) and the conservative-lookahead exchange keeps those
+//! messages ordered identically at every shard count: a city run at
+//! `--shards 8` is byte-identical to the same run at `--shards 1`.
+//!
+//! Each region gets its own local GW-U ([`LteConfig::local_gw_per_region`])
+//! and its own MEC server, registered with the cloud MRS under a
+//! per-region service name. UEs only see (and only measure) their own
+//! region's two cells, so the radio planes never couple regions.
+//!
+//! The per-UE frame interval has a floor of
+//! `ues_per_region × per_frame_budget` — the aggregate offered load at
+//! each region's serial MEC server stays below its capacity, same as the
+//! scale scenario but per region.
+
+use crate::arclient::{ArFrontend, ArFrontendConfig};
+use crate::arserver::{ArServer, ArServerConfig};
+use crate::locmgr::{LocalizationManager, LocalizationMetadata};
+use crate::mrs::{port as mrs_port, Mrs, ServerInstance};
+use crate::msg::APP_PORT;
+use crate::scenario::SERVICE;
+use crate::search::SearchStrategy;
+use acacia_geo::floor::FloorPlan;
+use acacia_geo::Point;
+use acacia_lte::enb::Enb;
+use acacia_lte::entities::{pcrf_port, GwControl};
+use acacia_lte::mobility::Waypoint;
+use acacia_lte::network::{addr, CellConfig, LteConfig, LteNetwork};
+use acacia_lte::ue::{AppSelector, Ue, UeState};
+use acacia_lte::wire::Protocol;
+use acacia_simnet::fault::{FaultPlan, FaultRule, PacketClass};
+use acacia_simnet::link::LinkConfig;
+use acacia_simnet::sim::NodeId;
+use acacia_simnet::time::{Duration, Instant};
+use acacia_vision::compute::Device;
+use acacia_vision::db::ObjectDb;
+
+/// City scenario parameters.
+#[derive(Debug, Clone)]
+pub struct CityConfig {
+    /// MEC regions (two cells each).
+    pub regions: usize,
+    /// UEs homed in each region.
+    pub ues_per_region: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Frames each session captures.
+    pub frame_count: u64,
+    /// Per-UE pacing between captures before the serial-server floor.
+    pub base_frame_interval: Duration,
+    /// Serial-server time budget one frame may consume; the effective
+    /// interval never drops below `ues_per_region × per_frame_budget`.
+    pub per_frame_budget: Duration,
+    /// Walk speed, m/s.
+    pub speed_mps: f64,
+    /// Objects per subsection in the shared database.
+    pub db_per_subsection: usize,
+    /// Matching execution cap at each region's server.
+    pub exec_cap: usize,
+    /// Independent drop probability on every S1AP/X2 control link
+    /// direction, applied once the last session's bearer is up (the soak
+    /// test's fault injection; 0.0 = clean run).
+    pub ctrl_drop_rate: f64,
+    /// Seed for the per-link fault streams.
+    pub fault_seed: u64,
+}
+
+impl CityConfig {
+    /// The benchmark configuration: 8 regions × 2 cells, 2048 UEs.
+    pub fn figure() -> CityConfig {
+        CityConfig {
+            regions: 8,
+            ues_per_region: 256,
+            seed: 42,
+            frame_count: 2,
+            base_frame_interval: Duration::from_millis(2_500),
+            per_frame_budget: Duration::from_millis(300),
+            speed_mps: 4.0,
+            db_per_subsection: 1,
+            exec_cap: 24,
+            ctrl_drop_rate: 0.0,
+            fault_seed: 7,
+        }
+    }
+
+    /// Smaller/faster variant for tests: same 16-cell/8-region shape so
+    /// an 8-shard run genuinely splits, far fewer subscribers.
+    pub fn smoke() -> CityConfig {
+        CityConfig {
+            ues_per_region: 4,
+            frame_count: 3,
+            speed_mps: 6.0,
+            ..CityConfig::figure()
+        }
+    }
+
+    /// Total subscribers.
+    pub fn ue_count(&self) -> usize {
+        self.regions * self.ues_per_region
+    }
+
+    /// The effective per-UE frame interval: the base interval, raised to
+    /// `ues_per_region × per_frame_budget` once a region's population
+    /// would oversubscribe its serial server.
+    pub fn frame_interval(&self) -> Duration {
+        let floor =
+            Duration::from_nanos(self.per_frame_budget.nanos() * self.ues_per_region as u64);
+        self.base_frame_interval.max(floor)
+    }
+
+    /// Kickoff/walk stagger between consecutive UEs of one region: one
+    /// frame interval spread across the region's population, so captures
+    /// arrive at each server as a uniform ring. The k-th UE of every
+    /// region shares an offset — regions run in lock-step, which is what
+    /// keeps every shard busy inside each exchange window.
+    pub fn stagger(&self) -> Duration {
+        Duration::from_nanos(self.frame_interval().nanos() / self.ues_per_region as u64)
+    }
+}
+
+/// Geometry shared with the scale scenario, replicated per region.
+const CELL_SPACING_M: f64 = 40.0;
+const WALK_NEAR_M: f64 = 2.0;
+const WALK_FAR_M: f64 = 38.0;
+/// North-south distance between regions. Irrelevant to the radio plane
+/// (UEs only measure their own region's cells) but keeps positions
+/// honest on a city map.
+const REGION_SPACING_M: f64 = 1_000.0;
+
+/// Per-UE outcome of a city run.
+#[derive(Debug, Clone)]
+pub struct CityUeReport {
+    /// Frames that completed end-to-end.
+    pub frames_done: u64,
+    /// Serving-cell switches completed.
+    pub handovers: u64,
+    /// Client-side retransmissions.
+    pub retransmissions: u64,
+}
+
+/// Results of a city run.
+#[derive(Debug, Clone)]
+pub struct CityReport {
+    /// Regions that ran.
+    pub regions: usize,
+    /// Total UEs.
+    pub ue_count: usize,
+    /// Frames each session was asked to complete.
+    pub frames_requested: u64,
+    /// Per-UE outcomes, in UE-index order (region-major).
+    pub ues: Vec<CityUeReport>,
+    /// X2AP messages on the wire.
+    pub x2_msgs: u64,
+    /// S1AP messages on the wire.
+    pub s1ap_msgs: u64,
+    /// GTPv2-C messages on the wire.
+    pub gtpc_msgs: u64,
+    /// Dedicated bearers relocated onto a new cell's local gateway.
+    pub dedicated_reanchored: u64,
+    /// Downlink packets forwarded over X2 during handover execution.
+    pub x2_forwarded: u64,
+    /// Engine events dispatched over the whole run.
+    pub events_processed: u64,
+    /// Events dispatched per shard (length = shard count of the run).
+    pub events_by_shard: Vec<u64>,
+    /// Arrival events handed across shards (sender side).
+    pub cross_shard_sent: u64,
+    /// Arrival events accepted from other shards (receiver side); equals
+    /// `cross_shard_sent` when no exchange lost an event.
+    pub cross_shard_received: u64,
+    /// UEs that ended the run outside a legal end state
+    /// (neither `Connected` nor `Idle`).
+    pub stuck_ues: usize,
+    /// Handover procedures still open at collection time.
+    pub outstanding_procedures: usize,
+    /// Simulated time the run covered.
+    pub sim_elapsed: Duration,
+}
+
+impl CityReport {
+    /// Sessions that did not complete every requested frame. The strict
+    /// bar for fault-free runs; under sustained fault injection use
+    /// [`CityReport::protocol_wedged`], which mirrors the chaos sweep's
+    /// invariant (lost frames under a drop storm are reported honestly,
+    /// an illegal end state is never tolerated).
+    pub fn wedged(&self) -> usize {
+        self.ues
+            .iter()
+            .filter(|u| u.frames_done < self.frames_requested)
+            .count()
+    }
+
+    /// UEs in an illegal end state plus handover procedures left open —
+    /// the invariant the recovery ladder guarantees at any drop rate.
+    pub fn protocol_wedged(&self) -> usize {
+        self.stuck_ues + self.outstanding_procedures
+    }
+
+    /// Total handovers across every UE.
+    pub fn total_handovers(&self) -> u64 {
+        self.ues.iter().map(|u| u.handovers).sum()
+    }
+
+    /// Did every cross-shard event survive the window exchange?
+    pub fn cross_shard_conserved(&self) -> bool {
+        self.cross_shard_sent == self.cross_shard_received
+    }
+}
+
+/// Timing anchors of a scheduled city run.
+#[derive(Debug, Clone, Copy)]
+pub struct CityTimeline {
+    /// When [`CityScenario::schedule`] was called.
+    pub start: Instant,
+    /// The last UE's kickoff offset.
+    pub stagger_total: Duration,
+    /// When the last UE finishes its walk.
+    pub walk_end: Instant,
+    /// Hard stop for [`CityScenario::await_sessions`].
+    pub deadline: Instant,
+}
+
+/// A built city scenario.
+pub struct CityScenario {
+    /// The network (owns the simulator).
+    pub net: LteNetwork,
+    /// Client nodes, in UE-index order.
+    pub clients: Vec<NodeId>,
+    /// Per-region MEC server nodes.
+    pub servers: Vec<NodeId>,
+    cfg: CityConfig,
+    /// Last observed serving cell per UE (drives the device-manager
+    /// re-anchor leg after handovers).
+    last_serving: Vec<usize>,
+}
+
+impl CityScenario {
+    /// Build the scenario: regions provisioned, every UE attached,
+    /// per-region servers registered with the MRS, clients connected.
+    pub fn build(cfg: CityConfig) -> CityScenario {
+        assert!(cfg.regions >= 1, "city needs at least one region");
+        assert!(cfg.ues_per_region >= 1, "regions need at least one UE");
+
+        let mut cells = Vec::with_capacity(2 * cfg.regions);
+        for r in 0..cfg.regions {
+            let y = r as f64 * REGION_SPACING_M;
+            cells.push(CellConfig {
+                pos: Point::new(0.0, y),
+                mec: true,
+                region: r as u32,
+            });
+            cells.push(CellConfig {
+                pos: Point::new(CELL_SPACING_M, y),
+                mec: true,
+                region: r as u32,
+            });
+        }
+        let ue_count = cfg.ue_count();
+        let ue_cells: Vec<Vec<usize>> = (0..ue_count)
+            .map(|i| {
+                let r = i / cfg.ues_per_region;
+                vec![2 * r, 2 * r + 1]
+            })
+            .collect();
+
+        let mut net = LteNetwork::new(LteConfig {
+            seed: cfg.seed,
+            ue_count,
+            cells,
+            ue_cells,
+            local_gw_per_region: true,
+            ..LteConfig::default()
+        });
+
+        let db = ObjectDb::retail_cached(cfg.db_per_subsection, cfg.seed);
+        let mut servers = Vec::with_capacity(cfg.regions);
+        let mut server_addrs = Vec::with_capacity(cfg.regions);
+        for r in 0..cfg.regions {
+            let floor = FloorPlan::retail_store();
+            let locmgr = LocalizationManager::new(LocalizationMetadata::for_floor(
+                &floor,
+                &acacia_d2d::technology::ProximityTech::LteDirect.pathloss(),
+            ));
+            let server_addr = addr::mec(r, 0);
+            let (server, assigned) = net.add_mec_server_in_region(
+                r as u32,
+                Box::new(ArServer::new(
+                    ArServerConfig {
+                        addr: server_addr,
+                        device: Device::I7Octa,
+                        strategy: SearchStrategy::Naive,
+                        exec_cap: cfg.exec_cap,
+                    },
+                    db.clone(),
+                    floor,
+                    locmgr,
+                )),
+            );
+            assert_eq!(assigned, server_addr);
+            servers.push(server);
+            server_addrs.push(server_addr);
+        }
+
+        // One cloud MRS knows every region's server under a per-region
+        // service name; each client asks for its own region's service.
+        let mrs_addr = addr::CLOUD_BASE;
+        let mut mrs_node = Mrs::new(mrs_addr);
+        for (r, &server_addr) in server_addrs.iter().enumerate() {
+            mrs_node.register_service(
+                &format!("{SERVICE}-r{r}"),
+                ServerInstance {
+                    addr: server_addr,
+                    distance: 1.0,
+                },
+            );
+        }
+        let (mrs, assigned) = net.add_cloud_server(
+            Box::new(mrs_node),
+            LinkConfig::delay_only(Duration::from_micros(800)),
+        );
+        assert_eq!(assigned, mrs_addr);
+        net.sim.connect(
+            (mrs, mrs_port::RX),
+            (net.pcrf, pcrf_port::AF),
+            LinkConfig::delay_only(Duration::from_micros(500)),
+        );
+
+        let scene_ids: Vec<u64> = db.in_subsections(&[0]).iter().map(|o| o.id).collect();
+        let frame_interval = cfg.frame_interval();
+
+        let mut clients = Vec::with_capacity(ue_count);
+        for i in 0..ue_count {
+            let r = i / cfg.ues_per_region;
+            let ue_ip = net.attach(i);
+            let client_cfg = ArFrontendConfig {
+                ue_ip,
+                server: server_addrs[r],
+                mrs: Some((mrs_addr, format!("{SERVICE}-r{r}"))),
+                frame_count: cfg.frame_count,
+                min_frame_interval: Some(frame_interval),
+                scene_ids: scene_ids.clone(),
+                ..ArFrontendConfig::new(ue_ip, server_addrs[r])
+            };
+            let client = net.connect_ue_app(
+                i,
+                Box::new(ArFrontend::new(client_cfg)),
+                AppSelector::port(APP_PORT),
+            );
+            clients.push(client);
+        }
+
+        let last_serving = (0..ue_count).map(|i| net.serving_cell(i)).collect();
+        CityScenario {
+            net,
+            clients,
+            servers,
+            cfg,
+            last_serving,
+        }
+    }
+
+    /// Schedule every session kickoff and walk (and, when configured, the
+    /// control-plane fault plans), returning the run's timing anchors.
+    pub fn schedule(&mut self) -> CityTimeline {
+        let start = self.net.sim.now();
+        let stagger = self.cfg.stagger();
+        let walk_s = 2.0 * (WALK_FAR_M - WALK_NEAR_M) / self.cfg.speed_mps;
+        for (i, &client) in self.clients.iter().enumerate() {
+            let r = i / self.cfg.ues_per_region;
+            let k = i % self.cfg.ues_per_region;
+            let offset = Duration::from_nanos(stagger.nanos() * k as u64);
+            let y = r as f64 * REGION_SPACING_M;
+            self.net
+                .sim
+                .schedule_timer(client, start + offset, ArFrontend::KICKOFF);
+            self.net.start_mobility(
+                i,
+                vec![
+                    Waypoint::dwelling(Point::new(WALK_NEAR_M, y), offset),
+                    Waypoint::passing(Point::new(WALK_FAR_M, y)),
+                    Waypoint::passing(Point::new(WALK_NEAR_M, y)),
+                ],
+                self.cfg.speed_mps,
+            );
+        }
+
+        let stagger_total = Duration::from_nanos(stagger.nanos() * self.cfg.ues_per_region as u64);
+        let session =
+            Duration::from_nanos(self.cfg.frame_interval().nanos() * self.cfg.frame_count.max(1));
+        let walk_end = start + stagger_total + Duration::from_secs_f64(walk_s);
+        let deadline =
+            walk_end + Duration::from_nanos(session.nanos() * 2) + Duration::from_secs(30);
+
+        if self.cfg.ctrl_drop_rate > 0.0 {
+            // Open the fault window after the last session's bearer is up
+            // (kickoff + MRS handshake fit well inside one extra second),
+            // so the drop storm stresses handover recovery rather than
+            // bring-up, mirroring the chaos scenario.
+            let fault_start = start + stagger_total + Duration::from_secs(1);
+            let fault_end = fault_start + Duration::from_secs(86_400);
+            for (idx, (endpoint, _label)) in self.net.control_fault_points().iter().enumerate() {
+                let seed = self
+                    .cfg
+                    .fault_seed
+                    .wrapping_add((idx as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                let mut plan = FaultPlan::new(seed);
+                plan.add_rule(
+                    FaultRule::drop(PacketClass::any(), self.cfg.ctrl_drop_rate)
+                        .in_window(fault_start, fault_end),
+                );
+                self.net.sim.attach_fault_plan(*endpoint, plan);
+            }
+        }
+
+        CityTimeline {
+            start,
+            stagger_total,
+            walk_end,
+            deadline,
+        }
+    }
+
+    /// Run until every session completes (or the deadline), driving the
+    /// device-manager re-anchor leg: any UE whose serving cell changed
+    /// since the last poll repeats its MRS connectivity handshake, which
+    /// is idempotent when the network already re-anchored the bearer and
+    /// re-creates it when a failed handover flushed it.
+    pub fn await_sessions(&mut self, timeline: &CityTimeline) {
+        while self.net.sim.now() < timeline.deadline {
+            let t = self.net.sim.now() + Duration::from_millis(200);
+            self.net.sim.run_until(t);
+            let now = self.net.sim.now();
+            let mut all_done = true;
+            for (i, &client) in self.clients.iter().enumerate() {
+                let serving = self.net.serving_cell(i);
+                if serving != self.last_serving[i] {
+                    self.last_serving[i] = serving;
+                    self.net
+                        .sim
+                        .schedule_timer(client, now, ArFrontend::REANCHOR);
+                }
+                all_done &= self.net.sim.node_ref::<ArFrontend>(client).done();
+            }
+            if now >= timeline.walk_end && all_done {
+                break;
+            }
+        }
+        let drain = self.net.sim.now() + Duration::from_millis(500);
+        self.net.sim.run_until(drain);
+    }
+
+    /// Collect the report for a run that began at `timeline.start`.
+    pub fn collect(&self, timeline: &CityTimeline) -> CityReport {
+        let mut ues = Vec::with_capacity(self.clients.len());
+        for (i, &client) in self.clients.iter().enumerate() {
+            let c = self.net.sim.node_ref::<ArFrontend>(client);
+            let ue = self.net.sim.node_ref::<Ue>(self.net.ues[i]);
+            ues.push(CityUeReport {
+                frames_done: c.frames.len() as u64,
+                handovers: ue.handovers,
+                retransmissions: c.retransmissions,
+            });
+        }
+        let mut x2_forwarded = 0;
+        let mut outstanding_procedures = 0;
+        for &enb in &self.net.enbs {
+            let e = self.net.sim.node_ref::<Enb>(enb);
+            x2_forwarded += e.x2_forwarded;
+            outstanding_procedures += e.outstanding_handovers();
+        }
+        let stuck_ues = self
+            .net
+            .ues
+            .iter()
+            .filter(|&&ue| {
+                let u = self.net.sim.node_ref::<Ue>(ue);
+                !matches!(u.state, UeState::Connected | UeState::Idle)
+            })
+            .count();
+        let gwc = self.net.sim.node_ref::<GwControl>(self.net.gwc);
+        CityReport {
+            regions: self.cfg.regions,
+            ue_count: self.clients.len(),
+            frames_requested: self.cfg.frame_count,
+            ues,
+            x2_msgs: self.net.log.count(Protocol::X2Sctp),
+            s1ap_msgs: self.net.log.count(Protocol::S1apSctp),
+            gtpc_msgs: self.net.log.count(Protocol::Gtpv2),
+            dedicated_reanchored: gwc.dedicated_reanchored,
+            x2_forwarded,
+            events_processed: self.net.sim.events_processed(),
+            events_by_shard: self.net.sim.events_by_shard(),
+            cross_shard_sent: self.net.sim.cross_shard_sent(),
+            cross_shard_received: self.net.sim.cross_shard_received(),
+            stuck_ues,
+            outstanding_procedures,
+            sim_elapsed: self.net.sim.now() - timeline.start,
+        }
+    }
+
+    /// Run every session to completion (or a generous deadline) and
+    /// collect the report.
+    pub fn run(mut self) -> CityReport {
+        let timeline = self.schedule();
+        self.await_sessions(&timeline);
+        self.collect(&timeline)
+    }
+}
+
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<CityConfig>();
+    assert_send::<CityReport>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CityConfig {
+        CityConfig {
+            regions: 2,
+            ues_per_region: 2,
+            frame_count: 2,
+            ..CityConfig::smoke()
+        }
+    }
+
+    #[test]
+    fn two_regions_complete_and_hand_over() {
+        let report = CityScenario::build(tiny()).run();
+        assert_eq!(report.ue_count, 4);
+        assert_eq!(report.wedged(), 0, "every session completes");
+        assert!(
+            report.ues.iter().all(|u| u.handovers >= 2),
+            "each UE crosses its region's boundary twice: {:?}",
+            report.ues
+        );
+        assert!(report.x2_msgs > 0, "handovers produce X2 signalling");
+        assert!(report.cross_shard_conserved());
+    }
+
+    #[test]
+    fn interval_floor_scales_with_region_population_not_city_size() {
+        let figure = CityConfig::figure();
+        assert_eq!(
+            figure.frame_interval().nanos(),
+            figure.per_frame_budget.nanos() * figure.ues_per_region as u64
+        );
+        let smoke = CityConfig::smoke();
+        assert_eq!(smoke.frame_interval(), smoke.base_frame_interval);
+    }
+}

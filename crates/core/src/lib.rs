@@ -30,6 +30,7 @@
 pub mod arclient;
 pub mod arserver;
 pub mod chaos;
+pub mod city;
 pub mod device_manager;
 pub mod loaded;
 pub mod locmgr;

@@ -214,10 +214,12 @@ impl MobilityScenario {
                 CellConfig {
                     pos: Point::new(0.0, 0.0),
                     mec: true,
+                    region: 0,
                 },
                 CellConfig {
                     pos: Point::new(CELL_SPACING_M, 0.0),
                     mec: far_mec,
+                    region: 1,
                 },
             ],
             core_detour: cfg.mode == MobilityMode::Fallback || cfg.force_core_detour,

@@ -220,10 +220,12 @@ impl ScaleScenario {
                 CellConfig {
                     pos: Point::new(0.0, 0.0),
                     mec: true,
+                    region: 0,
                 },
                 CellConfig {
                     pos: Point::new(CELL_SPACING_M, 0.0),
                     mec: true,
+                    region: 1,
                 },
             ],
             // Safety net: a UE that loses its path switch can still reach

@@ -542,8 +542,52 @@ pub mod gwc_port {
     pub const SGW_U: PortId = 2;
     /// OpenFlow to the core PGW-U.
     pub const PGW_U: PortId = 3;
-    /// OpenFlow to the local (MEC) GW-U.
+    /// OpenFlow to the first local (MEC) GW-U.
     pub const LOCAL_GWU: PortId = 4;
+    /// First local GW-U control port; a city-scale topology wires one
+    /// local GW-U per region at `LOCAL_GWU_BASE + region_index`.
+    pub const LOCAL_GWU_BASE: PortId = 4;
+}
+
+/// One local (MEC) combined S/PGW-U site the GW-C programs.
+///
+/// A single-site topology has exactly one of these; a city-scale sharded
+/// topology carries one per region so every region's dedicated bearers
+/// anchor on a gateway in that region.
+#[derive(Debug, Clone)]
+pub struct LocalGw {
+    /// Tunnel address of this local GW-U.
+    pub addr: Ipv4Addr,
+    /// GW-C control port wired to this GW-U
+    /// (`gwc_port::LOCAL_GWU_BASE + site_index`).
+    pub ctrl_port: PortId,
+    /// GW-U output port toward the eNB (default when no override).
+    pub port_enb: usize,
+    /// GW-U output port toward its MEC server(s).
+    pub port_mec: usize,
+    /// Per-eNB output port overrides (multi-cell MEC sites).
+    pub enb_ports: Vec<(Ipv4Addr, usize)>,
+    /// eNBs with a direct path to this GW-U (MEC-equipped cells);
+    /// empty = every eNB. Dedicated bearers can only re-anchor onto these.
+    pub enbs: Vec<Ipv4Addr>,
+    /// MEC server addresses anchored behind this GW-U.
+    pub servers: Vec<Ipv4Addr>,
+}
+
+impl LocalGw {
+    /// Output port toward `enb`.
+    pub fn port_for(&self, enb: Ipv4Addr) -> usize {
+        self.enb_ports
+            .iter()
+            .find(|&&(a, _)| a == enb)
+            .map(|&(_, p)| p)
+            .unwrap_or(self.port_enb)
+    }
+
+    /// Does `enb` have a direct path to this GW-U?
+    pub fn serves_enb(&self, enb: Ipv4Addr) -> bool {
+        self.enbs.is_empty() || self.enbs.contains(&enb)
+    }
 }
 
 /// Static data-plane topology the GW-C programs against.
@@ -553,8 +597,6 @@ pub struct GwTopology {
     pub sgw_u: Ipv4Addr,
     /// Core PGW-U tunnel address.
     pub pgw_u: Ipv4Addr,
-    /// Local (MEC) combined S/PGW-U tunnel address.
-    pub local_gwu: Ipv4Addr,
     /// SGW-U port toward the eNB.
     pub sgw_port_enb: usize,
     /// SGW-U port toward the PGW-U.
@@ -563,22 +605,13 @@ pub struct GwTopology {
     pub pgw_port_sgw: usize,
     /// PGW-U port toward the Internet.
     pub pgw_port_inet: usize,
-    /// Local GW-U port toward the eNB.
-    pub local_port_enb: usize,
-    /// Local GW-U port toward the MEC server(s).
-    pub local_port_mec: usize,
-    /// Addresses served by the MEC cloud behind the local GW-U.
-    pub mec_servers: Vec<Ipv4Addr>,
+    /// Local (MEC) GW-U sites, one per MEC-equipped region.
+    pub locals: Vec<LocalGw>,
     /// Base address for UE IP assignment (host part increments).
     pub ue_ip_base: Ipv4Addr,
     /// Per-eNB SGW-U output port overrides for multi-cell topologies
     /// (empty = every eNB behind `sgw_port_enb`).
     pub sgw_enb_ports: Vec<(Ipv4Addr, usize)>,
-    /// Per-eNB local GW-U output port overrides (multi-cell MEC).
-    pub local_enb_ports: Vec<(Ipv4Addr, usize)>,
-    /// eNBs with a direct path to the local GW-U (MEC-equipped cells);
-    /// dedicated bearers can only re-anchor onto these.
-    pub mec_enbs: Vec<Ipv4Addr>,
 }
 
 impl GwTopology {
@@ -591,18 +624,9 @@ impl GwTopology {
             .unwrap_or(self.sgw_port_enb)
     }
 
-    /// Local GW-U output port toward `enb`.
-    pub fn local_port_for(&self, enb: Ipv4Addr) -> usize {
-        self.local_enb_ports
-            .iter()
-            .find(|&&(a, _)| a == enb)
-            .map(|&(_, p)| p)
-            .unwrap_or(self.local_port_enb)
-    }
-
-    /// Does `enb` have a local GW-U (MEC) path?
-    pub fn enb_has_mec(&self, enb: Ipv4Addr) -> bool {
-        self.mec_enbs.is_empty() || self.mec_enbs.contains(&enb)
+    /// The local GW-U site anchoring `server`, if any.
+    pub fn local_for_server(&self, server: Ipv4Addr) -> Option<&LocalGw> {
+        self.locals.iter().find(|g| g.servers.contains(&server))
     }
 }
 
@@ -935,7 +959,9 @@ impl GwControl {
                         );
                         return;
                     }
-                    if !self.topo.mec_servers.contains(&rule.server_addr) {
+                    let Some(gw_addr) =
+                        self.topo.local_for_server(rule.server_addr).map(|g| g.addr)
+                    else {
                         let sid = rule.service_id;
                         self.send(
                             ctx,
@@ -947,7 +973,7 @@ impl GwControl {
                             },
                         );
                         return;
-                    }
+                    };
                     // Network-initiated dedicated bearer with the *local*
                     // GW-U as the F-TEID target (paper step 3).
                     let ebi = Ebi(6
@@ -965,7 +991,7 @@ impl GwControl {
                         ebi,
                         qci: rule.qci,
                         gw_teid: teid_local_ul,
-                        gw_addr: self.topo.local_gwu,
+                        gw_addr,
                         tft,
                     };
                     self.sessions
@@ -1028,12 +1054,16 @@ impl GwControl {
                     .dedicated
                     .insert(ebi.0, (teid_local_ul, rule.clone()));
                 self.dedicated_active += 1;
-                let topo = self.topo.clone();
+                let gw = self
+                    .topo
+                    .local_for_server(rule.server_addr)
+                    .expect("dedicated rule has an owning local GW-U")
+                    .clone();
                 // Local GW-U UL: tunnel from the eNB → decap to MEC.
                 self.flowmod(
                     ctx,
-                    gwc_port::LOCAL_GWU,
-                    topo.local_gwu,
+                    gw.ctrl_port,
+                    gw.addr,
                     true,
                     FlowMatchSpec {
                         teid: Some(teid_local_ul),
@@ -1042,16 +1072,14 @@ impl GwControl {
                     },
                     vec![
                         FlowActionSpec::GtpDecap,
-                        FlowActionSpec::Output {
-                            port: topo.local_port_mec,
-                        },
+                        FlowActionSpec::Output { port: gw.port_mec },
                     ],
                 );
                 // Local GW-U DL: MEC server → tunnel to the eNB.
                 self.flowmod(
                     ctx,
-                    gwc_port::LOCAL_GWU,
-                    topo.local_gwu,
+                    gw.ctrl_port,
+                    gw.addr,
                     true,
                     FlowMatchSpec {
                         teid: None,
@@ -1068,7 +1096,7 @@ impl GwControl {
                             teid: enb_teid,
                         },
                         FlowActionSpec::Output {
-                            port: topo.local_port_for(enb_addr),
+                            port: gw.port_for(enb_addr),
                         },
                     ],
                 );
@@ -1091,11 +1119,15 @@ impl GwControl {
                     return;
                 };
                 let ue_addr = session.ue_addr;
-                let topo = self.topo.clone();
+                let gw = self
+                    .topo
+                    .local_for_server(rule.server_addr)
+                    .expect("dedicated rule has an owning local GW-U")
+                    .clone();
                 self.flowmod(
                     ctx,
-                    gwc_port::LOCAL_GWU,
-                    topo.local_gwu,
+                    gw.ctrl_port,
+                    gw.addr,
                     false,
                     FlowMatchSpec {
                         teid: Some(teid_local_ul),
@@ -1106,8 +1138,8 @@ impl GwControl {
                 );
                 self.flowmod(
                     ctx,
-                    gwc_port::LOCAL_GWU,
-                    topo.local_gwu,
+                    gw.ctrl_port,
+                    gw.addr,
                     false,
                     FlowMatchSpec {
                         teid: None,
@@ -1139,30 +1171,45 @@ impl GwControl {
                     return;
                 };
                 let ue_addr = s.ue_addr;
-                let dedicated: Vec<(u8, Teid)> =
-                    s.dedicated.iter().map(|(&ebi, (t, _))| (ebi, *t)).collect();
+                let dedicated: Vec<(u8, Teid, PolicyRule)> = s
+                    .dedicated
+                    .iter()
+                    .map(|(&ebi, (t, r))| (ebi, *t, r.clone()))
+                    .collect();
                 s.dedicated.clear();
                 s.pending_dedicated.clear();
-                let topo = self.topo.clone();
-                for &(_, teid_local_ul) in &dedicated {
+                // Per-TEID removals in EBI order, each to its owning GW-U,
+                // then one catch-all dst=UE removal per GW-U touched (in
+                // first-appearance order — identical message sequence to
+                // the single-site topology when there is one GW-U).
+                let mut touched: Vec<LocalGw> = Vec::new();
+                for (_, teid_local_ul, rule) in &dedicated {
+                    let gw = self
+                        .topo
+                        .local_for_server(rule.server_addr)
+                        .expect("dedicated rule has an owning local GW-U")
+                        .clone();
                     self.flowmod(
                         ctx,
-                        gwc_port::LOCAL_GWU,
-                        topo.local_gwu,
+                        gw.ctrl_port,
+                        gw.addr,
                         false,
                         FlowMatchSpec {
-                            teid: Some(teid_local_ul),
+                            teid: Some(*teid_local_ul),
                             dst: None,
                             src: None,
                         },
                         vec![],
                     );
+                    if !touched.iter().any(|g| g.addr == gw.addr) {
+                        touched.push(gw);
+                    }
                 }
-                if !dedicated.is_empty() {
+                for gw in touched {
                     self.flowmod(
                         ctx,
-                        gwc_port::LOCAL_GWU,
-                        topo.local_gwu,
+                        gw.ctrl_port,
+                        gw.addr,
                         false,
                         FlowMatchSpec {
                             teid: None,
@@ -1171,6 +1218,8 @@ impl GwControl {
                         },
                         vec![],
                     );
+                }
+                if !dedicated.is_empty() {
                     self.dedicated_released += dedicated.len() as u64;
                     self.dedicated_active =
                         self.dedicated_active.saturating_sub(dedicated.len() as u64);
@@ -1242,17 +1291,25 @@ impl GwControl {
                         ],
                     );
                 }
-                let target_mec = topo.enb_has_mec(enb_addr);
                 let mut released = Vec::new();
                 for (ebi, teid_local_ul, rule) in dedicated {
                     let target_teid = enb_teids.iter().find(|(e, _)| e.0 == ebi).map(|&(_, t)| t);
+                    // The bearer anchors on the GW-U owning its MEC server;
+                    // whether the target eNB keeps the local path is a
+                    // per-site question in a multi-region topology.
+                    let gw = self
+                        .topo
+                        .local_for_server(rule.server_addr)
+                        .expect("dedicated rule has an owning local GW-U")
+                        .clone();
+                    let target_mec = gw.serves_enb(enb_addr);
                     if let (true, Some(new_teid)) = (target_mec, target_teid) {
                         // Relocate: point the local GW-U downlink rule at
                         // the target eNB's port and TEID.
                         self.flowmod(
                             ctx,
-                            gwc_port::LOCAL_GWU,
-                            topo.local_gwu,
+                            gw.ctrl_port,
+                            gw.addr,
                             false,
                             FlowMatchSpec {
                                 teid: None,
@@ -1263,8 +1320,8 @@ impl GwControl {
                         );
                         self.flowmod(
                             ctx,
-                            gwc_port::LOCAL_GWU,
-                            topo.local_gwu,
+                            gw.ctrl_port,
+                            gw.addr,
                             true,
                             FlowMatchSpec {
                                 teid: None,
@@ -1282,7 +1339,7 @@ impl GwControl {
                                     teid: new_teid,
                                 },
                                 FlowActionSpec::Output {
-                                    port: topo.local_port_for(enb_addr),
+                                    port: gw.port_for(enb_addr),
                                 },
                             ],
                         );
@@ -1292,8 +1349,8 @@ impl GwControl {
                         // the bearer; traffic rides the default bearer.
                         self.flowmod(
                             ctx,
-                            gwc_port::LOCAL_GWU,
-                            topo.local_gwu,
+                            gw.ctrl_port,
+                            gw.addr,
                             false,
                             FlowMatchSpec {
                                 teid: Some(teid_local_ul),
@@ -1304,8 +1361,8 @@ impl GwControl {
                         );
                         self.flowmod(
                             ctx,
-                            gwc_port::LOCAL_GWU,
-                            topo.local_gwu,
+                            gw.ctrl_port,
+                            gw.addr,
                             false,
                             FlowMatchSpec {
                                 teid: None,

@@ -6,8 +6,7 @@
 
 use crate::wire::{ControlMsg, Protocol};
 use acacia_simnet::time::Instant;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// One recorded control message.
 #[derive(Debug, Clone)]
@@ -22,10 +21,12 @@ pub struct LogEntry {
     pub bytes: u32,
 }
 
-/// A cheaply cloneable, shared message log (single-threaded simulation).
+/// A cheaply cloneable, shared message log. Entities on different shards
+/// may record concurrently; every query is an order-independent
+/// aggregation, so the interleaving of records does not affect results.
 #[derive(Clone, Default)]
 pub struct MsgLog {
-    inner: Rc<RefCell<Vec<LogEntry>>>,
+    inner: Arc<Mutex<Vec<LogEntry>>>,
 }
 
 impl MsgLog {
@@ -36,7 +37,7 @@ impl MsgLog {
 
     /// Record a message about to be sent.
     pub fn record(&self, at: Instant, msg: &ControlMsg) {
-        self.inner.borrow_mut().push(LogEntry {
+        self.inner.lock().expect("msg log poisoned").push(LogEntry {
             at,
             name: msg.name(),
             protocol: msg.protocol(),
@@ -47,7 +48,8 @@ impl MsgLog {
     /// Number of messages of a protocol family.
     pub fn count(&self, protocol: Protocol) -> u64 {
         self.inner
-            .borrow()
+            .lock()
+            .expect("msg log poisoned")
             .iter()
             .filter(|e| e.protocol == protocol)
             .count() as u64
@@ -56,7 +58,8 @@ impl MsgLog {
     /// Bytes of a protocol family.
     pub fn bytes(&self, protocol: Protocol) -> u64 {
         self.inner
-            .borrow()
+            .lock()
+            .expect("msg log poisoned")
             .iter()
             .filter(|e| e.protocol == protocol)
             .map(|e| e.bytes as u64)
@@ -67,7 +70,8 @@ impl MsgLog {
     /// matching the paper's §4 accounting).
     pub fn core_count(&self) -> u64 {
         self.inner
-            .borrow()
+            .lock()
+            .expect("msg log poisoned")
             .iter()
             .filter(|e| e.protocol != Protocol::Rrc)
             .count() as u64
@@ -76,7 +80,8 @@ impl MsgLog {
     /// Total bytes across core-network protocols.
     pub fn core_bytes(&self) -> u64 {
         self.inner
-            .borrow()
+            .lock()
+            .expect("msg log poisoned")
             .iter()
             .filter(|e| e.protocol != Protocol::Rrc)
             .map(|e| e.bytes as u64)
@@ -85,23 +90,23 @@ impl MsgLog {
 
     /// All entries (cloned snapshot).
     pub fn entries(&self) -> Vec<LogEntry> {
-        self.inner.borrow().clone()
+        self.inner.lock().expect("msg log poisoned").clone()
     }
 
     /// Forget everything (e.g. after the attach phase, before measuring a
     /// release/re-establish cycle).
     pub fn clear(&self) {
-        self.inner.borrow_mut().clear();
+        self.inner.lock().expect("msg log poisoned").clear();
     }
 
     /// Total message count (all protocols).
     pub fn len(&self) -> usize {
-        self.inner.borrow().len()
+        self.inner.lock().expect("msg log poisoned").len()
     }
 
     /// Is the log empty?
     pub fn is_empty(&self) -> bool {
-        self.inner.borrow().is_empty()
+        self.inner.lock().expect("msg log poisoned").is_empty()
     }
 
     /// One-line-per-protocol summary (messages / bytes), core protocols

@@ -12,7 +12,7 @@
 
 use crate::enb::{token as enb_token, Enb};
 use crate::entities::{
-    gwc_port, mme_port, pcrf_port, GwControl, GwTopology, Hss, Mme, MmeUeState, Pcrf,
+    gwc_port, mme_port, pcrf_port, GwControl, GwTopology, Hss, LocalGw, Mme, MmeUeState, Pcrf,
 };
 use crate::ids::Imsi;
 use crate::log::MsgLog;
@@ -70,6 +70,17 @@ pub mod addr {
     pub fn enb_radio(i: usize) -> Ipv4Addr {
         Ipv4Addr::from(u32::from(ENB_RADIO) + i as u32)
     }
+
+    /// Address of local GW-U site `s` (site 0 is [`LOCAL_GWU`]).
+    pub fn local_gwu(s: usize) -> Ipv4Addr {
+        Ipv4Addr::from(u32::from(LOCAL_GWU) + s as u32)
+    }
+
+    /// Address of MEC server `k` behind local GW-U site `s` (site 0's
+    /// first server is [`MEC_BASE`], preserving the single-site scheme).
+    pub fn mec(s: usize, k: usize) -> Ipv4Addr {
+        Ipv4Addr::from(u32::from(MEC_BASE) + ((s as u32) << 8) + k as u32)
+    }
 }
 
 /// One cell of the radio topology.
@@ -80,6 +91,10 @@ pub struct CellConfig {
     /// Does this cell's eNB have an S1 leg to the local (MEC) GW-U? The
     /// paper's small cell does; the macrocell does not.
     pub mec: bool,
+    /// Spatial region (shard affinity): the cell's eNB, its UEs and their
+    /// apps all execute on shard `region % shards`. Scenarios that never
+    /// run sharded can leave every cell in region 0.
+    pub region: u32,
 }
 
 /// Tunable parameters of the topology.
@@ -123,8 +138,18 @@ pub struct LteConfig {
     /// are driven explicitly by the harness.
     pub auto_idle: Option<Duration>,
     /// Radio cells (one eNB each). The first cell is where UEs initially
-    /// camp. At most `ENB_RADIO_BASE - ENB_X2_BASE` (= 6) cells.
+    /// camp. At most `ENB_RADIO_BASE - ENB_X2_BASE` (= 36) cells.
     pub cells: Vec<CellConfig>,
+    /// Per-UE visible-cell lists (`ue_cells[i]` = global cell indices UE
+    /// `i` is registered on; the first entry is where it camps). Empty =
+    /// every UE sees every cell, the pre-city behaviour. A city topology
+    /// scopes each UE to its own region's cells so shards stay decoupled.
+    pub ue_cells: Vec<Vec<usize>>,
+    /// Build one local (MEC) GW-U + MEC router per region that has at
+    /// least one MEC cell, instead of a single shared site. Required for
+    /// near-linear shard scaling: a single local GW-U serializes every
+    /// region's MEC traffic onto one shard.
+    pub local_gw_per_region: bool,
     /// Path-loss model shared by all cells (RSRP ground truth).
     pub pathloss: PathLossModel,
     /// A3 handover-event parameters for moving UEs.
@@ -156,7 +181,10 @@ impl Default for LteConfig {
             cells: vec![CellConfig {
                 pos: Point::new(0.0, 0.0),
                 mec: true,
+                region: 0,
             }],
+            ue_cells: Vec::new(),
+            local_gw_per_region: false,
             pathloss: PathLossModel::indoor_default(),
             a3: A3Config::default(),
             core_detour: false,
@@ -190,19 +218,36 @@ pub struct LteNetwork {
     pub sgw_u: NodeId,
     /// Core PGW-U node id.
     pub pgw_u: NodeId,
-    /// Local (MEC) GW-U node id.
+    /// First local (MEC) GW-U node id (`local_sites[0]`).
     pub local_gwu: NodeId,
-    /// Router fanning out to MEC servers.
+    /// Router fanning out to the first site's MEC servers.
     pub mec_router: NodeId,
     /// Router fanning out to cloud servers (the Internet).
     pub inet_router: NodeId,
     /// MME-side port of each cell's S1AP link (`mme_ports[i]` ↔ cell `i`).
     mme_ports: Vec<PortId>,
     next_ue_app_port: Vec<PortId>,
-    mec_servers: usize,
+    /// Local GW-U sites (one in single-site mode; one per MEC region when
+    /// `local_gw_per_region` is set).
+    local_sites: Vec<LocalSite>,
+    /// Visible-cell list per UE (global cell indices, camp cell first).
+    ue_vis: Vec<Vec<usize>>,
+    /// eNB-side radio port per UE per visible cell, parallel to `ue_vis`.
+    ue_radio_ports: Vec<Vec<PortId>>,
+    /// Region hosting the shared core (MME/GW-C/SGW/PGW/Internet).
+    core_region: u32,
     cloud_servers: usize,
     bg_installed: bool,
     detour_installed: bool,
+}
+
+/// One local (MEC) GW-U site: the switch, its server-side router, and the
+/// servers attached so far.
+struct LocalSite {
+    region: u32,
+    gwu: NodeId,
+    router: NodeId,
+    servers: Vec<Ipv4Addr>,
 }
 
 /// Port on the Internet router reserved for the core-detour link toward
@@ -225,6 +270,77 @@ impl LteNetwork {
             "X2 port window caps the topology at {} cells",
             port::ENB_RADIO_BASE - port::ENB_X2_BASE
         );
+        assert!(
+            !(cfg.core_detour && cfg.local_gw_per_region),
+            "core_detour supports only the single-site local GW-U"
+        );
+        if !cfg.ue_cells.is_empty() {
+            assert_eq!(
+                cfg.ue_cells.len(),
+                cfg.ue_count,
+                "ue_cells must list visible cells for every UE"
+            );
+            for (i, vis) in cfg.ue_cells.iter().enumerate() {
+                assert!(!vis.is_empty(), "UE {i} must see >= 1 cell");
+                assert!(
+                    vis.iter().all(|&c| c < cells.len()),
+                    "UE {i} visible-cell index out of range"
+                );
+            }
+        }
+        let core_region = cells[0].region;
+
+        // Local GW-U sites: in per-region mode, one per region with at
+        // least one MEC cell (ordered by first appearance over the cell
+        // list); otherwise a single site serving every MEC cell.
+        let mut site_regions: Vec<u32> = Vec::new();
+        if cfg.local_gw_per_region {
+            for c in cells.iter().filter(|c| c.mec) {
+                if !site_regions.contains(&c.region) {
+                    site_regions.push(c.region);
+                }
+            }
+            assert!(
+                !site_regions.is_empty(),
+                "local_gw_per_region needs >= 1 MEC cell"
+            );
+        } else {
+            site_regions.push(
+                cells
+                    .iter()
+                    .find(|c| c.mec)
+                    .map_or(core_region, |c| c.region),
+            );
+        }
+        let per_region = cfg.local_gw_per_region;
+        let site_of_region = |r: u32| -> usize {
+            if per_region {
+                site_regions
+                    .iter()
+                    .position(|&x| x == r)
+                    .expect("MEC cell region has a local site")
+            } else {
+                0
+            }
+        };
+
+        // Per-site eNB port maps on the local GW-Us: within each site the
+        // first MEC cell lands on port 1, further MEC cells from port 4
+        // (2 = MEC router, 3 = core detour, 0 = OpenFlow control).
+        let nsites = site_regions.len();
+        let mut site_enb_ports: Vec<Vec<(Ipv4Addr, usize)>> = vec![Vec::new(); nsites];
+        let mut site_enbs: Vec<Vec<Ipv4Addr>> = vec![Vec::new(); nsites];
+        let mut mec_links: Vec<(usize, usize, PortId)> = Vec::new(); // (cell, site, port)
+        for (i, c) in cells.iter().enumerate() {
+            if c.mec {
+                let s = site_of_region(c.region);
+                let k = site_enbs[s].len();
+                let lp = if k == 0 { 1 } else { 3 + k };
+                mec_links.push((i, s, lp));
+                site_enb_ports[s].push((addr::enb(i), lp));
+                site_enbs[s].push(addr::enb(i));
+            }
+        }
 
         let mut enb_nodes: Vec<Enb> = cells
             .iter()
@@ -234,7 +350,7 @@ impl LteNetwork {
                 e.auto_idle = cfg.auto_idle;
                 e.add_s1_gateway(addr::SGW_U, port::ENB_S1_CORE);
                 if c.mec {
-                    e.add_s1_gateway(addr::LOCAL_GWU, port::ENB_S1_MEC);
+                    e.add_s1_gateway(addr::local_gwu(site_of_region(c.region)), port::ENB_S1_MEC);
                 }
                 e
             })
@@ -248,24 +364,37 @@ impl LteNetwork {
             }
         }
 
-        // Subscribers: registered on every cell, in the same order, so a
-        // UE keeps the same eNB-side radio port everywhere.
+        // Subscribers: each UE is registered on every cell it can see, in
+        // its visibility order, and remembers the eNB-side radio port each
+        // registration returned (ports differ per eNB once visibility is
+        // scoped — eNBs hand out sequential ports to *their* subscribers).
+        let all_cells: Vec<usize> = (0..cells.len()).collect();
         let mut imsis = Vec::new();
         let mut ue_nodes = Vec::new();
+        let mut ue_vis: Vec<Vec<usize>> = Vec::new();
+        let mut ue_radio_ports: Vec<Vec<PortId>> = Vec::new();
         for i in 0..cfg.ue_count {
             let imsi = Imsi(310_410_000_000_001 + i as u64);
             let radio_addr = Ipv4Addr::from(u32::from(addr::UE_RADIO_BASE) + i as u32);
-            let mut radio_port = port::ENB_RADIO_BASE;
-            for e in &mut enb_nodes {
-                radio_port = e.add_ue(imsi, radio_addr);
-            }
+            let vis: Vec<usize> = if cfg.ue_cells.is_empty() {
+                all_cells.clone()
+            } else {
+                cfg.ue_cells[i].clone()
+            };
+            let ports: Vec<PortId> = vis
+                .iter()
+                .map(|&c| enb_nodes[c].add_ue(imsi, radio_addr))
+                .collect();
             imsis.push(imsi);
-            ue_nodes.push((imsi, radio_addr, radio_port));
+            ue_nodes.push((imsi, radio_addr));
+            ue_vis.push(vis);
+            ue_radio_ports.push(ports);
         }
 
         let enbs: Vec<NodeId> = enb_nodes
             .into_iter()
-            .map(|e| sim.add_node(Box::new(e)))
+            .enumerate()
+            .map(|(i, e)| sim.add_node_in_region(Box::new(e), cells[i].region))
             .collect();
         let enb = enbs[0];
         // X2 mesh (direct eNB↔eNB, backhaul-class links).
@@ -285,21 +414,24 @@ impl LteNetwork {
         let air = LinkConfig::delay_only(params::AIR_LATENCY)
             .with_jitter(params::AIR_JITTER)
             .with_loss(cfg.radio_loss);
-        for &(imsi, radio_addr, radio_port) in &ue_nodes {
-            let mut ue_node = Ue::new(imsi, radio_addr, addr::enb_radio(0), cfg.ul_rate_bps);
-            for ci in 1..cells.len() {
-                ue_node.add_cell(addr::enb_radio(ci));
+        for (i, &(imsi, radio_addr)) in ue_nodes.iter().enumerate() {
+            let vis = &ue_vis[i];
+            let mut ue_node = Ue::new(imsi, radio_addr, addr::enb_radio(vis[0]), cfg.ul_rate_bps);
+            for &c in &vis[1..] {
+                ue_node.add_cell(addr::enb_radio(c));
             }
-            let ue = sim.add_node(Box::new(ue_node));
+            // A UE (and, later, its apps) lives in the region of the cell
+            // it camps on.
+            let ue = sim.add_node_in_region(Box::new(ue_node), cells[vis[0]].region);
             // The air interfaces: pure latency + jitter; serialization is
             // handled by the UE/eNB radio schedulers.
-            sim.connect((ue, port::UE_RADIO), (enbs[0], radio_port), air.clone());
-            for (ci, &enb_id) in enbs.iter().enumerate().skip(1) {
-                sim.connect(
-                    (ue, port::UE_CELL_BASE + ci),
-                    (enb_id, radio_port),
-                    air.clone(),
-                );
+            for (k, &c) in vis.iter().enumerate() {
+                let ue_port = if k == 0 {
+                    port::UE_RADIO
+                } else {
+                    port::UE_CELL_BASE + k
+                };
+                sim.connect((ue, ue_port), (enbs[c], ue_radio_ports[i][k]), air.clone());
             }
             ues.push(ue);
         }
@@ -309,73 +441,90 @@ impl LteNetwork {
         for i in 1..cells.len() {
             mme_ports.push(mme_node.register_enb(addr::enb(i)));
         }
-        let mme = sim.add_node(Box::new(mme_node));
-        let hss = sim.add_node(Box::new(Hss::new(addr::HSS, imsis.clone(), log.clone())));
-        let pcrf = sim.add_node(Box::new(Pcrf::new(addr::PCRF, addr::GWC, log.clone())));
+        let mme = sim.add_node_in_region(Box::new(mme_node), core_region);
+        let hss = sim.add_node_in_region(
+            Box::new(Hss::new(addr::HSS, imsis.clone(), log.clone())),
+            core_region,
+        );
+        let pcrf = sim.add_node_in_region(
+            Box::new(Pcrf::new(addr::PCRF, addr::GWC, log.clone())),
+            core_region,
+        );
 
-        // Per-cell user-plane port maps on the gateways. SGW-U: cell 0 on
-        // port 1, extra cells from 4 (2 = PGW, 3 = background source).
-        // Local GW-U: first MEC cell on port 1, further MEC cells from 4
-        // (2 = MEC router, 3 = core detour).
+        // Per-cell user-plane port map on the SGW-U: cell 0 on port 1,
+        // extra cells from 4 (2 = PGW, 3 = background source).
         let mut sgw_enb_ports = Vec::new();
-        let mut local_links: Vec<(usize, PortId)> = Vec::new();
-        let mut mec_enbs = Vec::new();
-        for (i, c) in cells.iter().enumerate() {
+        for (i, _) in cells.iter().enumerate() {
             let sgw_port = if i == 0 { 1 } else { 3 + i };
             sgw_enb_ports.push((addr::enb(i), sgw_port));
-            if c.mec {
-                let lp = if mec_enbs.is_empty() {
-                    1
-                } else {
-                    3 + mec_enbs.len()
-                };
-                local_links.push((i, lp));
-                mec_enbs.push(addr::enb(i));
-            }
         }
-        let local_enb_ports: Vec<(Ipv4Addr, PortId)> = local_links
-            .iter()
-            .map(|&(i, p)| (addr::enb(i), p))
-            .collect();
 
         let topo = GwTopology {
             sgw_u: addr::SGW_U,
             pgw_u: addr::PGW_U,
-            local_gwu: addr::LOCAL_GWU,
             sgw_port_enb: 1,
             sgw_port_pgw: 2,
             pgw_port_sgw: 1,
             pgw_port_inet: 2,
-            local_port_enb: local_links.first().map_or(1, |&(_, p)| p),
-            local_port_mec: 2,
-            mec_servers: Vec::new(),
+            locals: (0..nsites)
+                .map(|s| LocalGw {
+                    addr: addr::local_gwu(s),
+                    ctrl_port: gwc_port::LOCAL_GWU_BASE + s,
+                    port_enb: site_enb_ports[s].first().map_or(1, |&(_, p)| p),
+                    port_mec: 2,
+                    enb_ports: site_enb_ports[s].clone(),
+                    enbs: site_enbs[s].clone(),
+                    servers: Vec::new(),
+                })
+                .collect(),
             ue_ip_base: addr::UE_POOL,
             sgw_enb_ports,
-            local_enb_ports,
-            mec_enbs,
         };
-        let gwc = sim.add_node(Box::new(GwControl::new(addr::GWC, topo, log.clone())));
+        let gwc = sim.add_node_in_region(
+            Box::new(GwControl::new(addr::GWC, topo, log.clone())),
+            core_region,
+        );
 
         let mut sgw_u_node = FlowSwitch::new(addr::SGW_U, cfg.core_switch_costs);
         // The SGW buffers downlink data for idle UEs and raises Downlink
         // Data Notifications (its paging role).
         sgw_u_node.paging_enabled = true;
-        let sgw_u = sim.add_node(Box::new(sgw_u_node));
-        let pgw_u = sim.add_node(Box::new(FlowSwitch::new(
-            addr::PGW_U,
-            cfg.core_switch_costs,
-        )));
-        let local_gwu = sim.add_node(Box::new(FlowSwitch::new(
-            addr::LOCAL_GWU,
-            cfg.local_switch_costs,
-        )));
+        let sgw_u = sim.add_node_in_region(Box::new(sgw_u_node), core_region);
+        let pgw_u = sim.add_node_in_region(
+            Box::new(FlowSwitch::new(addr::PGW_U, cfg.core_switch_costs)),
+            core_region,
+        );
 
-        let mec_router = sim.add_node(Box::new(acacia_simnet::router::Router::new(
-            acacia_simnet::router::RouteTable::new(),
-        )));
-        let inet_router = sim.add_node(Box::new(acacia_simnet::router::Router::new(
-            acacia_simnet::router::RouteTable::new(),
-        )));
+        // One local GW-U + MEC router per site, each living in its site's
+        // region so MEC traffic stays on its region's shard.
+        let mut local_sites = Vec::new();
+        for (s, &region) in site_regions.iter().enumerate() {
+            let gwu = sim.add_node_in_region(
+                Box::new(FlowSwitch::new(addr::local_gwu(s), cfg.local_switch_costs)),
+                region,
+            );
+            let router = sim.add_node_in_region(
+                Box::new(acacia_simnet::router::Router::new(
+                    acacia_simnet::router::RouteTable::new(),
+                )),
+                region,
+            );
+            local_sites.push(LocalSite {
+                region,
+                gwu,
+                router,
+                servers: Vec::new(),
+            });
+        }
+        let local_gwu = local_sites[0].gwu;
+        let mec_router = local_sites[0].router;
+
+        let inet_router = sim.add_node_in_region(
+            Box::new(acacia_simnet::router::Router::new(
+                acacia_simnet::router::RouteTable::new(),
+            )),
+            core_region,
+        );
 
         let ctrl = LinkConfig::delay_only(Duration::from_micros(500));
         // S1AP + core control mesh.
@@ -395,11 +544,13 @@ impl LteNetwork {
             (pgw_u, FlowSwitch::CONTROL_PORT),
             ctrl.clone(),
         );
-        sim.connect(
-            (gwc, gwc_port::LOCAL_GWU),
-            (local_gwu, FlowSwitch::CONTROL_PORT),
-            ctrl,
-        );
+        for (s, site) in local_sites.iter().enumerate() {
+            sim.connect(
+                (gwc, gwc_port::LOCAL_GWU_BASE + s),
+                (site.gwu, FlowSwitch::CONTROL_PORT),
+                ctrl.clone(),
+            );
+        }
 
         // User plane.
         let backhaul = LinkConfig::rate_limited(cfg.core_rate_bps, cfg.backhaul_delay)
@@ -420,10 +571,16 @@ impl LteNetwork {
         }
         sim.connect((sgw_u, 2), (pgw_u, 1), core);
         sim.connect((pgw_u, 2), (inet_router, 0), inet.clone());
-        for &(cell, lp) in &local_links {
-            sim.connect((enbs[cell], port::ENB_S1_MEC), (local_gwu, lp), mec.clone());
+        for &(cell, s, lp) in &mec_links {
+            sim.connect(
+                (enbs[cell], port::ENB_S1_MEC),
+                (local_sites[s].gwu, lp),
+                mec.clone(),
+            );
         }
-        sim.connect((local_gwu, 2), (mec_router, 0), mec);
+        for site in &local_sites {
+            sim.connect((site.gwu, 2), (site.router, 0), mec.clone());
+        }
         if cfg.core_detour {
             // Internet exchange ↔ local GW-U shortcut so MEC servers stay
             // reachable over the default bearer.
@@ -434,6 +591,7 @@ impl LteNetwork {
             );
         }
 
+        let ue_count = ue_nodes.len();
         LteNetwork {
             sim,
             log,
@@ -451,8 +609,11 @@ impl LteNetwork {
             mec_router,
             inet_router,
             mme_ports,
-            next_ue_app_port: vec![port::UE_APP_BASE; ue_nodes.len()],
-            mec_servers: 0,
+            next_ue_app_port: vec![port::UE_APP_BASE; ue_count],
+            local_sites,
+            ue_vis,
+            ue_radio_ports,
+            core_region,
             cloud_servers: 0,
             bg_installed: false,
             detour_installed: false,
@@ -472,8 +633,9 @@ impl LteNetwork {
         app: Box<dyn Node>,
         selector: AppSelector,
     ) -> NodeId {
-        let app_id = self.sim.add_node(app);
         let ue = self.ues[ue_idx];
+        // The app shares its UE's region (and therefore its shard).
+        let app_id = self.sim.add_node_in_region(app, self.sim.region_of(ue));
         let ue_port = self.next_ue_app_port[ue_idx];
         self.next_ue_app_port[ue_idx] += 1;
         self.sim
@@ -482,34 +644,55 @@ impl LteNetwork {
         app_id
     }
 
-    /// Add a MEC server behind the local GW-U; returns `(node, address)`.
+    /// Add a MEC server behind the first local GW-U site; returns
+    /// `(node, address)`.
     pub fn add_mec_server(&mut self, server: Box<dyn Node>) -> (NodeId, Ipv4Addr) {
-        let id = self.sim.add_node(server);
-        let server_addr = Ipv4Addr::from(u32::from(addr::MEC_BASE) + self.mec_servers as u32);
-        self.mec_servers += 1;
-        let router_port = self.mec_servers; // ports 1..
+        self.add_mec_server_at_site(0, server)
+    }
+
+    /// Add a MEC server behind `region`'s local GW-U (requires
+    /// [`LteConfig::local_gw_per_region`] and a MEC cell in that region);
+    /// returns `(node, address)`.
+    pub fn add_mec_server_in_region(
+        &mut self,
+        region: u32,
+        server: Box<dyn Node>,
+    ) -> (NodeId, Ipv4Addr) {
+        let s = self
+            .local_sites
+            .iter()
+            .position(|site| site.region == region)
+            .unwrap_or_else(|| panic!("region {region} has no local GW-U site"));
+        self.add_mec_server_at_site(s, server)
+    }
+
+    fn add_mec_server_at_site(&mut self, s: usize, server: Box<dyn Node>) -> (NodeId, Ipv4Addr) {
+        let region = self.local_sites[s].region;
+        let id = self.sim.add_node_in_region(server, region);
+        let server_addr = addr::mec(s, self.local_sites[s].servers.len());
+        self.local_sites[s].servers.push(server_addr);
+        let router_port = self.local_sites[s].servers.len(); // ports 1..
+        let site_router = self.local_sites[s].router;
         self.sim.connect(
-            (self.mec_router, router_port),
+            (site_router, router_port),
             (id, 0),
             LinkConfig::delay_only(Duration::from_micros(100)),
         );
         // Route server-bound traffic out, and UE-bound responses back into
         // the local GW-U (default route on port 0).
         {
-            let mec_router = self.mec_router;
             let mut t = acacia_simnet::router::RouteTable::new();
             t.add(acacia_simnet::router::Ipv4Net::default_route(), 0);
-            for i in 0..self.mec_servers {
-                let a = Ipv4Addr::from(u32::from(addr::MEC_BASE) + i as u32);
+            for (i, &a) in self.local_sites[s].servers.iter().enumerate() {
                 t.add(acacia_simnet::router::Ipv4Net::host(a), i + 1);
             }
             self.sim
-                .node_mut::<acacia_simnet::router::Router>(mec_router)
+                .node_mut::<acacia_simnet::router::Router>(site_router)
                 .set_table(t);
         }
-        // Tell the GW-C this address lives on the MEC.
+        // Tell the GW-C this address lives on site `s`'s MEC.
         // (GwTopology is owned by the GW-C node.)
-        self.with_gwc_topology(|topo| topo.mec_servers.push(server_addr));
+        self.with_gwc_topology(|topo| topo.locals[s].servers.push(server_addr));
         if self.cfg.core_detour {
             // Static plumbing for the detour path (installed directly —
             // this is topology, not per-session OpenFlow state): Internet-
@@ -555,7 +738,7 @@ impl LteNetwork {
         server: Box<dyn Node>,
         wan: LinkConfig,
     ) -> (NodeId, Ipv4Addr) {
-        let id = self.sim.add_node(server);
+        let id = self.sim.add_node_in_region(server, self.core_region);
         let server_addr = Ipv4Addr::from(u32::from(addr::CLOUD_BASE) + self.cloud_servers as u32);
         self.cloud_servers += 1;
         let router_port = self.cloud_servers;
@@ -577,9 +760,10 @@ impl LteNetwork {
             t.add(acacia_simnet::router::Ipv4Net::host(a), i + 1);
         }
         if self.cfg.core_detour {
-            for i in 0..self.mec_servers {
-                let a = Ipv4Addr::from(u32::from(addr::MEC_BASE) + i as u32);
-                t.add(acacia_simnet::router::Ipv4Net::host(a), INET_DETOUR_PORT);
+            for site in &self.local_sites {
+                for &a in &site.servers {
+                    t.add(acacia_simnet::router::Ipv4Net::host(a), INET_DETOUR_PORT);
+                }
             }
         }
         self.sim
@@ -652,8 +836,11 @@ impl LteNetwork {
     /// 11.576 s inactivity event) and wait for the release to finish.
     pub fn trigger_idle_release(&mut self, ue_idx: usize) {
         let now = self.sim.now();
+        // The eNB keys its idle timers by *its* subscriber index, which is
+        // the UE's radio-port offset on that eNB.
+        let local = (self.radio_downlink(0, ue_idx).1 - port::ENB_RADIO_BASE) as u64;
         self.sim
-            .schedule_timer(self.enb, now, enb_token::IDLE_BASE + ue_idx as u64);
+            .schedule_timer(self.enb, now, enb_token::IDLE_BASE + local);
         let imsi = self.imsi(ue_idx);
         let deadline = now + Duration::from_secs(5);
         while self.sim.now() < deadline {
@@ -699,11 +886,14 @@ impl LteNetwork {
             Box::new(Sink::new()),
             LinkConfig::delay_only(Duration::from_micros(200)),
         );
-        let src = self.sim.add_node(Box::new(
-            UdpSource::cbr((addr::BG_SOURCE, 7000), (sink_addr, 7001), rate_bps, 1_400)
-                .with_tos(Qci::DEFAULT_BEARER.tos())
-                .window(start, stop),
-        ));
+        let src = self.sim.add_node_in_region(
+            Box::new(
+                UdpSource::cbr((addr::BG_SOURCE, 7000), (sink_addr, 7001), rate_bps, 1_400)
+                    .with_tos(Qci::DEFAULT_BEARER.tos())
+                    .window(start, stop),
+            ),
+            self.core_region,
+        );
         // Background traffic enters the SGW-U on a dedicated port and is
         // switched toward the PGW-U / Internet with plain output rules.
         const SGW_BG_PORT: usize = 3;
@@ -749,12 +939,12 @@ impl LteNetwork {
     /// RSRP toward every cell on the configured A3 interval and reports
     /// A3 events to its serving eNB, which runs the X2 handover.
     pub fn start_mobility(&mut self, ue_idx: usize, waypoints: Vec<Waypoint>, speed_mps: f64) {
-        let sites: Vec<CellSite> = self
-            .cfg
-            .cells
+        // Measurement sites parallel the UE's visible-cell list (local
+        // cell indices), not the global cell list.
+        let sites: Vec<CellSite> = self.ue_vis[ue_idx]
             .iter()
-            .map(|c| CellSite {
-                pos: c.pos,
+            .map(|&c| CellSite {
+                pos: self.cfg.cells[c].pos,
                 model: self.cfg.pathloss,
             })
             .collect();
@@ -770,9 +960,9 @@ impl LteNetwork {
         self.sim.schedule_timer(ue, now, ue_token::MEASURE);
     }
 
-    /// Index of the cell currently serving UE `ue_idx`.
+    /// Global index of the cell currently serving UE `ue_idx`.
     pub fn serving_cell(&self, ue_idx: usize) -> usize {
-        self.sim.node_ref::<Ue>(self.ues[ue_idx]).serving
+        self.ue_vis[ue_idx][self.sim.node_ref::<Ue>(self.ues[ue_idx]).serving]
     }
 
     /// Transmit endpoint of the S1AP link direction: eNB `cell` → MME.
@@ -793,9 +983,14 @@ impl LteNetwork {
     }
 
     /// Transmit endpoint of the radio downlink: eNB `cell` → UE `ue_idx`
-    /// (carries both RRC frames and user data toward the UE).
+    /// (carries both RRC frames and user data toward the UE). Panics if
+    /// the UE cannot see `cell`.
     pub fn radio_downlink(&self, cell: usize, ue_idx: usize) -> (NodeId, PortId) {
-        (self.enbs[cell], port::ENB_RADIO_BASE + ue_idx)
+        let k = self.ue_vis[ue_idx]
+            .iter()
+            .position(|&c| c == cell)
+            .unwrap_or_else(|| panic!("UE {ue_idx} does not see cell {cell}"));
+        (self.enbs[cell], self.ue_radio_ports[ue_idx][k])
     }
 
     /// Transmit endpoint of the shared-core uplink: SGW-U → PGW-U, the
@@ -833,13 +1028,14 @@ impl LteNetwork {
     /// signalling rides acknowledged-mode RLC in real LTE).
     pub fn set_radio_loss(&mut self, loss: f64) {
         for (i, &ue) in self.ues.clone().iter().enumerate() {
-            let radio_port = port::ENB_RADIO_BASE + i;
-            for (ci, &enb) in self.enbs.clone().iter().enumerate() {
-                let ue_port = if ci == 0 {
+            for (k, &c) in self.ue_vis[i].clone().iter().enumerate() {
+                let ue_port = if k == 0 {
                     port::UE_RADIO
                 } else {
-                    port::UE_CELL_BASE + ci
+                    port::UE_CELL_BASE + k
                 };
+                let enb = self.enbs[c];
+                let radio_port = self.ue_radio_ports[i][k];
                 self.sim
                     .reconfigure_link((ue, ue_port), |cfg| cfg.loss = loss);
                 self.sim

@@ -234,10 +234,11 @@ pub mod port {
     /// eNB: S1AP toward the MME.
     pub const ENB_S1AP: PortId = 3;
     /// eNB: X2 toward peer cell index `j` is `ENB_X2_BASE + j` (ports
-    /// 4..ENB_RADIO_BASE, capping the topology at 6 cells).
+    /// 4..ENB_RADIO_BASE, capping the topology at 36 cells — enough for a
+    /// city-scale sharded build).
     pub const ENB_X2_BASE: PortId = 4;
     /// eNB: first radio port (one per attached UE).
-    pub const ENB_RADIO_BASE: PortId = 10;
+    pub const ENB_RADIO_BASE: PortId = 40;
 }
 
 #[cfg(test)]

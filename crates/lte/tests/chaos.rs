@@ -23,10 +23,12 @@ fn two_mec_cells(core_detour: bool) -> LteConfig {
             CellConfig {
                 pos: Point::new(0.0, 0.0),
                 mec: true,
+                region: 0,
             },
             CellConfig {
                 pos: Point::new(40.0, 0.0),
                 mec: true,
+                region: 1,
             },
         ],
         core_detour,

@@ -2,7 +2,7 @@
 //! individual control messages (no full network needed).
 
 use acacia_lte::entities::{
-    gwc_port, mme_port, pcrf_port, GwControl, GwTopology, Hss, Mme, MmeUeState, Pcrf,
+    gwc_port, mme_port, pcrf_port, GwControl, GwTopology, Hss, LocalGw, Mme, MmeUeState, Pcrf,
 };
 use acacia_lte::ids::Imsi;
 use acacia_lte::log::MsgLog;
@@ -186,18 +186,21 @@ fn topo() -> GwTopology {
     GwTopology {
         sgw_u: addr::SGW_U,
         pgw_u: addr::PGW_U,
-        local_gwu: addr::LOCAL_GWU,
         sgw_port_enb: 1,
         sgw_port_pgw: 2,
         pgw_port_sgw: 1,
         pgw_port_inet: 2,
-        local_port_enb: 1,
-        local_port_mec: 2,
-        mec_servers: vec![addr::MEC_BASE],
+        locals: vec![LocalGw {
+            addr: addr::LOCAL_GWU,
+            ctrl_port: gwc_port::LOCAL_GWU,
+            port_enb: 1,
+            port_mec: 2,
+            enb_ports: Vec::new(),
+            enbs: Vec::new(),
+            servers: vec![addr::MEC_BASE],
+        }],
         ue_ip_base: addr::UE_POOL,
         sgw_enb_ports: Vec::new(),
-        local_enb_ports: Vec::new(),
-        mec_enbs: Vec::new(),
     }
 }
 

@@ -20,10 +20,12 @@ fn two_cells(second_has_mec: bool, core_detour: bool) -> LteConfig {
             CellConfig {
                 pos: Point::new(0.0, 0.0),
                 mec: true,
+                region: 0,
             },
             CellConfig {
                 pos: Point::new(40.0, 0.0),
                 mec: second_has_mec,
+                region: 1,
             },
         ],
         core_detour,

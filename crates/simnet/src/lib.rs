@@ -44,7 +44,7 @@
 //! assert_eq!(sim.node_ref::<PingAgent>(ping).rtts().len(), 10);
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // allowed only in `shard` (partitioned slice access)
 #![warn(missing_docs)]
 
 pub mod cloud;
@@ -52,6 +52,7 @@ pub mod fault;
 pub mod link;
 pub mod packet;
 pub mod router;
+pub(crate) mod shard;
 pub mod sim;
 pub mod stats;
 pub mod time;
@@ -64,7 +65,9 @@ pub use fault::{FaultKind, FaultPlan, FaultRule, PacketClass};
 pub use link::{ClassStats, LinkConfig, LinkStats};
 pub use packet::{FiveTuple, Packet};
 pub use router::{Ipv4Net, RouteTable, Router};
-pub use sim::{Ctx, Node, NodeId, PortId, Simulator, TimerHandle};
+pub use sim::{
+    default_shards, set_default_shards, Ctx, EvKey, Node, NodeId, PortId, Simulator, TimerHandle,
+};
 pub use stats::Series;
 pub use time::{Duration, Instant};
 

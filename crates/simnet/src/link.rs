@@ -49,6 +49,7 @@ use crate::packet::Packet;
 use crate::sim::{NodeId, PortId};
 use crate::time::{serialization_time, Duration, Instant};
 use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::{BTreeMap, VecDeque};
 
@@ -200,17 +201,23 @@ pub struct Link {
     /// Committed transmissions per DSCP class, keyed by `tos >> 2`.
     queues: BTreeMap<u8, ClassQueue>,
     stats: LinkStats,
+    /// Private RNG stream for loss and jitter draws, seeded from the
+    /// master seed and the link's source endpoint. Draw order therefore
+    /// depends only on the offered-packet sequence, never on how other
+    /// links or shards interleave.
+    rng: ChaCha8Rng,
     /// Optional injected-fault schedule with its own RNG stream.
     fault: Option<FaultPlan>,
 }
 
 impl Link {
-    pub(crate) fn new(cfg: LinkConfig, to: (NodeId, PortId)) -> Link {
+    pub(crate) fn new(cfg: LinkConfig, to: (NodeId, PortId), rng_seed: u64) -> Link {
         Link {
             cfg,
             to,
             queues: BTreeMap::new(),
             stats: LinkStats::default(),
+            rng: ChaCha8Rng::seed_from_u64(rng_seed),
             fault: None,
         }
     }
@@ -218,6 +225,13 @@ impl Link {
     /// Destination `(node, port)` of this link.
     pub(crate) fn to(&self) -> (NodeId, PortId) {
         self.to
+    }
+
+    /// Configured propagation delay — the floor on every delivery this
+    /// link can produce (serialization, jitter and injected-fault extras
+    /// only add to it), which is what conservative lookahead relies on.
+    pub(crate) fn delay(&self) -> Duration {
+        self.cfg.delay
     }
 
     /// Attach (or replace) the fault plan.
@@ -230,12 +244,7 @@ impl Link {
     /// Returns the delivery instant(s): `primary` is `None` when the packet
     /// was dropped (queue overflow, random loss, or an injected drop);
     /// `duplicate` is `Some` when an injected fault delivers a second copy.
-    pub(crate) fn transmit(
-        &mut self,
-        now: Instant,
-        pkt: &Packet,
-        rng: &mut ChaCha8Rng,
-    ) -> Deliveries {
+    pub(crate) fn transmit(&mut self, now: Instant, pkt: &Packet) -> Deliveries {
         let wire_bytes = pkt.wire_size();
         let class = pkt.tos >> 2;
         // Purge packets whose serialization completed.
@@ -282,7 +291,7 @@ impl Link {
             }
         }
 
-        if self.cfg.loss > 0.0 && rng.gen::<f64>() < self.cfg.loss {
+        if self.cfg.loss > 0.0 && self.rng.gen::<f64>() < self.cfg.loss {
             self.stats.drops_loss += 1;
             return Deliveries::default();
         }
@@ -323,7 +332,7 @@ impl Link {
         cq.backlog += wire_bytes as u64;
 
         let jitter = if self.cfg.jitter > Duration::ZERO {
-            Duration::from_nanos(rng.gen_range(0..self.cfg.jitter.nanos().max(1)))
+            Duration::from_nanos(self.rng.gen_range(0..self.cfg.jitter.nanos().max(1)))
         } else {
             Duration::ZERO
         };
@@ -357,12 +366,7 @@ impl Link {
 mod tests {
     use super::*;
     use crate::fault::{FaultRule, PacketClass};
-    use rand_chacha::rand_core::SeedableRng;
     use std::net::Ipv4Addr;
-
-    fn rng() -> ChaCha8Rng {
-        ChaCha8Rng::seed_from_u64(99)
-    }
 
     /// A packet whose wire size is exactly `wire_bytes` (UDP: 28 B of
     /// headers + virtual payload).
@@ -381,10 +385,9 @@ mod tests {
 
     #[test]
     fn infinite_rate_is_pure_delay() {
-        let mut link = Link::new(LinkConfig::delay_only(Duration::from_millis(7)), (1, 0));
-        let mut r = rng();
+        let mut link = Link::new(LinkConfig::delay_only(Duration::from_millis(7)), (1, 0), 99);
         let at = link
-            .transmit(Instant::from_millis(1), &pkt(1500), &mut r)
+            .transmit(Instant::from_millis(1), &pkt(1500))
             .primary
             .unwrap();
         assert_eq!(at, Instant::from_millis(8));
@@ -394,10 +397,13 @@ mod tests {
     #[test]
     fn serialization_accumulates() {
         // 1 Mbps, 1250-byte packets => 10 ms each.
-        let mut link = Link::new(LinkConfig::rate_limited(1_000_000, Duration::ZERO), (0, 0));
-        let mut r = rng();
-        let a1 = link.transmit(Instant::ZERO, &pkt(1250), &mut r).primary;
-        let a2 = link.transmit(Instant::ZERO, &pkt(1250), &mut r).primary;
+        let mut link = Link::new(
+            LinkConfig::rate_limited(1_000_000, Duration::ZERO),
+            (0, 0),
+            99,
+        );
+        let a1 = link.transmit(Instant::ZERO, &pkt(1250)).primary;
+        let a2 = link.transmit(Instant::ZERO, &pkt(1250)).primary;
         assert_eq!(a1, Some(Instant::from_millis(10)));
         assert_eq!(a2, Some(Instant::from_millis(20)));
         assert_eq!(link.stats().busy, Duration::from_millis(20));
@@ -408,24 +414,14 @@ mod tests {
         // Queue bound fits exactly two 1000-byte packets beyond nothing:
         // third concurrent offer must drop.
         let cfg = LinkConfig::rate_limited(8_000, Duration::ZERO).with_queue(2_000);
-        let mut link = Link::new(cfg, (0, 0));
-        let mut r = rng();
-        assert!(link
-            .transmit(Instant::ZERO, &pkt(1000), &mut r)
-            .primary
-            .is_some());
-        assert!(link
-            .transmit(Instant::ZERO, &pkt(1000), &mut r)
-            .primary
-            .is_some());
-        assert!(link
-            .transmit(Instant::ZERO, &pkt(1000), &mut r)
-            .primary
-            .is_none());
+        let mut link = Link::new(cfg, (0, 0), 99);
+        assert!(link.transmit(Instant::ZERO, &pkt(1000)).primary.is_some());
+        assert!(link.transmit(Instant::ZERO, &pkt(1000)).primary.is_some());
+        assert!(link.transmit(Instant::ZERO, &pkt(1000)).primary.is_none());
         assert_eq!(link.stats().drops_queue, 1);
         // After the first packet drains (1 s at 8 kbps), space frees up.
         assert!(link
-            .transmit(Instant::from_secs(1), &pkt(1000), &mut r)
+            .transmit(Instant::from_secs(1), &pkt(1000))
             .primary
             .is_some());
     }
@@ -433,13 +429,9 @@ mod tests {
     #[test]
     fn loss_probability_one_drops_everything() {
         let cfg = LinkConfig::delay_only(Duration::ZERO).with_loss(1.0);
-        let mut link = Link::new(cfg, (0, 0));
-        let mut r = rng();
+        let mut link = Link::new(cfg, (0, 0), 99);
         for _ in 0..10 {
-            assert!(link
-                .transmit(Instant::ZERO, &pkt(100), &mut r)
-                .primary
-                .is_none());
+            assert!(link.transmit(Instant::ZERO, &pkt(100)).primary.is_none());
         }
         assert_eq!(link.stats().drops_loss, 10);
         assert_eq!(link.stats().tx_packets, 0);
@@ -449,13 +441,9 @@ mod tests {
     fn jitter_stays_in_range() {
         let cfg =
             LinkConfig::delay_only(Duration::from_millis(5)).with_jitter(Duration::from_millis(2));
-        let mut link = Link::new(cfg, (0, 0));
-        let mut r = rng();
+        let mut link = Link::new(cfg, (0, 0), 99);
         for _ in 0..100 {
-            let at = link
-                .transmit(Instant::ZERO, &pkt(100), &mut r)
-                .primary
-                .unwrap();
+            let at = link.transmit(Instant::ZERO, &pkt(100)).primary.unwrap();
             assert!(at >= Instant::from_millis(5));
             assert!(at < Instant::from_millis(7));
         }
@@ -469,23 +457,13 @@ mod tests {
 
     #[test]
     fn injected_drop_is_counted_separately_from_loss() {
-        let mut link = Link::new(LinkConfig::delay_only(Duration::ZERO), (0, 0));
+        let mut link = Link::new(LinkConfig::delay_only(Duration::ZERO), (0, 0), 99);
         link.set_fault_plan(Some(
             FaultPlan::new(5).with_rule(FaultRule::drop(PacketClass::any(), 1.0).on_nth(2)),
         ));
-        let mut r = rng();
-        assert!(link
-            .transmit(Instant::ZERO, &pkt(100), &mut r)
-            .primary
-            .is_some());
-        assert!(link
-            .transmit(Instant::ZERO, &pkt(100), &mut r)
-            .primary
-            .is_none());
-        assert!(link
-            .transmit(Instant::ZERO, &pkt(100), &mut r)
-            .primary
-            .is_some());
+        assert!(link.transmit(Instant::ZERO, &pkt(100)).primary.is_some());
+        assert!(link.transmit(Instant::ZERO, &pkt(100)).primary.is_none());
+        assert!(link.transmit(Instant::ZERO, &pkt(100)).primary.is_some());
         assert_eq!(link.stats().drops_injected, 1);
         assert_eq!(link.stats().drops_loss, 0);
         assert_eq!(link.stats().drops(), 1);
@@ -494,15 +472,14 @@ mod tests {
 
     #[test]
     fn injected_duplicate_delivers_second_copy_later() {
-        let mut link = Link::new(LinkConfig::delay_only(Duration::from_millis(3)), (0, 0));
+        let mut link = Link::new(LinkConfig::delay_only(Duration::from_millis(3)), (0, 0), 99);
         link.set_fault_plan(Some(
             FaultPlan::new(5).with_rule(
                 FaultRule::duplicate(PacketClass::any(), 1.0)
                     .with_extra_delay(Duration::from_millis(4)),
             ),
         ));
-        let mut r = rng();
-        let d = link.transmit(Instant::ZERO, &pkt(100), &mut r);
+        let d = link.transmit(Instant::ZERO, &pkt(100));
         assert_eq!(d.primary, Some(Instant::from_millis(3)));
         assert_eq!(d.duplicate, Some(Instant::from_millis(7)));
         assert_eq!(link.stats().duplicates_injected, 1);
@@ -512,19 +489,12 @@ mod tests {
 
     #[test]
     fn injected_reorder_holds_the_packet_back() {
-        let mut link = Link::new(LinkConfig::delay_only(Duration::from_millis(1)), (0, 0));
+        let mut link = Link::new(LinkConfig::delay_only(Duration::from_millis(1)), (0, 0), 99);
         link.set_fault_plan(Some(FaultPlan::new(5).with_rule(
             FaultRule::reorder(PacketClass::any(), 1.0, Duration::from_millis(10)).on_nth(1),
         )));
-        let mut r = rng();
-        let first = link
-            .transmit(Instant::ZERO, &pkt(100), &mut r)
-            .primary
-            .unwrap();
-        let second = link
-            .transmit(Instant::ZERO, &pkt(100), &mut r)
-            .primary
-            .unwrap();
+        let first = link.transmit(Instant::ZERO, &pkt(100)).primary.unwrap();
+        let second = link.transmit(Instant::ZERO, &pkt(100)).primary.unwrap();
         assert_eq!(first, Instant::from_millis(11));
         assert_eq!(second, Instant::from_millis(1));
         assert!(second < first, "later offer must overtake the held packet");
@@ -539,11 +509,10 @@ mod tests {
         let cfg =
             LinkConfig::delay_only(Duration::from_millis(5)).with_jitter(Duration::from_millis(2));
         let run = |plan: Option<FaultPlan>| {
-            let mut link = Link::new(cfg.clone(), (0, 0));
+            let mut link = Link::new(cfg.clone(), (0, 0), 99);
             link.set_fault_plan(plan);
-            let mut r = rng();
             (0..32)
-                .map(|_| link.transmit(Instant::ZERO, &pkt(100), &mut r).primary)
+                .map(|_| link.transmit(Instant::ZERO, &pkt(100)).primary)
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(None), run(Some(FaultPlan::new(123))));
@@ -555,13 +524,16 @@ mod tests {
         // packets committed at t=0 occupy [0,10], [10,20], [20,30]. A
         // high-priority packet offered at t=5 must wait only for the
         // transmission in progress ([0,10]) and go next.
-        let mut link = Link::new(LinkConfig::rate_limited(1_000_000, Duration::ZERO), (0, 0));
-        let mut r = rng();
+        let mut link = Link::new(
+            LinkConfig::rate_limited(1_000_000, Duration::ZERO),
+            (0, 0),
+            99,
+        );
         for _ in 0..3 {
-            link.transmit(Instant::ZERO, &pkt_tos(1250, 4), &mut r);
+            link.transmit(Instant::ZERO, &pkt_tos(1250, 4));
         }
         let hi = link
-            .transmit(Instant::from_millis(5), &pkt_tos(1250, 28), &mut r)
+            .transmit(Instant::from_millis(5), &pkt_tos(1250, 28))
             .primary
             .unwrap();
         assert_eq!(hi, Instant::from_millis(20));
@@ -569,13 +541,16 @@ mod tests {
 
     #[test]
     fn equal_class_never_overtakes() {
-        let mut link = Link::new(LinkConfig::rate_limited(1_000_000, Duration::ZERO), (0, 0));
-        let mut r = rng();
+        let mut link = Link::new(
+            LinkConfig::rate_limited(1_000_000, Duration::ZERO),
+            (0, 0),
+            99,
+        );
         for _ in 0..3 {
-            link.transmit(Instant::ZERO, &pkt_tos(1250, 28), &mut r);
+            link.transmit(Instant::ZERO, &pkt_tos(1250, 28));
         }
         let same = link
-            .transmit(Instant::from_millis(5), &pkt_tos(1250, 28), &mut r)
+            .transmit(Instant::from_millis(5), &pkt_tos(1250, 28))
             .primary
             .unwrap();
         assert_eq!(same, Instant::from_millis(40));
@@ -583,14 +558,17 @@ mod tests {
 
     #[test]
     fn low_class_waits_for_all_higher_commitments() {
-        let mut link = Link::new(LinkConfig::rate_limited(1_000_000, Duration::ZERO), (0, 0));
-        let mut r = rng();
+        let mut link = Link::new(
+            LinkConfig::rate_limited(1_000_000, Duration::ZERO),
+            (0, 0),
+            99,
+        );
         // High-priority committed [0,10], [10,20].
-        link.transmit(Instant::ZERO, &pkt_tos(1250, 28), &mut r);
-        link.transmit(Instant::ZERO, &pkt_tos(1250, 28), &mut r);
+        link.transmit(Instant::ZERO, &pkt_tos(1250, 28));
+        link.transmit(Instant::ZERO, &pkt_tos(1250, 28));
         // Best effort offered at t=5 starts only at 20.
         let lo = link
-            .transmit(Instant::from_millis(5), &pkt_tos(1250, 4), &mut r)
+            .transmit(Instant::from_millis(5), &pkt_tos(1250, 4))
             .primary
             .unwrap();
         assert_eq!(lo, Instant::from_millis(30));
@@ -598,13 +576,16 @@ mod tests {
 
     #[test]
     fn active_transmission_is_never_preempted() {
-        let mut link = Link::new(LinkConfig::rate_limited(1_000_000, Duration::ZERO), (0, 0));
-        let mut r = rng();
+        let mut link = Link::new(
+            LinkConfig::rate_limited(1_000_000, Duration::ZERO),
+            (0, 0),
+            99,
+        );
         // Best-effort transmission in progress over [0,10].
-        link.transmit(Instant::ZERO, &pkt_tos(1250, 4), &mut r);
+        link.transmit(Instant::ZERO, &pkt_tos(1250, 4));
         // Highest priority offered mid-serialization waits for the wire.
         let hi = link
-            .transmit(Instant::from_millis(3), &pkt_tos(1250, 252), &mut r)
+            .transmit(Instant::from_millis(3), &pkt_tos(1250, 252))
             .primary
             .unwrap();
         assert_eq!(hi, Instant::from_millis(20));
@@ -615,18 +596,17 @@ mod tests {
         // Bound fits one 1000-byte packet per class: a second best-effort
         // offer drops, but a high-priority offer still gets in.
         let cfg = LinkConfig::rate_limited(8_000, Duration::ZERO).with_queue(1_000);
-        let mut link = Link::new(cfg, (0, 0));
-        let mut r = rng();
+        let mut link = Link::new(cfg, (0, 0), 99);
         assert!(link
-            .transmit(Instant::ZERO, &pkt_tos(1000, 4), &mut r)
+            .transmit(Instant::ZERO, &pkt_tos(1000, 4))
             .primary
             .is_some());
         assert!(link
-            .transmit(Instant::ZERO, &pkt_tos(1000, 4), &mut r)
+            .transmit(Instant::ZERO, &pkt_tos(1000, 4))
             .primary
             .is_none());
         assert!(link
-            .transmit(Instant::ZERO, &pkt_tos(1000, 28), &mut r)
+            .transmit(Instant::ZERO, &pkt_tos(1000, 28))
             .primary
             .is_some());
         let stats = link.stats();
@@ -639,16 +619,19 @@ mod tests {
 
     #[test]
     fn per_class_counters_track_bytes_and_backlog() {
-        let mut link = Link::new(LinkConfig::rate_limited(1_000_000, Duration::ZERO), (0, 0));
-        let mut r = rng();
-        link.transmit(Instant::ZERO, &pkt_tos(1250, 4), &mut r);
-        link.transmit(Instant::ZERO, &pkt_tos(1250, 4), &mut r);
+        let mut link = Link::new(
+            LinkConfig::rate_limited(1_000_000, Duration::ZERO),
+            (0, 0),
+            99,
+        );
+        link.transmit(Instant::ZERO, &pkt_tos(1250, 4));
+        link.transmit(Instant::ZERO, &pkt_tos(1250, 4));
         let cs = *link.stats().class(1).unwrap();
         assert_eq!(cs.enqueued, 2);
         assert_eq!(cs.enqueued_bytes, 2_500);
         assert_eq!(cs.backlog_bytes, 2_500);
         // Both drain by t=20ms; the next offer settles the backlog.
-        link.transmit(Instant::from_millis(20), &pkt_tos(1250, 4), &mut r);
+        link.transmit(Instant::from_millis(20), &pkt_tos(1250, 4));
         assert_eq!(link.stats().class(1).unwrap().backlog_bytes, 1_250);
     }
 }

@@ -1,0 +1,589 @@
+//! Sharded execution of the event loop: serial fast path and the
+//! conservative-lookahead thread-per-shard driver.
+//!
+//! # Execution model
+//!
+//! The topology is partitioned by node region into `N` shards, each owning
+//! an event wheel, the nodes assigned to it and every link *leaving* those
+//! nodes. The parallel driver repeatedly:
+//!
+//! 1. finds `T`, the earliest pending event instant across all shards;
+//! 2. lets every shard independently drain its window `[T, T + L)`, where
+//!    the lookahead `L` is the minimum propagation delay of any link that
+//!    crosses shards — jitter, serialization and injected-fault extras
+//!    only ever *add* delay, so no event generated inside the window can
+//!    land inside it on another shard;
+//! 3. exchanges the buffered cross-shard arrivals (each was scheduled at
+//!    `≥ T + L`, i.e. strictly after the window) into the destination
+//!    wheels, then loops.
+//!
+//! # Determinism
+//!
+//! Within a window, shards interleave arbitrarily — but they share no
+//! mutable state: nodes, per-node RNG/counters and outgoing links are
+//! owned by exactly one shard, and event tie-break keys, RNG streams and
+//! packet ids are all content-derived (see [`crate::sim::EvKey`]). The
+//! wheel pops in `(at, key)` order regardless of insertion order, so the
+//! exchange needs no sorting. The result: every observable outcome is
+//! byte-identical to the `N = 1` serial run.
+//!
+//! # Safety
+//!
+//! This is the one module in the crate that uses `unsafe`: worker threads
+//! index into shared slices ([`SlicePtr`]) under the partition discipline
+//! that thread `s` only ever touches elements whose shard is `s` (nodes,
+//! links, per-node meta) or slots reserved for it (its wheel, its
+//! counters, its outbox row / inbox column). Windows are separated by
+//! barriers, so accesses to an element from different phases never race.
+
+#![allow(unsafe_code)]
+
+use crate::sim::{
+    Action, Ctx, EvKey, EvKind, EvPayload, NodeId, NodeMeta, ShardCounters, Simulator,
+};
+use crate::time::{Duration, Instant};
+use crate::wheel::TimerWheel;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A raw view over a `&mut [T]` that can be shared across worker threads.
+/// `get_mut` hands out `&mut T` to disjoint elements; callers uphold the
+/// partition discipline documented on the module.
+pub(crate) struct SlicePtr<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _pd: PhantomData<&'a mut [T]>,
+}
+
+impl<'a, T> SlicePtr<'a, T> {
+    fn new(s: &'a mut [T]) -> SlicePtr<'a, T> {
+        SlicePtr {
+            ptr: s.as_mut_ptr(),
+            len: s.len(),
+            _pd: PhantomData,
+        }
+    }
+
+    /// # Safety
+    /// The caller must guarantee no other live reference to element `i`
+    /// (each element is owned by exactly one shard/phase at a time).
+    #[inline]
+    unsafe fn get_mut(&self, i: usize) -> &'a mut T {
+        debug_assert!(i < self.len);
+        &mut *self.ptr.add(i)
+    }
+}
+
+impl<T> Clone for SlicePtr<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SlicePtr<'_, T> {}
+// Safety: SlicePtr is only a capability to reach elements; the partition
+// discipline (one shard per element) provides the actual exclusion.
+unsafe impl<T: Send> Send for SlicePtr<'_, T> {}
+unsafe impl<T: Send> Sync for SlicePtr<'_, T> {}
+
+/// Sense-counting spin barrier; windows are hundreds of microseconds of
+/// simulated work, so parking would dominate.
+struct SpinBarrier {
+    count: AtomicUsize,
+    gen: AtomicUsize,
+    total: usize,
+}
+
+impl SpinBarrier {
+    fn new(total: usize) -> SpinBarrier {
+        SpinBarrier {
+            count: AtomicUsize::new(0),
+            gen: AtomicUsize::new(0),
+            total,
+        }
+    }
+
+    fn wait(&self) {
+        let g = self.gen.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            self.count.store(0, Ordering::Relaxed);
+            self.gen.store(g.wrapping_add(1), Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.gen.load(Ordering::Acquire) == g {
+                spins += 1;
+                if spins < 1 << 10 {
+                    std::hint::spin_loop();
+                } else {
+                    // More shards than cores, or a long tail: be polite.
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// A buffered cross-shard arrival awaiting the window exchange.
+struct OutEntry {
+    at: Instant,
+    key: EvKey,
+    payload: EvPayload,
+}
+
+/// Write handle into the flat `owner × dst` outbox matrix for one owner.
+struct Outbox<'a> {
+    cells: SlicePtr<'a, Vec<OutEntry>>,
+    base: usize,
+}
+
+impl Outbox<'_> {
+    #[inline]
+    fn push(&mut self, dst: usize, e: OutEntry) {
+        // Safety: cell `base + dst` belongs to this owner row; only the
+        // owning worker writes it during a drain phase.
+        unsafe { self.cells.get_mut(self.base + dst) }.push(e);
+    }
+}
+
+/// One shard's execution lane: everything needed to pop, dispatch and
+/// apply events for the nodes of one shard.
+struct Lane<'a> {
+    shard: u32,
+    nodes: SlicePtr<'a, Option<Box<dyn crate::sim::Node>>>,
+    links: SlicePtr<'a, Vec<Option<crate::link::Link>>>,
+    meta: SlicePtr<'a, NodeMeta>,
+    shard_of: &'a [u32],
+    queue: &'a mut TimerWheel<EvPayload, EvKey>,
+    ctr: &'a mut ShardCounters,
+    outbox: Option<Outbox<'a>>,
+    scratch: Vec<Action>,
+    now: Instant,
+}
+
+impl Lane<'_> {
+    /// Process every pending event with `at <= until` (including chains of
+    /// events the processing itself schedules inside the window).
+    fn drain_window(&mut self, until: Instant) {
+        while let Some((at, _)) = self.queue.peek_key() {
+            if at > until {
+                break;
+            }
+            let (at, _, payload) = self.queue.pop().expect("peeked event vanished");
+            self.dispatch(at, payload);
+        }
+    }
+
+    fn dispatch(&mut self, at: Instant, ev: EvPayload) {
+        assert!(at >= self.now, "event scheduled in the past");
+        self.now = at;
+        self.ctr.last_at = at;
+        self.ctr.events += 1;
+        let node_id = ev.node();
+        debug_assert_eq!(
+            self.shard_of[node_id], self.shard,
+            "event routed to the wrong shard"
+        );
+        // Cancelled guard timers die here, before the node is touched.
+        if let EvKind::Timer(_, _, Some(guard)) = ev.kind {
+            // Safety: node (and its meta) belongs to this shard.
+            let m = unsafe { self.meta.get_mut(node_id) };
+            if !m.timers.invalidate(guard) {
+                self.ctr.timer_skipped += 1;
+                return;
+            }
+        }
+        // Safety: node belongs to this shard; it is taken out for the
+        // duration of the hook so re-entry panics.
+        let slot = unsafe { self.nodes.get_mut(node_id) };
+        let mut node = slot
+            .take()
+            .unwrap_or_else(|| panic!("node {node_id} re-entered during dispatch"));
+        let mut actions = std::mem::take(&mut self.scratch);
+        {
+            // Safety: meta belongs to this shard; the node itself was moved
+            // out above so no aliasing with the hook's `&mut self`.
+            let m = unsafe { self.meta.get_mut(node_id) };
+            let mut ctx = Ctx {
+                now: at,
+                node: node_id,
+                actions: &mut actions,
+                rng: &mut m.rng,
+                next_pkt_id: &mut m.pkt_ctr,
+                timers: &mut m.timers,
+            };
+            match ev.kind {
+                EvKind::Arrive(_, port) => {
+                    self.ctr.arrivals += 1;
+                    let pkt = ev.pkt.expect("arrival without a packet");
+                    node.on_packet(&mut ctx, port, pkt);
+                }
+                EvKind::Timer(_, token, _) => node.on_timer(&mut ctx, token),
+            }
+        }
+        // Safety: same element as above; the previous borrow ended.
+        *unsafe { self.nodes.get_mut(node_id) } = Some(node);
+        self.apply_actions(node_id, &mut actions);
+        self.scratch = actions;
+    }
+
+    /// Content-derived key for the next event emitted by `src`.
+    #[inline]
+    fn next_key(&mut self, src: NodeId) -> EvKey {
+        // Safety: src is the node just dispatched on this shard.
+        let m = unsafe { self.meta.get_mut(src) };
+        let ctr = m.ev_ctr;
+        m.ev_ctr += 1;
+        EvKey::new(src as u32, ctr)
+    }
+
+    fn push_arrival(&mut self, src: NodeId, at: Instant, dest: (NodeId, usize), pkt: Packet) {
+        let key = self.next_key(src);
+        let payload = EvPayload {
+            kind: EvKind::Arrive(dest.0, dest.1),
+            pkt: Some(pkt),
+        };
+        let dst_shard = self.shard_of[dest.0];
+        if dst_shard == self.shard {
+            self.queue.schedule(at, key, payload);
+        } else {
+            self.ctr.xsent += 1;
+            self.outbox
+                .as_mut()
+                .expect("cross-shard arrival without an outbox")
+                .push(dst_shard as usize, OutEntry { at, key, payload });
+        }
+    }
+
+    fn apply_actions(&mut self, node_id: NodeId, actions: &mut Vec<Action>) {
+        for action in actions.drain(..) {
+            match action {
+                Action::Send { port, pkt } => {
+                    let now = self.now;
+                    // Safety: the link table row of the dispatched node
+                    // belongs to this shard (links are owned by their
+                    // source endpoint).
+                    let ports = unsafe { self.links.get_mut(node_id) };
+                    let Some(link) = ports.get_mut(port).and_then(Option::as_mut) else {
+                        self.ctr.unrouted += 1;
+                        continue;
+                    };
+                    let dest = link.to();
+                    let deliveries = link.transmit(now, &pkt);
+                    match (deliveries.primary, deliveries.duplicate) {
+                        (Some(at), None) => self.push_arrival(node_id, at, dest, pkt),
+                        (Some(at), Some(dup_at)) => {
+                            // Payloads are shared buffers, so the duplicate
+                            // is a header-only copy.
+                            self.push_arrival(node_id, at, dest, pkt.clone());
+                            self.push_arrival(node_id, dup_at, dest, pkt);
+                        }
+                        // Primary dropped: the duplicate takes the original
+                        // packet, no clone needed.
+                        (None, Some(dup_at)) => self.push_arrival(node_id, dup_at, dest, pkt),
+                        (None, None) => {}
+                    }
+                }
+                Action::Timer { at, token, guard } => {
+                    let at = at.max(self.now);
+                    let key = self.next_key(node_id);
+                    // Timers always fire on the arming node's own shard.
+                    self.queue.schedule(
+                        at,
+                        key,
+                        EvPayload {
+                            kind: EvKind::Timer(node_id, token, guard),
+                            pkt: None,
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+use crate::packet::Packet;
+
+/// Serial driver: one lane over the whole simulator. Runs every pending
+/// event with `at <= limit`; leaves `sim.now` at the last dispatched
+/// instant. Returns the number of events processed.
+pub(crate) fn run_serial(sim: &mut Simulator, limit: Instant) -> u64 {
+    let scratch = std::mem::take(&mut sim.scratch);
+    let before = sim.counters[0].events;
+    let mut lane = Lane {
+        shard: 0,
+        nodes: SlicePtr::new(&mut sim.nodes),
+        links: SlicePtr::new(&mut sim.links),
+        meta: SlicePtr::new(&mut sim.meta),
+        shard_of: &sim.shard_of,
+        queue: &mut sim.queues[0],
+        ctr: &mut sim.counters[0],
+        outbox: None,
+        scratch,
+        now: sim.now,
+    };
+    lane.drain_window(limit);
+    let now = lane.now;
+    let scratch = std::mem::take(&mut lane.scratch);
+    drop(lane);
+    sim.scratch = scratch;
+    sim.now = now;
+    sim.counters[0].events - before
+}
+
+/// Compute (and cache) the conservative lookahead: the minimum propagation
+/// delay over links whose endpoints live on different shards. Panics on a
+/// zero-delay cross-shard link — the window would be empty and the run
+/// could never make progress.
+fn ensure_lookahead(sim: &mut Simulator) -> Duration {
+    if let Some(l) = sim.lookahead {
+        return l;
+    }
+    let mut min = Duration::from_nanos(u64::MAX);
+    for (src, ports) in sim.links.iter().enumerate() {
+        for link in ports.iter().flatten() {
+            let dst = link.to().0;
+            if sim.shard_of[src] != sim.shard_of[dst] {
+                let d = link.delay();
+                assert!(
+                    d > Duration::ZERO,
+                    "cross-shard link {src} -> {dst} has zero propagation delay; \
+                     conservative lookahead would be zero (co-locate both endpoints \
+                     in one region or give the link a positive delay)"
+                );
+                min = min.min(d);
+            }
+        }
+    }
+    sim.lookahead = Some(min);
+    min
+}
+
+/// Shared raw views over the simulator's partitioned state: everything a
+/// shard driver needs to build its [`Lane`] on demand.
+struct LaneParts<'a> {
+    nodes: SlicePtr<'a, Option<Box<dyn crate::sim::Node>>>,
+    links: SlicePtr<'a, Vec<Option<crate::link::Link>>>,
+    meta: SlicePtr<'a, NodeMeta>,
+    shard_of: &'a [u32],
+    queues: SlicePtr<'a, TimerWheel<EvPayload, EvKey>>,
+    counters: SlicePtr<'a, ShardCounters>,
+    out: SlicePtr<'a, Vec<OutEntry>>,
+    nsh: usize,
+}
+
+impl<'a> LaneParts<'a> {
+    /// # Safety
+    /// The caller must be shard `s`'s current (sole) driver: wheel `s`,
+    /// counters `s` and outbox row `s` must not be aliased elsewhere.
+    unsafe fn lane(self, s: usize, scratch: Vec<Action>, now: Instant) -> Lane<'a> {
+        Lane {
+            shard: s as u32,
+            nodes: self.nodes,
+            links: self.links,
+            meta: self.meta,
+            shard_of: self.shard_of,
+            queue: self.queues.get_mut(s),
+            ctr: self.counters.get_mut(s),
+            outbox: Some(Outbox {
+                cells: self.out,
+                base: s * self.nsh,
+            }),
+            scratch,
+            now,
+        }
+    }
+}
+
+impl<'a> Clone for LaneParts<'a> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<'a> Copy for LaneParts<'a> {}
+
+/// Parallel driver: conservative-lookahead windows over the shards that
+/// own nodes. Runs every pending event with `at <= limit`; results are
+/// byte-identical to [`run_serial`] at any shard count. Returns the
+/// number of events processed.
+///
+/// Only *active* shards (those owning at least one node) take part in
+/// the window protocol — a node-less shard can neither produce nor
+/// receive events, so `--shards 8` on a two-region topology pays for
+/// two lanes, not eight. When the machine has a single core (or a
+/// single shard is active) the same windowed algorithm runs on one
+/// thread with no barriers: the event order is fixed by `(at, key)`,
+/// not by which thread drains which lane, so the serial interleaving is
+/// byte-identical to the threaded one.
+pub(crate) fn run_parallel(sim: &mut Simulator, limit: Instant) -> u64 {
+    let look = ensure_lookahead(sim).nanos();
+    let nsh = sim.shards();
+    let before: u64 = sim.counters.iter().map(|c| c.events).sum();
+    let limit_n = limit.nanos();
+    let start_now = sim.now;
+
+    let mut owned = vec![false; nsh];
+    for &s in &sim.shard_of {
+        owned[s as usize] = true;
+    }
+    let active: Vec<usize> = (0..nsh).filter(|&s| owned[s]).collect();
+
+    let shard_of: &[u32] = &sim.shard_of;
+    let nodes = SlicePtr::new(&mut sim.nodes);
+    let links = SlicePtr::new(&mut sim.links);
+    let meta = SlicePtr::new(&mut sim.meta);
+    let queues = SlicePtr::new(&mut sim.queues);
+    let counters = SlicePtr::new(&mut sim.counters);
+    let mut outcells: Vec<Vec<OutEntry>> = (0..nsh * nsh).map(|_| Vec::new()).collect();
+    let out = SlicePtr::new(&mut outcells);
+    let parts = LaneParts {
+        nodes,
+        links,
+        meta,
+        shard_of,
+        queues,
+        counters,
+        out,
+        nsh,
+    };
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    if active.len() == 1 {
+        // All nodes on one shard: no cross-shard traffic is possible, so
+        // the window machinery degenerates to a straight drain.
+        let s = active[0];
+        // Safety: single-threaded, sole driver of shard `s`.
+        let mut lane = unsafe { parts.lane(s, Vec::new(), start_now) };
+        lane.drain_window(limit);
+    } else if !active.is_empty() && cores == 1 {
+        run_windows_serial(parts, &active, look, limit_n, start_now);
+    } else if !active.is_empty() {
+        run_windows_threaded(parts, &active, look, limit_n, start_now);
+    }
+
+    let last = sim
+        .counters
+        .iter()
+        .map(|c| c.last_at)
+        .max()
+        .unwrap_or(start_now);
+    if last > sim.now {
+        sim.now = last;
+    }
+    let after: u64 = sim.counters.iter().map(|c| c.events).sum();
+    after - before
+}
+
+/// The windowed algorithm on one thread: drain every active lane's
+/// window, exchange, repeat. Identical event order to the threaded
+/// driver (lanes share no state and the order is key-derived), none of
+/// the barrier or thread-spawn overhead — the right shape whenever the
+/// OS would serialize the lanes anyway.
+fn run_windows_serial(
+    parts: LaneParts<'_>,
+    active: &[usize],
+    look: u64,
+    limit_n: u64,
+    start_now: Instant,
+) {
+    let mut nows = vec![start_now; active.len()];
+    let mut scratches: Vec<Vec<Action>> = (0..active.len()).map(|_| Vec::new()).collect();
+    loop {
+        let mut t = u64::MAX;
+        for &s in active {
+            // Safety: single-threaded; exclusive access to every wheel.
+            if let Some((at, _)) = unsafe { parts.queues.get_mut(s) }.peek_key() {
+                t = t.min(at.nanos());
+            }
+        }
+        if t == u64::MAX || t > limit_n {
+            break;
+        }
+        let until = Instant::from_nanos(t.saturating_add(look.saturating_sub(1)).min(limit_n));
+        for (i, &s) in active.iter().enumerate() {
+            // Safety: single-threaded, sole driver of shard `s`; the lane
+            // is dropped before the next one is built.
+            let mut lane = unsafe { parts.lane(s, std::mem::take(&mut scratches[i]), nows[i]) };
+            lane.drain_window(until);
+            nows[i] = lane.now;
+            scratches[i] = std::mem::take(&mut lane.scratch);
+        }
+        // Exchange: every window's cross-shard arrivals land at
+        // `>= t + look`, strictly after the window just drained.
+        for &w in active {
+            for &s in active {
+                // Safety: single-threaded; cells and destination wheels
+                // are touched one at a time.
+                let cell = unsafe { parts.out.get_mut(w * parts.nsh + s) };
+                for e in cell.drain(..) {
+                    unsafe { parts.counters.get_mut(s) }.xrecv += 1;
+                    unsafe { parts.queues.get_mut(s) }.schedule(e.at, e.key, e.payload);
+                }
+            }
+        }
+    }
+}
+
+/// Thread-per-active-shard windows, synchronized with a spin barrier.
+fn run_windows_threaded(
+    parts: LaneParts<'_>,
+    active: &[usize],
+    look: u64,
+    limit_n: u64,
+    start_now: Instant,
+) {
+    let mins: Vec<AtomicU64> = (0..active.len())
+        .map(|_| AtomicU64::new(u64::MAX))
+        .collect();
+    let barrier = SpinBarrier::new(active.len());
+    let mins = &mins;
+    let barrier = &barrier;
+
+    std::thread::scope(|scope| {
+        let worker = move |i: usize| {
+            let s = active[i];
+            // Safety: this worker is shard `s`'s sole driver; node/link/
+            // meta access inside the lane follows the shard partition.
+            let mut lane = unsafe { parts.lane(s, Vec::new(), start_now) };
+            loop {
+                let local = lane.queue.peek_key().map_or(u64::MAX, |(at, _)| at.nanos());
+                mins[i].store(local, Ordering::Release);
+                barrier.wait();
+                // Every worker computes the same `t`, so they all either
+                // enter the window or leave the loop together.
+                let t = mins
+                    .iter()
+                    .map(|m| m.load(Ordering::Acquire))
+                    .min()
+                    .expect("at least one shard");
+                if t == u64::MAX || t > limit_n {
+                    break;
+                }
+                let until =
+                    Instant::from_nanos(t.saturating_add(look.saturating_sub(1)).min(limit_n));
+                lane.drain_window(until);
+                barrier.wait();
+                // Exchange: pull this shard's inbox column. Each window's
+                // cross-shard arrivals land at `>= t + look`, strictly
+                // after the window just drained.
+                for &w in active {
+                    // Safety: column `s` cells are read by worker `s` only,
+                    // in the exchange phase only.
+                    let cell = unsafe { parts.out.get_mut(w * parts.nsh + s) };
+                    for e in cell.drain(..) {
+                        lane.ctr.xrecv += 1;
+                        lane.queue.schedule(e.at, e.key, e.payload);
+                    }
+                }
+                // No third barrier: nobody can re-enter a drain phase (and
+                // write outboxes again) until this worker passes the next
+                // window's min barrier.
+            }
+        };
+        for i in 1..active.len() {
+            scope.spawn(move || worker(i));
+        }
+        worker(0);
+    });
+}

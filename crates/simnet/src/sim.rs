@@ -4,8 +4,23 @@
 //! [`Link`]s. Nodes react to packet arrivals and timers
 //! through a [`Ctx`] handle that lets them send packets out of their ports
 //! and schedule further timers. Event ordering is total — ties on the
-//! timestamp break on a monotonically increasing sequence number — so every
-//! run is deterministic given the seed.
+//! timestamp break on a *content-derived* [`EvKey`] (originating node plus
+//! a per-node emission counter) — so every run is deterministic given the
+//! seed **and independent of how the topology is sharded**.
+//!
+//! # Sharding
+//!
+//! Every node belongs to a *region* (default 0), assigned at
+//! [`Simulator::add_node_in_region`] time. Regions are mapped onto `N`
+//! shards (`shard = region % N`), each with its own timing wheel. With
+//! `N == 1` the engine is exactly the classic single-threaded event loop;
+//! with `N > 1` the shards run on a thread-per-shard pool synchronized by
+//! conservative lookahead windows derived from the minimum propagation
+//! delay of any link that crosses shards (see [`crate::shard`]). Because
+//! every tie-breaking key, every RNG stream and every packet id is derived
+//! from content (node identity + per-node counters) rather than from
+//! global execution order, the observable results are byte-identical at
+//! every shard count.
 //!
 //! The run loop is built for throughput: events live in a timing wheel
 //! ([`crate::wheel`]) instead of a binary heap, links hang off a dense
@@ -23,6 +38,7 @@ use rand::RngCore;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::any::Any;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Identifier of a node within a simulator.
 pub type NodeId = usize;
@@ -30,13 +46,30 @@ pub type NodeId = usize;
 /// defines its own conventions (e.g. "port 0 faces the eNodeB").
 pub type PortId = usize;
 
+/// Process-wide default shard count picked up by [`Simulator::new`]
+/// (mirrors the bench runner's jobs knob; the `figures` CLI sets it from
+/// `--shards N`).
+static DEFAULT_SHARDS: AtomicUsize = AtomicUsize::new(1);
+
+/// Set the default shard count for subsequently constructed simulators.
+/// `None` restores the single-shard default.
+pub fn set_default_shards(n: Option<usize>) {
+    DEFAULT_SHARDS.store(n.unwrap_or(1).max(1), Ordering::SeqCst);
+}
+
+/// The current default shard count.
+pub fn default_shards() -> usize {
+    DEFAULT_SHARDS.load(Ordering::SeqCst).max(1)
+}
+
 /// Behaviour of a simulated network element.
 ///
 /// Nodes are single-threaded state machines: the simulator calls exactly one
-/// of these hooks at a time. `Any` supertrait (plus Rust's dyn upcasting)
-/// lets callers recover concrete node types after a run via
-/// [`Simulator::node_ref`].
-pub trait Node: Any {
+/// of these hooks at a time (each node lives on exactly one shard, and a
+/// shard is driven by one thread). `Any` supertrait (plus Rust's dyn
+/// upcasting) lets callers recover concrete node types after a run via
+/// [`Simulator::node_ref`]; `Send` lets shards run on worker threads.
+pub trait Node: Any + Send {
     /// A packet arrived on `port`.
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: PortId, pkt: Packet);
 
@@ -44,20 +77,45 @@ pub trait Node: Any {
     fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
 }
 
+/// Content-derived event tie-break key: the originating node (or
+/// [`EvKey::EXTERNAL`] for harness injections) plus that origin's emission
+/// counter. Two events can only tie on `(at, key)` if they are the same
+/// event, and the key assigned to an event does not depend on the global
+/// interleaving of other nodes' dispatches — which is what makes event
+/// ordering identical at every shard count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EvKey {
+    src: u32,
+    ctr: u64,
+}
+
+impl EvKey {
+    /// Source id used for events injected by the harness (outside any node
+    /// dispatch). Sorts after all node-originated events at the same
+    /// instant.
+    pub const EXTERNAL: u32 = u32::MAX;
+
+    /// Construct a key (exposed for the scheduler property tests).
+    pub fn new(src: u32, ctr: u64) -> EvKey {
+        EvKey { src, ctr }
+    }
+}
+
 /// Handle to a cancellable timer (see [`Ctx::schedule_in_cancellable`]).
 ///
 /// Generation-tagged: the handle names a slab slot plus the generation it
 /// was armed in, so a handle left over from a completed or cancelled timer
-/// can never affect a later timer that happens to reuse the slot.
+/// can never affect a later timer that happens to reuse the slot. Slabs
+/// are per-node, so handle values are themselves shard-invariant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimerHandle {
     slot: u32,
     gen: u32,
 }
 
-/// Generation slab backing [`TimerHandle`]s.
+/// Generation slab backing [`TimerHandle`]s (one per node).
 #[derive(Default)]
-struct TimerSlab {
+pub(crate) struct TimerSlab {
     gens: Vec<u32>,
     free: Vec<u32>,
 }
@@ -81,7 +139,7 @@ impl TimerSlab {
 
     /// Consume a handle: returns `true` (and frees the slot) iff it was
     /// still live. Used both by cancellation and by expiry.
-    fn invalidate(&mut self, h: TimerHandle) -> bool {
+    pub(crate) fn invalidate(&mut self, h: TimerHandle) -> bool {
         if self.gens[h.slot as usize] == h.gen {
             self.gens[h.slot as usize] = self.gens[h.slot as usize].wrapping_add(1);
             self.free.push(h.slot);
@@ -93,7 +151,7 @@ impl TimerSlab {
 }
 
 /// Deferred side effects produced by a node during a hook invocation.
-enum Action {
+pub(crate) enum Action {
     Send {
         port: PortId,
         pkt: Packet,
@@ -105,14 +163,63 @@ enum Action {
     },
 }
 
+/// Per-node engine state: the node's private RNG stream, its event/packet
+/// emission counters and its timer slab. All of it is keyed by node
+/// identity (plus the master seed), never by global execution order, so it
+/// evolves identically at every shard count.
+pub(crate) struct NodeMeta {
+    pub(crate) rng: ChaCha8Rng,
+    pub(crate) ev_ctr: u64,
+    pub(crate) pkt_ctr: u64,
+    pub(crate) timers: TimerSlab,
+}
+
+impl NodeMeta {
+    fn new(master_seed: u64, node: NodeId) -> NodeMeta {
+        NodeMeta {
+            rng: ChaCha8Rng::seed_from_u64(stream_seed(master_seed, 1, node as u64)),
+            ev_ctr: 0,
+            pkt_ctr: 0,
+            timers: TimerSlab::default(),
+        }
+    }
+}
+
+/// splitmix64 over a tagged input: derives decorrelated per-entity RNG
+/// streams (per node, per link) from the single master seed.
+pub(crate) fn stream_seed(master: u64, kind: u64, a: u64) -> u64 {
+    let mut z =
+        master ^ kind.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ a.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-shard counters. Kept per shard both so worker threads never share a
+/// cache line on the hot path and so the runner can report per-shard
+/// event throughput.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct ShardCounters {
+    pub(crate) events: u64,
+    pub(crate) arrivals: u64,
+    pub(crate) unrouted: u64,
+    pub(crate) timer_skipped: u64,
+    /// Cross-shard arrivals pushed to another shard's inbox.
+    pub(crate) xsent: u64,
+    /// Cross-shard arrivals accepted from other shards' outboxes.
+    pub(crate) xrecv: u64,
+    /// Instant of the last event dispatched on this shard.
+    pub(crate) last_at: Instant,
+}
+
 /// Handle given to nodes during event dispatch.
 pub struct Ctx<'a> {
-    now: Instant,
-    node: NodeId,
-    actions: &'a mut Vec<Action>,
-    rng: &'a mut ChaCha8Rng,
-    next_pkt_id: &'a mut u64,
-    timers: &'a mut TimerSlab,
+    pub(crate) now: Instant,
+    pub(crate) node: NodeId,
+    pub(crate) actions: &'a mut Vec<Action>,
+    pub(crate) rng: &'a mut ChaCha8Rng,
+    pub(crate) next_pkt_id: &'a mut u64,
+    pub(crate) timers: &'a mut TimerSlab,
 }
 
 impl Ctx<'_> {
@@ -176,21 +283,24 @@ impl Ctx<'_> {
         self.timers.invalidate(handle)
     }
 
-    /// The simulation-wide deterministic RNG.
+    /// This node's private deterministic RNG stream (derived from the
+    /// master seed and the node id, so draws are independent of other
+    /// nodes' dispatch order).
     pub fn rng(&mut self) -> &mut impl RngCore {
         self.rng
     }
 
-    /// Allocate a fresh, simulation-unique packet id.
+    /// Allocate a fresh, simulation-unique packet id from this node's
+    /// private id space.
     pub fn fresh_packet_id(&mut self) -> u64 {
-        let id = *self.next_pkt_id;
+        let id = ((self.node as u64 + 1) << 40) | *self.next_pkt_id;
         *self.next_pkt_id += 1;
         id
     }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum EvKind {
+pub(crate) enum EvKind {
     /// Packet delivery at (node, port).
     Arrive(NodeId, PortId),
     /// Timer expiry at node with a token, optionally guarded by a
@@ -198,46 +308,74 @@ enum EvKind {
     Timer(NodeId, u64, Option<TimerHandle>),
 }
 
-/// Event payload stored in the wheel (the `(at, seq)` key lives in the
+/// Event payload stored in the wheel (the `(at, key)` pair lives in the
 /// wheel entry itself).
-struct EvPayload {
-    kind: EvKind,
-    pkt: Option<Packet>,
+pub(crate) struct EvPayload {
+    pub(crate) kind: EvKind,
+    pub(crate) pkt: Option<Packet>,
+}
+
+impl EvPayload {
+    pub(crate) fn node(&self) -> NodeId {
+        match self.kind {
+            EvKind::Arrive(n, _) | EvKind::Timer(n, _, _) => n,
+        }
+    }
 }
 
 /// The discrete-event network simulator.
 pub struct Simulator {
-    now: Instant,
-    seq: u64,
-    queue: TimerWheel<EvPayload>,
-    nodes: Vec<Option<Box<dyn Node>>>,
+    pub(crate) now: Instant,
+    seed: u64,
+    nshards: usize,
+    /// One event wheel per shard.
+    pub(crate) queues: Vec<TimerWheel<EvPayload, EvKey>>,
+    pub(crate) nodes: Vec<Option<Box<dyn Node>>>,
     /// Dense link table: `links[node][port]`, grown on connect.
-    links: Vec<Vec<Option<Link>>>,
-    rng: ChaCha8Rng,
-    next_pkt_id: u64,
-    unrouted: u64,
-    events_processed: u64,
-    timers: TimerSlab,
-    timer_fires_skipped: u64,
-    /// Reusable per-dispatch action buffer.
-    scratch: Vec<Action>,
+    pub(crate) links: Vec<Vec<Option<Link>>>,
+    pub(crate) meta: Vec<NodeMeta>,
+    /// Per-node region label (assigned at add time).
+    region: Vec<u32>,
+    /// Per-node shard: `region % nshards`.
+    pub(crate) shard_of: Vec<u32>,
+    /// Emission counter for harness-injected events.
+    ext_ctr: u64,
+    /// Packets injected by the harness (conservation accounting).
+    injected: u64,
+    pub(crate) counters: Vec<ShardCounters>,
+    /// Cached conservative lookahead; `None` = recompute on next parallel
+    /// run (topology or link delay changed).
+    pub(crate) lookahead: Option<Duration>,
+    /// Reusable per-dispatch action buffer (serial path).
+    pub(crate) scratch: Vec<Action>,
 }
 
 impl Simulator {
-    /// Create a simulator seeded for deterministic runs.
+    /// Create a simulator seeded for deterministic runs, with the
+    /// process-default shard count (see [`set_default_shards`]).
     pub fn new(seed: u64) -> Simulator {
+        Simulator::with_shards(seed, default_shards())
+    }
+
+    /// Create a simulator with an explicit shard count. `shards == 1` is
+    /// the classic single-threaded engine; results are byte-identical at
+    /// every shard count.
+    pub fn with_shards(seed: u64, shards: usize) -> Simulator {
+        let shards = shards.max(1);
         Simulator {
             now: Instant::ZERO,
-            seq: 0,
-            queue: TimerWheel::new(),
+            seed,
+            nshards: shards,
+            queues: (0..shards).map(|_| TimerWheel::new()).collect(),
             nodes: Vec::new(),
             links: Vec::new(),
-            rng: ChaCha8Rng::seed_from_u64(seed),
-            next_pkt_id: 0,
-            unrouted: 0,
-            events_processed: 0,
-            timers: TimerSlab::default(),
-            timer_fires_skipped: 0,
+            meta: Vec::new(),
+            region: Vec::new(),
+            shard_of: Vec::new(),
+            ext_ctr: 0,
+            injected: 0,
+            counters: vec![ShardCounters::default(); shards],
+            lookahead: None,
             scratch: Vec::new(),
         }
     }
@@ -247,27 +385,87 @@ impl Simulator {
         self.now
     }
 
+    /// Number of shards this simulator runs on.
+    pub fn shards(&self) -> usize {
+        self.nshards
+    }
+
     /// Number of events dispatched so far (cancelled timer expiries
     /// included, for parity with runs that dispatch them as no-ops).
     pub fn events_processed(&self) -> u64 {
-        self.events_processed
+        self.counters.iter().map(|c| c.events).sum()
+    }
+
+    /// Events dispatched so far, broken down by shard.
+    pub fn events_by_shard(&self) -> Vec<u64> {
+        self.counters.iter().map(|c| c.events).collect()
+    }
+
+    /// Packet-arrival events dispatched so far (for delivery conservation
+    /// checks: every accepted transmission and injected packet must
+    /// eventually show up here once the queues drain).
+    pub fn arrivals_dispatched(&self) -> u64 {
+        self.counters.iter().map(|c| c.arrivals).sum()
+    }
+
+    /// Arrival events handed from one shard to another (sender side).
+    pub fn cross_shard_sent(&self) -> u64 {
+        self.counters.iter().map(|c| c.xsent).sum()
+    }
+
+    /// Arrival events accepted from other shards (receiver side). Equals
+    /// [`Simulator::cross_shard_sent`] whenever no window exchange lost an
+    /// event.
+    pub fn cross_shard_received(&self) -> u64 {
+        self.counters.iter().map(|c| c.xrecv).sum()
+    }
+
+    /// Packets injected directly by the harness.
+    pub fn injected_packets(&self) -> u64 {
+        self.injected
     }
 
     /// Timer expiries dropped at the queue because the timer was cancelled.
     pub fn timer_fires_skipped(&self) -> u64 {
-        self.timer_fires_skipped
+        self.counters.iter().map(|c| c.timer_skipped).sum()
     }
 
     /// Packets sent out of unconnected ports (usually a topology bug).
     pub fn unrouted_packets(&self) -> u64 {
-        self.unrouted
+        self.counters.iter().map(|c| c.unrouted).sum()
     }
 
-    /// Add a node, returning its id.
+    /// The conservative lookahead (minimum cross-shard propagation delay)
+    /// the parallel driver would use right now; `None` until first
+    /// computed or after a topology change. `Duration::ZERO` never occurs
+    /// — a zero-delay cross-shard link is rejected.
+    pub fn lookahead(&self) -> Option<Duration> {
+        self.lookahead
+    }
+
+    /// Add a node in region 0, returning its id.
     pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+        self.add_node_in_region(node, 0)
+    }
+
+    /// Add a node in `region`, returning its id. Regions are mapped onto
+    /// shards as `region % shards`; all of a node's events execute on its
+    /// shard's thread. Assign regions at creation time, before the node is
+    /// linked or targeted by any event.
+    pub fn add_node_in_region(&mut self, node: Box<dyn Node>, region: u32) -> NodeId {
+        let id = self.nodes.len();
         self.nodes.push(Some(node));
         self.links.push(Vec::new());
-        self.nodes.len() - 1
+        self.meta.push(NodeMeta::new(self.seed, id));
+        self.region.push(region);
+        self.shard_of.push(region % self.nshards as u32);
+        self.lookahead = None;
+        id
+    }
+
+    /// The region a node was added in.
+    pub fn region_of(&self, node: NodeId) -> u32 {
+        self.region[node]
     }
 
     /// Connect `from`'s `from_port` to `to`'s `to_port` with a unidirectional
@@ -280,12 +478,14 @@ impl Simulator {
     ) {
         assert!(from.0 < self.nodes.len(), "unknown source node");
         assert!(to.0 < self.nodes.len(), "unknown destination node");
+        let seed = stream_seed(self.seed, 2, ((from.0 as u64) << 20) | from.1 as u64);
         let ports = &mut self.links[from.0];
         if ports.len() <= from.1 {
             ports.resize_with(from.1 + 1, || None);
         }
         assert!(ports[from.1].is_none(), "port {from:?} already connected");
-        ports[from.1] = Some(Link::new(cfg, to));
+        ports[from.1] = Some(Link::new(cfg, to, seed));
+        self.lookahead = None;
     }
 
     /// Connect two nodes with a symmetric pair of links.
@@ -315,12 +515,23 @@ impl Simulator {
         self.links.get(from.0)?.get(from.1)?.as_ref()
     }
 
+    /// Next key for a harness-originated event.
+    fn ext_key(&mut self) -> EvKey {
+        let ctr = self.ext_ctr;
+        self.ext_ctr += 1;
+        EvKey {
+            src: EvKey::EXTERNAL,
+            ctr,
+        }
+    }
+
     /// Schedule an initial timer for a node (used to kick off sources).
     pub fn schedule_timer(&mut self, node: NodeId, at: Instant, token: u64) {
-        let seq = self.next_seq();
-        self.queue.schedule(
+        let key = self.ext_key();
+        let shard = self.shard_of[node] as usize;
+        self.queues[shard].schedule(
             at,
-            seq,
+            key,
             EvPayload {
                 kind: EvKind::Timer(node, token, None),
                 pkt: None,
@@ -330,10 +541,12 @@ impl Simulator {
 
     /// Inject a packet arriving at `(node, port)` at time `at`.
     pub fn inject_packet(&mut self, node: NodeId, port: PortId, at: Instant, pkt: Packet) {
-        let seq = self.next_seq();
-        self.queue.schedule(
+        let key = self.ext_key();
+        let shard = self.shard_of[node] as usize;
+        self.injected += 1;
+        self.queues[shard].schedule(
             at,
-            seq,
+            key,
             EvPayload {
                 kind: EvKind::Arrive(node, port),
                 pkt: Some(pkt),
@@ -341,141 +554,27 @@ impl Simulator {
         );
     }
 
-    fn next_seq(&mut self) -> u64 {
-        let s = self.seq;
-        self.seq += 1;
-        s
-    }
-
-    /// Queue a packet arrival (seq assignment + wheel insert in one place).
-    #[inline]
-    fn push_arrival(&mut self, at: Instant, dest: (NodeId, PortId), pkt: Packet) {
-        let seq = self.next_seq();
-        self.queue.schedule(
-            at,
-            seq,
-            EvPayload {
-                kind: EvKind::Arrive(dest.0, dest.1),
-                pkt: Some(pkt),
-            },
-        );
-    }
-
-    /// Run until the event queue drains or `limit` is reached, whichever is
-    /// first. Returns the number of events processed by this call.
+    /// Run until the event queues drain or `limit` is reached, whichever
+    /// is first. Returns the number of events processed by this call.
     pub fn run_until(&mut self, limit: Instant) -> u64 {
-        let mut n = 0;
-        while let Some((at, _)) = self.queue.peek_key() {
-            if at > limit {
-                break;
-            }
-            let (at, _, payload) = self.queue.pop().expect("peeked event vanished");
-            assert!(at >= self.now, "event scheduled in the past");
-            self.now = at;
-            self.dispatch(payload);
-            n += 1;
-        }
+        let n = if self.nshards == 1 {
+            crate::shard::run_serial(self, limit)
+        } else {
+            crate::shard::run_parallel(self, limit)
+        };
         // Even if no event lands exactly at `limit`, the clock advances.
         if self.now < limit {
             self.now = limit;
         }
-        self.events_processed += n;
         n
     }
 
-    /// Run until the event queue is fully drained.
+    /// Run until the event queues are fully drained.
     pub fn run_until_idle(&mut self) -> u64 {
-        let mut n = 0;
-        while let Some((at, _, payload)) = self.queue.pop() {
-            assert!(at >= self.now, "event scheduled in the past");
-            self.now = at;
-            self.dispatch(payload);
-            n += 1;
-        }
-        self.events_processed += n;
-        n
-    }
-
-    fn dispatch(&mut self, ev: EvPayload) {
-        let node_id = match ev.kind {
-            EvKind::Arrive(n, _) | EvKind::Timer(n, _, _) => n,
-        };
-        // Cancelled guard timers die here, before the node is touched.
-        if let EvKind::Timer(_, _, Some(guard)) = ev.kind {
-            if !self.timers.invalidate(guard) {
-                self.timer_fires_skipped += 1;
-                return;
-            }
-        }
-        let mut node = self.nodes[node_id]
-            .take()
-            .unwrap_or_else(|| panic!("node {node_id} re-entered during dispatch"));
-        let mut actions = std::mem::take(&mut self.scratch);
-        {
-            let mut ctx = Ctx {
-                now: self.now,
-                node: node_id,
-                actions: &mut actions,
-                rng: &mut self.rng,
-                next_pkt_id: &mut self.next_pkt_id,
-                timers: &mut self.timers,
-            };
-            match ev.kind {
-                EvKind::Arrive(_, port) => {
-                    let pkt = ev.pkt.expect("arrival without a packet");
-                    node.on_packet(&mut ctx, port, pkt);
-                }
-                EvKind::Timer(_, token, _) => node.on_timer(&mut ctx, token),
-            }
-        }
-        self.nodes[node_id] = Some(node);
-        self.apply_actions(node_id, &mut actions);
-        self.scratch = actions;
-    }
-
-    fn apply_actions(&mut self, node_id: NodeId, actions: &mut Vec<Action>) {
-        for action in actions.drain(..) {
-            match action {
-                Action::Send { port, pkt } => {
-                    let now = self.now;
-                    let Some(link) = self
-                        .links
-                        .get_mut(node_id)
-                        .and_then(|ports| ports.get_mut(port))
-                        .and_then(Option::as_mut)
-                    else {
-                        self.unrouted += 1;
-                        continue;
-                    };
-                    let dest = link.to();
-                    let deliveries = link.transmit(now, &pkt, &mut self.rng);
-                    match (deliveries.primary, deliveries.duplicate) {
-                        (Some(at), None) => self.push_arrival(at, dest, pkt),
-                        (Some(at), Some(dup_at)) => {
-                            // Payloads are shared buffers, so the duplicate
-                            // is a header-only copy.
-                            self.push_arrival(at, dest, pkt.clone());
-                            self.push_arrival(dup_at, dest, pkt);
-                        }
-                        // Primary dropped: the duplicate takes the original
-                        // packet, no clone needed.
-                        (None, Some(dup_at)) => self.push_arrival(dup_at, dest, pkt),
-                        (None, None) => {}
-                    }
-                }
-                Action::Timer { at, token, guard } => {
-                    let at = at.max(self.now);
-                    let seq = self.next_seq();
-                    self.queue.schedule(
-                        at,
-                        seq,
-                        EvPayload {
-                            kind: EvKind::Timer(node_id, token, guard),
-                            pkt: None,
-                        },
-                    );
-                }
-            }
+        if self.nshards == 1 {
+            crate::shard::run_serial(self, Instant::MAX)
+        } else {
+            crate::shard::run_parallel(self, Instant::MAX)
         }
     }
 
@@ -520,6 +619,7 @@ impl Simulator {
     pub fn reconfigure_link(&mut self, from: (NodeId, PortId), f: impl FnOnce(&mut LinkConfig)) {
         let link = self.link_mut(from).expect("reconfigure of unknown link");
         link.reconfigure(f);
+        self.lookahead = None;
     }
 }
 
@@ -638,28 +738,83 @@ mod tests {
         assert_eq!(sim.now(), Instant::from_secs(3));
     }
 
-    #[test]
-    fn determinism_same_seed_same_trace() {
-        fn run(seed: u64) -> Vec<Duration> {
-            let mut sim = Simulator::new(seed);
-            let prober = sim.add_node(Box::new(Prober {
+    fn probe_run(seed: u64, shards: usize, regions: [u32; 2]) -> Vec<Duration> {
+        let mut sim = Simulator::with_shards(seed, shards);
+        let prober = sim.add_node_in_region(
+            Box::new(Prober {
                 dst: Ipv4Addr::new(10, 0, 0, 2),
                 count: 20,
                 rtts: Vec::new(),
-            }));
-            let echo = sim.add_node(Box::new(Echo { seen: 0 }));
-            let cfg = LinkConfig {
-                rate_bps: 1_000_000,
-                jitter: Duration::from_micros(500),
-                ..LinkConfig::delay_only(Duration::from_millis(2))
-            };
-            sim.connect((prober, 0), (echo, 0), cfg);
-            sim.schedule_timer(prober, Instant::ZERO, 0);
-            sim.run_until_idle();
-            sim.node_ref::<Prober>(prober).rtts.clone()
+            }),
+            regions[0],
+        );
+        let echo = sim.add_node_in_region(Box::new(Echo { seen: 0 }), regions[1]);
+        let cfg = LinkConfig {
+            rate_bps: 1_000_000,
+            jitter: Duration::from_micros(500),
+            ..LinkConfig::delay_only(Duration::from_millis(2))
+        };
+        sim.connect((prober, 0), (echo, 0), cfg);
+        sim.schedule_timer(prober, Instant::ZERO, 0);
+        sim.run_until_idle();
+        sim.node_ref::<Prober>(prober).rtts.clone()
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        assert_eq!(probe_run(42, 1, [0, 0]), probe_run(42, 1, [0, 0]));
+        assert_ne!(
+            probe_run(42, 1, [0, 0]),
+            probe_run(43, 1, [0, 0]),
+            "jitter should depend on the seed"
+        );
+    }
+
+    #[test]
+    fn sharded_run_matches_single_threaded_run() {
+        let serial = probe_run(42, 1, [0, 1]);
+        for shards in [2, 4] {
+            assert_eq!(
+                serial,
+                probe_run(42, shards, [0, 1]),
+                "shards={shards} must be byte-identical to shards=1"
+            );
         }
-        assert_eq!(run(42), run(42));
-        assert_ne!(run(42), run(43), "jitter should depend on the seed");
+    }
+
+    #[test]
+    fn cross_shard_exchange_conserves_events() {
+        let mut sim = Simulator::with_shards(11, 2);
+        let prober = sim.add_node_in_region(
+            Box::new(Prober {
+                dst: Ipv4Addr::new(10, 0, 0, 2),
+                count: 50,
+                rtts: Vec::new(),
+            }),
+            0,
+        );
+        let echo = sim.add_node_in_region(Box::new(Echo { seen: 0 }), 1);
+        sim.connect(
+            (prober, 0),
+            (echo, 0),
+            LinkConfig::delay_only(Duration::from_millis(1)),
+        );
+        sim.schedule_timer(prober, Instant::ZERO, 0);
+        sim.run_until_idle();
+        assert_eq!(sim.cross_shard_sent(), 100, "50 pings + 50 echoes");
+        assert_eq!(sim.cross_shard_sent(), sim.cross_shard_received());
+        assert_eq!(sim.node_ref::<Prober>(prober).rtts.len(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero propagation delay")]
+    fn zero_delay_cross_shard_link_is_rejected() {
+        let mut sim = Simulator::with_shards(1, 2);
+        let a = sim.add_node_in_region(Box::new(Echo { seen: 0 }), 0);
+        let b = sim.add_node_in_region(Box::new(Echo { seen: 0 }), 1);
+        sim.connect((a, 0), (b, 0), LinkConfig::delay_only(Duration::ZERO));
+        sim.schedule_timer(a, Instant::ZERO, 0);
+        sim.run_until_idle();
     }
 
     /// Node that arms a cancellable timer, then cancels it on the next

@@ -8,9 +8,8 @@
 use crate::packet::Packet;
 use crate::sim::{Ctx, Node, PortId};
 use crate::time::Instant;
-use std::cell::RefCell;
 use std::net::Ipv4Addr;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Direction of a recorded event relative to the tapped node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,7 +44,7 @@ pub struct TraceEvent {
 /// Shared, cheaply cloneable event log.
 #[derive(Clone, Default)]
 pub struct TraceLog {
-    events: Rc<RefCell<Vec<TraceEvent>>>,
+    events: Arc<Mutex<Vec<TraceEvent>>>,
 }
 
 impl TraceLog {
@@ -55,28 +54,29 @@ impl TraceLog {
     }
 
     fn record(&self, ev: TraceEvent) {
-        self.events.borrow_mut().push(ev);
+        self.events.lock().expect("trace log poisoned").push(ev);
     }
 
     /// Snapshot of all events, in order.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.events.borrow().clone()
+        self.events.lock().expect("trace log poisoned").clone()
     }
 
     /// Number of recorded events.
     pub fn len(&self) -> usize {
-        self.events.borrow().len()
+        self.events.lock().expect("trace log poisoned").len()
     }
 
     /// Is the log empty?
     pub fn is_empty(&self) -> bool {
-        self.events.borrow().is_empty()
+        self.events.lock().expect("trace log poisoned").is_empty()
     }
 
     /// Events matching a predicate.
     pub fn filter(&self, f: impl Fn(&TraceEvent) -> bool) -> Vec<TraceEvent> {
         self.events
-            .borrow()
+            .lock()
+            .expect("trace log poisoned")
             .iter()
             .filter(|e| f(e))
             .cloned()
@@ -86,7 +86,7 @@ impl TraceLog {
     /// Render as a tcpdump-ish text dump.
     pub fn dump(&self) -> String {
         let mut out = String::new();
-        for e in self.events.borrow().iter() {
+        for e in self.events.lock().expect("trace log poisoned").iter() {
             out.push_str(&format!(
                 "{:>12} {} port{} {} -> {} proto {} len {} id {}\n",
                 e.at.to_string(),

@@ -40,61 +40,65 @@ const WORDS: usize = SLOTS / 64;
 /// Width of one slot in simulated time.
 pub const SLOT_WIDTH: u64 = 1 << SLOT_SHIFT;
 
-/// A scheduled entry: the `(at, seq)` key plus an arbitrary payload.
-struct Entry<T> {
+/// A scheduled entry: the `(at, key)` pair plus an arbitrary payload. The
+/// tie-break key `K` is `u64` for the classic global-sequence ordering, or
+/// any other totally ordered copyable key (the sharded engine uses a
+/// content-derived `(source, counter)` key so ordering is identical at
+/// every shard count).
+struct Entry<T, K> {
     at: Instant,
-    seq: u64,
+    seq: K,
     item: T,
 }
 
-impl<T> PartialEq for Entry<T> {
+impl<T, K: Ord + Copy> PartialEq for Entry<T, K> {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl<T> Eq for Entry<T> {}
-impl<T> PartialOrd for Entry<T> {
+impl<T, K: Ord + Copy> Eq for Entry<T, K> {}
+impl<T, K: Ord + Copy> PartialOrd for Entry<T, K> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<T> Ord for Entry<T> {
+impl<T, K: Ord + Copy> Ord for Entry<T, K> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.at, self.seq).cmp(&(other.at, other.seq))
     }
 }
 
-/// A timing-wheel priority queue over `(Instant, seq)` keys.
+/// A timing-wheel priority queue over `(Instant, key)` pairs.
 ///
-/// Pops events in strictly ascending `(at, seq)` order — byte-identical to
-/// a `BinaryHeap<Reverse<(at, seq, ..)>>` — while keeping insert and pop
+/// Pops events in strictly ascending `(at, key)` order — byte-identical to
+/// a `BinaryHeap<Reverse<(at, key, ..)>>` — while keeping insert and pop
 /// amortized `O(1)` for the near-future events that dominate simulation
 /// workloads.
-pub struct TimerWheel<T> {
+pub struct TimerWheel<T, K: Ord + Copy = u64> {
     /// Bucket index the cursor points at; all events in buckets ≤ cursor
     /// live in `cur`.
     cursor: u64,
     /// Heap of events due in or before the cursor bucket.
-    cur: BinaryHeap<Reverse<Entry<T>>>,
+    cur: BinaryHeap<Reverse<Entry<T, K>>>,
     /// The ring: unsorted per-slot event lists for buckets in
     /// `(cursor, cursor + SLOTS)`.
-    slots: Box<[Vec<Entry<T>>]>,
+    slots: Box<[Vec<Entry<T, K>>]>,
     /// One bit per slot: set iff the slot list is non-empty.
     occupied: [u64; WORDS],
     /// Events beyond the ring horizon.
-    overflow: BinaryHeap<Reverse<Entry<T>>>,
+    overflow: BinaryHeap<Reverse<Entry<T, K>>>,
     len: usize,
 }
 
-impl<T> Default for TimerWheel<T> {
+impl<T, K: Ord + Copy> Default for TimerWheel<T, K> {
     fn default() -> Self {
         TimerWheel::new()
     }
 }
 
-impl<T> TimerWheel<T> {
+impl<T, K: Ord + Copy> TimerWheel<T, K> {
     /// An empty wheel with the cursor at t = 0.
-    pub fn new() -> TimerWheel<T> {
+    pub fn new() -> TimerWheel<T, K> {
         TimerWheel {
             cursor: 0,
             cur: BinaryHeap::new(),
@@ -121,15 +125,16 @@ impl<T> TimerWheel<T> {
     }
 
     /// Schedule `item` at `(at, seq)`. `seq` must be unique across live
-    /// entries (the simulator's global event sequence guarantees this).
-    pub fn schedule(&mut self, at: Instant, seq: u64, item: T) {
+    /// entries at the same instant (the simulator's content-derived event
+    /// keys guarantee this).
+    pub fn schedule(&mut self, at: Instant, seq: K, item: T) {
         self.len += 1;
         self.route(Entry { at, seq, item });
     }
 
     /// Place an entry in `cur`, the ring, or overflow based on its bucket.
     #[inline]
-    fn route(&mut self, e: Entry<T>) {
+    fn route(&mut self, e: Entry<T, K>) {
         let b = Self::bucket(e.at);
         if b <= self.cursor {
             self.cur.push(Reverse(e));
@@ -145,7 +150,7 @@ impl<T> TimerWheel<T> {
     }
 
     /// Key of the next event to pop, without removing it.
-    pub fn peek_key(&mut self) -> Option<(Instant, u64)> {
+    pub fn peek_key(&mut self) -> Option<(Instant, K)> {
         if self.len == 0 {
             return None;
         }
@@ -154,7 +159,7 @@ impl<T> TimerWheel<T> {
     }
 
     /// Remove and return the globally earliest `(at, seq, item)`.
-    pub fn pop(&mut self) -> Option<(Instant, u64, T)> {
+    pub fn pop(&mut self) -> Option<(Instant, K, T)> {
         if self.len == 0 {
             return None;
         }

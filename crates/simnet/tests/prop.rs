@@ -169,6 +169,90 @@ proptest! {
         prop_assert!(wheel.is_empty());
     }
 
+    /// The sharded engine's conservative-lookahead exchange preserves the
+    /// merged-wheel total order: an arbitrary multi-region topology —
+    /// cross-shard links with arbitrary positive delays (short enough to
+    /// stay in-ring, long enough to land in the wheel's overflow slots
+    /// and migrate out mid-rotation), zero-delay same-region chains, and
+    /// every kickoff scheduled at the same instant so `(at, key)` ties
+    /// cross shard boundaries — produces byte-identical observables at
+    /// every shard count, and the exchange conserves every event it
+    /// carries.
+    #[test]
+    fn sharded_exchange_matches_merged_wheel(
+        seed in any::<u64>(),
+        regions in 2usize..=4,
+        cross_delays_us in prop::collection::vec(1u64..100_000, 4),
+        counts in prop::collection::vec(1u32..12, 8),
+        intervals_us in prop::collection::vec(1u64..100_000, 8),
+    ) {
+        let run = |shards: usize| {
+            let mut sim = Simulator::with_shards(seed, shards);
+            let mut pings = Vec::new();
+            for r in 0..regions {
+                // Cross-shard pair: ping in region r, reflector in the
+                // next region, positive link delay (the lookahead source).
+                let ping = sim.add_node_in_region(
+                    Box::new(PingAgent::new(
+                        Ipv4Addr::new(10, 0, r as u8, 1),
+                        Ipv4Addr::new(10, 0, ((r + 1) % regions) as u8, 2),
+                        Duration::from_micros(intervals_us[2 * r % intervals_us.len()]),
+                        counts[2 * r % counts.len()] as u64,
+                    )),
+                    r as u32,
+                );
+                let refl = sim.add_node_in_region(
+                    Box::new(Reflector::new()),
+                    ((r + 1) % regions) as u32,
+                );
+                sim.connect(
+                    (ping, 0),
+                    (refl, 0),
+                    LinkConfig::delay_only(Duration::from_micros(
+                        cross_delays_us[r % cross_delays_us.len()],
+                    ))
+                    .with_jitter(Duration::from_micros(500))
+                    .with_loss(0.05),
+                );
+                pings.push(ping);
+
+                // Same-region pair on a zero-delay link: same-instant
+                // chains whose ties must resolve identically everywhere.
+                let local = sim.add_node_in_region(
+                    Box::new(PingAgent::new(
+                        Ipv4Addr::new(10, 1, r as u8, 1),
+                        Ipv4Addr::new(10, 1, r as u8, 2),
+                        Duration::from_micros(intervals_us[(2 * r + 1) % intervals_us.len()]),
+                        counts[(2 * r + 1) % counts.len()] as u64,
+                    )),
+                    r as u32,
+                );
+                let lrefl = sim.add_node_in_region(Box::new(Reflector::new()), r as u32);
+                sim.connect((local, 0), (lrefl, 0), LinkConfig::delay_only(Duration::ZERO));
+                pings.push(local);
+            }
+            for &p in &pings {
+                sim.schedule_timer(p, Instant::ZERO, PingAgent::KICKOFF);
+            }
+            sim.run_until_idle();
+            let rtts: Vec<Vec<Duration>> = pings
+                .iter()
+                .map(|&p| sim.node_ref::<PingAgent>(p).rtts().to_vec())
+                .collect();
+            (rtts, sim.events_processed(), sim.cross_shard_sent(), sim.cross_shard_received())
+        };
+
+        let (rtts1, events1, xs1, xr1) = run(1);
+        prop_assert_eq!(xs1, 0);
+        prop_assert_eq!(xr1, 0);
+        for shards in [2, regions, 8] {
+            let (rtts, events, xsent, xrecv) = run(shards);
+            prop_assert_eq!(&rtts, &rtts1, "shards={} diverged", shards);
+            prop_assert_eq!(events, events1, "shards={} event count drifted", shards);
+            prop_assert_eq!(xsent, xrecv, "shards={} exchange lost events", shards);
+        }
+    }
+
     /// Simulation runs are deterministic functions of the seed.
     #[test]
     fn determinism(seed in any::<u64>()) {

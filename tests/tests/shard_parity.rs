@@ -1,0 +1,83 @@
+//! Shard-parity differential harness: the sharded engine's determinism
+//! contract (DESIGN.md §5.2) at the byte level.
+//!
+//! The spatially sharded engine is only legal because a run at any
+//! `--shards N` is byte-identical to the single-threaded run: shards
+//! exchange cross-shard arrivals under conservative lookahead and every
+//! shard pops its events in the same `(at, key)` total order the merged
+//! single wheel would have used. This test pins that contract the same
+//! way `golden_output.rs` pins the engine overhaul: the heavy
+//! mobility-family experiments are rendered at shards {1, 2, 4, 8} and
+//! every rendering must equal the checked-in single-threaded golden
+//! (`figures_output.txt`), so a lookahead bug, a mis-ordered exchange,
+//! or a shard-dependent RNG pull shows up as a one-character diff.
+//!
+//! The scale benchmark is not part of `figures all` (its stderr is
+//! wall-clock dependent), so its stdout is compared against its own
+//! shards=1 rendering instead of the golden file.
+//!
+//! Ignored by default (it reruns figure-scale grids 4×); CI runs the
+//! matrix with `--release -- --ignored`.
+
+use acacia_bench::{run, runner, set_seed};
+use acacia_simnet::set_default_shards;
+use std::sync::Mutex;
+
+/// Both the runner's jobs knob and the engine's shard knob are
+/// process-wide; tests in this binary run concurrently, so every test
+/// that touches either serializes on this lock.
+static ENGINE_KNOBS: Mutex<()> = Mutex::new(());
+
+/// The shard counts of the differential matrix.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Render one experiment's stdout at a given shard count, restoring the
+/// single-shard default afterwards. Matches `Table::print` (render plus
+/// one trailing newline), which is what `figures_output.txt` records.
+fn render_at_shards(id: &str, shards: usize) -> String {
+    set_default_shards(Some(shards));
+    let out = format!("{}\n", run(id).expect("known experiment id").render());
+    set_default_shards(None);
+    out
+}
+
+#[test]
+#[ignore = "figure-scale grids x 4 shard counts; run with --release -- --ignored"]
+fn mobility_family_matches_golden_at_every_shard_count() {
+    let _guard = ENGINE_KNOBS.lock().expect("engine knobs lock");
+    let golden = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../figures_output.txt"
+    ))
+    .expect("figures_output.txt is checked in at the repo root");
+    runner::set_jobs(None);
+    set_seed(42);
+    for id in ["mobility", "chaos", "loaded"] {
+        for shards in SHARD_COUNTS {
+            let rendered = render_at_shards(id, shards);
+            assert!(
+                golden.contains(&rendered),
+                "{id} at --shards {shards} drifted from the single-threaded \
+                 golden in figures_output.txt:\n{rendered}"
+            );
+        }
+    }
+    let _ = runner::drain_timings();
+}
+
+#[test]
+#[ignore = "figure-scale grids x 4 shard counts; run with --release -- --ignored"]
+fn scale_benchmark_is_byte_identical_at_every_shard_count() {
+    let _guard = ENGINE_KNOBS.lock().expect("engine knobs lock");
+    runner::set_jobs(None);
+    set_seed(42);
+    let single = render_at_shards("scale", 1);
+    for shards in [2, 4, 8] {
+        let sharded = render_at_shards("scale", shards);
+        assert_eq!(
+            sharded, single,
+            "scale stdout at --shards {shards} must match --shards 1 exactly"
+        );
+    }
+    let _ = runner::drain_timings();
+}
