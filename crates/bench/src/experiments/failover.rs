@@ -1,0 +1,326 @@
+//! The failover ladder experiment: crash schedules over the city and an
+//! audit of where every session landed.
+//!
+//! Not a figure of the original paper — it exercises the robustness
+//! ladder the paper's architecture implies but never measures: when a
+//! MEC site (or a whole region, gateway included) dies mid-stream, the
+//! MRS lease audit must evict it, streaming clients must re-resolve and
+//! re-anchor (neighbor MEC over the default bearer, or the cloud
+//! fallback), and — when the site comes back — the restored lease must
+//! let later rechecks re-bind. Three crash shapes run over the smoke
+//! city (8 MEC regions, 32 sessions), the restarting ones sweeping the
+//! outage duration, and *each* configuration runs at `--shards`
+//! {1, 2, 4, 8}: every deterministic column must be identical across a
+//! configuration's four rows, so the table doubles as a live parity
+//! check of the node-fault engine under sharding.
+//!
+//! Headline invariants, asserted per cell: zero wedged sessions, every
+//! session in exactly one outcome bucket, the GW-C's dedicated-bearer
+//! activation counter equal to the bearers actually present, and a
+//! conserved cross-shard exchange. Wall-clock goes to stderr and
+//! `BENCH_failover.json`; stdout stays byte-identical across `--jobs`
+//! and `--shards`.
+
+use crate::runner;
+use crate::table::Table;
+use acacia::failover::{FailoverConfig, FailoverMode, FailoverReport, FailoverScenario};
+use acacia_simnet::time::Duration;
+
+/// Shard counts swept per crash configuration.
+pub const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The crash schedule matrix: mode × outage duration.
+fn configs() -> Vec<(FailoverMode, Duration)> {
+    vec![
+        (FailoverMode::CrashStop, Duration::ZERO),
+        (FailoverMode::CrashRestart, Duration::from_millis(500)),
+        (FailoverMode::CrashRestart, Duration::from_secs(1)),
+        (FailoverMode::CrashRestart, Duration::from_secs(2)),
+        (FailoverMode::RegionOutage, Duration::from_secs(1)),
+    ]
+}
+
+/// One executed cell: a crash configuration at one shard count.
+pub struct FailoverCell {
+    /// Crash shape.
+    pub mode: FailoverMode,
+    /// Outage duration (zero for crash-stop).
+    pub outage: Duration,
+    /// Shard count the engine ran with.
+    pub shards: usize,
+    /// The deterministic outcome.
+    pub report: FailoverReport,
+    /// Wall-clock seconds (non-deterministic; kept off stdout).
+    pub wall_s: f64,
+}
+
+/// The deterministic fingerprint that must not vary with the shard
+/// count.
+fn fingerprint(r: &FailoverReport) -> impl PartialEq + std::fmt::Debug {
+    (
+        r.city
+            .ues
+            .iter()
+            .map(|u| (u.frames_done, u.handovers, u.retransmissions))
+            .collect::<Vec<_>>(),
+        r.outcomes,
+        r.failovers,
+        r.interruptions_s.clone(),
+        r.node_restarts,
+        r.mrs_evictions,
+        r.mrs_restores,
+        r.gwu_flush_released,
+        r.city.events_processed,
+        r.city.sim_elapsed,
+    )
+}
+
+/// Run every crash configuration at every shard count. The shard knob is
+/// process-wide, so shard counts run serially; within one shard count
+/// the configurations fan out across `--jobs`. The knob in effect
+/// before the sweep is restored afterwards.
+fn sweep(seed: u64) -> Vec<FailoverCell> {
+    let prev = acacia_simnet::default_shards();
+    let mut cells = Vec::new();
+    for &shards in &SHARD_COUNTS {
+        acacia_simnet::set_default_shards(Some(shards));
+        let jobs: Vec<(String, (FailoverMode, Duration))> = configs()
+            .into_iter()
+            .map(|(mode, outage)| {
+                (
+                    format!("{} outage={} shards={shards}", mode.label(), outage),
+                    (mode, outage),
+                )
+            })
+            .collect();
+        let ran = runner::pmap("failover", jobs, move |(mode, outage)| {
+            let mut cfg = FailoverConfig::smoke(mode, outage);
+            cfg.fault_seed = seed;
+            let t0 = std::time::Instant::now();
+            let report = FailoverScenario::run(cfg);
+            runner::report_events(report.city.events_processed);
+            runner::report_shard_events(&report.city.events_by_shard);
+            FailoverCell {
+                mode,
+                outage,
+                shards,
+                report,
+                wall_s: t0.elapsed().as_secs_f64(),
+            }
+        });
+        cells.extend(ran);
+    }
+    acacia_simnet::set_default_shards(Some(prev));
+    cells
+}
+
+/// Failover sweep at the master seed (`figures --seed N` varies the
+/// fault plan's probability draws; the schedule itself is fixed).
+pub fn failover_reports() -> Vec<FailoverCell> {
+    sweep(crate::seed())
+}
+
+/// Failover: crash schedules, outage sweep, outcome audit, shard parity.
+pub fn failover() -> Table {
+    let cells = failover_reports();
+    let mut t = Table::new(
+        "Failover — MEC/GW crash schedules over the city (8 regions, 32 sessions)",
+        &[
+            "mode",
+            "outage",
+            "shards",
+            "frames",
+            "failovers",
+            "stayed",
+            "neigh",
+            "cloud",
+            "rebind",
+            "evict/rest",
+            "restarts",
+            "p95 gap",
+            "wedged",
+            "events",
+        ],
+    );
+    // Shard parity: each configuration's deterministic outcome must be
+    // identical at every shard count.
+    for (mode, outage) in configs() {
+        let group: Vec<&FailoverCell> = cells
+            .iter()
+            .filter(|c| c.mode == mode && c.outage == outage)
+            .collect();
+        assert_eq!(group.len(), SHARD_COUNTS.len());
+        let base = fingerprint(&group[0].report);
+        for c in &group[1..] {
+            assert_eq!(
+                fingerprint(&c.report),
+                base,
+                "{} outage={}: shards={} diverged from shards={}",
+                mode.label(),
+                outage,
+                c.shards,
+                group[0].shards
+            );
+        }
+    }
+    for c in &cells {
+        let r = &c.report;
+        assert_eq!(
+            r.city.wedged(),
+            0,
+            "{} outage={} shards={}: wedged sessions",
+            c.mode.label(),
+            c.outage,
+            c.shards
+        );
+        assert_eq!(r.city.protocol_wedged(), 0);
+        assert!(
+            r.conserved(),
+            "{} outage={} shards={}: recovery counters not conserved",
+            c.mode.label(),
+            c.outage,
+            c.shards
+        );
+        let frames_done: u64 = r.city.ues.iter().map(|u| u.frames_done).sum();
+        t.row(vec![
+            c.mode.label().to_string(),
+            format!("{}", c.outage),
+            c.shards.to_string(),
+            format!(
+                "{}/{}",
+                frames_done,
+                r.city.frames_requested * r.city.ue_count as u64
+            ),
+            r.failovers.to_string(),
+            r.outcomes.stayed.to_string(),
+            r.outcomes.neighbor_mec.to_string(),
+            r.outcomes.cloud_fallback.to_string(),
+            r.outcomes.restart_rebind.to_string(),
+            format!("{}/{}", r.mrs_evictions, r.mrs_restores),
+            r.node_restarts.to_string(),
+            format!("{:.3}s", r.interruption_percentile(95.0)),
+            r.city.wedged().to_string(),
+            r.city.events_processed.to_string(),
+        ]);
+    }
+    t.note("each crash configuration runs at --shards {1, 2, 4, 8}: its four rows must be");
+    t.note("identical except the 'shards' column (live parity check of the fault engine);");
+    t.note("'wedged' must be 0 everywhere and stayed+neigh+cloud+rebind must cover all 32");
+    t.note("sessions; 'p95 gap' is the service interruption at each failover adoption");
+
+    for c in &cells {
+        eprintln!(
+            "failover {} outage={} shards={}: {} events in {:.2}s wall",
+            c.mode.label(),
+            c.outage,
+            c.shards,
+            c.report.city.events_processed,
+            c.wall_s
+        );
+    }
+    let json = render_json(&cells);
+    match std::fs::write("BENCH_failover.json", &json) {
+        Ok(()) => eprintln!("wrote BENCH_failover.json"),
+        Err(e) => eprintln!("could not write BENCH_failover.json: {e}"),
+    }
+    t
+}
+
+/// Hand-rolled JSON (the bench crate deliberately has no serde): every
+/// string value is a fixed mode label, so no escaping is needed.
+fn render_json(cells: &[FailoverCell]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"failover\",\n  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let r = &c.report;
+        let frames_done: u64 = r.city.ues.iter().map(|u| u.frames_done).sum();
+        out.push_str(&format!(
+            concat!(
+                "    {{\"mode\": \"{}\", \"outage_ms\": {}, \"shards\": {}, ",
+                "\"frames_done\": {}, \"frames_requested\": {}, \"failovers\": {}, ",
+                "\"stayed\": {}, \"neighbor_mec\": {}, \"cloud_fallback\": {}, ",
+                "\"restart_rebind\": {}, \"mrs_evictions\": {}, \"mrs_restores\": {}, ",
+                "\"node_restarts\": {}, \"gwu_flush_released\": {}, ",
+                "\"interruption_p50_s\": {:.3}, \"interruption_p95_s\": {:.3}, ",
+                "\"interruption_max_s\": {:.3}, \"wedged\": {}, ",
+                "\"events_processed\": {}, \"wall_s\": {:.3}}}{}\n"
+            ),
+            c.mode.label(),
+            (c.outage.secs_f64() * 1000.0).round() as u64,
+            c.shards,
+            frames_done,
+            r.city.frames_requested * r.city.ue_count as u64,
+            r.failovers,
+            r.outcomes.stayed,
+            r.outcomes.neighbor_mec,
+            r.outcomes.cloud_fallback,
+            r.outcomes.restart_rebind,
+            r.mrs_evictions,
+            r.mrs_restores,
+            r.node_restarts,
+            r.gwu_flush_released,
+            r.interruption_percentile(50.0),
+            r.interruption_percentile(95.0),
+            r.interruption_percentile(100.0),
+            r.city.wedged(),
+            r.city.events_processed,
+            c.wall_s,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One crash-restart configuration swept across every shard count:
+    /// identical deterministic outcome, zero wedged sessions, conserved
+    /// recovery counters, well-formed JSON.
+    #[test]
+    fn crash_restart_sweep_is_shard_invariant() {
+        let prev = acacia_simnet::default_shards();
+        let mut cells = Vec::new();
+        for &shards in &SHARD_COUNTS {
+            acacia_simnet::set_default_shards(Some(shards));
+            let mut cfg =
+                FailoverConfig::smoke(FailoverMode::CrashRestart, Duration::from_secs(1));
+            cfg.city.regions = 2;
+            cfg.city.ues_per_region = 2;
+            cfg.city.frame_count = 2;
+            let report = FailoverScenario::run(cfg);
+            cells.push(FailoverCell {
+                mode: FailoverMode::CrashRestart,
+                outage: Duration::from_secs(1),
+                shards,
+                report,
+                wall_s: 0.0,
+            });
+        }
+        acacia_simnet::set_default_shards(Some(prev));
+
+        let base = fingerprint(&cells[0].report);
+        for c in &cells[1..] {
+            assert_eq!(
+                fingerprint(&c.report),
+                base,
+                "shards={} diverged from shards=1",
+                c.shards
+            );
+        }
+        for c in &cells {
+            assert_eq!(c.report.city.wedged(), 0);
+            assert!(c.report.conserved(), "shards={}: {:?}", c.shards, c.report);
+        }
+        assert_eq!(cells[0].report.node_restarts, 1);
+        assert_eq!(cells[0].report.mrs_restores, 1);
+
+        let json = render_json(&cells);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert_eq!(json.matches("\"mode\"").count(), SHARD_COUNTS.len());
+        assert!(json.contains("\"wedged\": 0"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -6,6 +6,7 @@
 pub mod application;
 pub mod chaos;
 pub mod city;
+pub mod failover;
 pub mod compute;
 pub mod loaded;
 pub mod localization;

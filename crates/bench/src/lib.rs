@@ -72,7 +72,7 @@ pub const SLOW_IDS: [&str; 7] = [
 /// Extra experiments runnable by id but excluded from `all` (they
 /// measure the harness, not the paper: their stderr/JSON output is
 /// wall-clock dependent).
-pub const EXTRA_IDS: [&str; 2] = ["scale", "city"];
+pub const EXTRA_IDS: [&str; 3] = ["scale", "city", "failover"];
 
 /// Run one experiment by id.
 pub fn run(id: &str) -> Option<Table> {
@@ -103,6 +103,7 @@ pub fn run(id: &str) -> Option<Table> {
         "chaos" => chaos::chaos(),
         "scale" => scale::scale(),
         "city" => city::city(),
+        "failover" => failover::failover(),
         "loaded" => loaded::loaded(),
         _ => return None,
     })

@@ -52,6 +52,12 @@ pub struct ArFrontendConfig {
     /// user who points at a new object every so often rather than
     /// streaming back-to-back.
     pub min_frame_interval: Option<Duration>,
+    /// Device-manager lease recheck: when set, a streaming client
+    /// re-validates its MEC resolution with the MRS at this period. If
+    /// the MRS has evicted the serving server (lease lapsed), the answer
+    /// carries a different address and the client fails the session over
+    /// to it (see [`ArFrontend::failovers`]).
+    pub lease_recheck: Option<Duration>,
 }
 
 impl ArFrontendConfig {
@@ -72,6 +78,7 @@ impl ArFrontendConfig {
             rx_report_schedule: Vec::new(),
             report_period: Duration::from_secs(5),
             min_frame_interval: None,
+            lease_recheck: None,
         }
     }
 }
@@ -145,6 +152,9 @@ mod token {
     /// Re-issue the MRS connectivity request mid-stream (after a
     /// serving-cell change); idempotent at the MRS/PCEF.
     pub const REANCHOR: u64 = 6;
+    /// Periodic device-manager lease recheck (self-rescheduling while
+    /// streaming; see `ArFrontendConfig::lease_recheck`).
+    pub const RECHECK: u64 = 7;
     /// Low bits reserved for the token kind; high bits carry an epoch.
     pub const BITS: u32 = 8;
     /// Mask selecting the token kind.
@@ -186,6 +196,20 @@ pub struct ArFrontend {
     pub reanchor_requests: u64,
     /// MRS acks received while already streaming (re-anchor confirms).
     pub reanchor_acks: u64,
+    /// The CI server the session is currently anchored to. Starts at
+    /// `cfg.server` and moves when an MRS answer resolves elsewhere (the
+    /// serving MEC's lease lapsed, or it was restored).
+    current_server: Ipv4Addr,
+    /// Session failovers performed (adoptions of a different server).
+    pub failovers: u64,
+    /// One entry per failover: (when, service interruption) — the gap
+    /// since the last forward progress (chunk ack / result / upload
+    /// start) at the moment the new server was adopted.
+    pub failover_log: Vec<(Instant, Duration)>,
+    /// Lease rechecks issued (periodic idempotent MRS re-requests).
+    pub lease_rechecks: u64,
+    /// Instant of the last forward progress on the session.
+    last_progress_at: Instant,
     spec: ImageSpec,
     /// Bearer-setup handshake duration (when MRS is configured).
     pub bearer_setup: Option<Duration>,
@@ -208,9 +232,16 @@ impl ArFrontend {
     /// torn down, it is re-created on the new cell.
     pub const REANCHOR: u64 = token::REANCHOR;
 
+    /// The CI server the session is currently anchored to (moves on
+    /// failover; starts at `cfg.server`).
+    pub fn current_server(&self) -> Ipv4Addr {
+        self.current_server
+    }
+
     /// New client.
     pub fn new(cfg: ArFrontendConfig) -> ArFrontend {
         let profile = cfg.device.profile();
+        let current_server = cfg.server;
         ArFrontend {
             cfg,
             profile,
@@ -230,6 +261,11 @@ impl ArFrontend {
             retransmissions: 0,
             reanchor_requests: 0,
             reanchor_acks: 0,
+            current_server,
+            failovers: 0,
+            failover_log: Vec::new(),
+            lease_rechecks: 0,
+            last_progress_at: Instant::ZERO,
             spec: ImageSpec::new(0, Resolution::E2E),
             bearer_setup: None,
             mrs_requested_at: None,
@@ -289,7 +325,7 @@ impl ArFrontend {
             total_chunks: self.total_chunks,
             meta,
         };
-        self.send_app(ctx, (self.cfg.server, AR_PORT), &msg, this);
+        self.send_app(ctx, (self.current_server, AR_PORT), &msg, this);
     }
 
     fn begin_upload(&mut self, ctx: &mut Ctx<'_>) {
@@ -305,6 +341,7 @@ impl ArFrontend {
         self.acked_chunks = 0;
         self.uploading = true;
         self.result_stall_checks = 0;
+        self.last_progress_at = ctx.now();
         // Arm loss recovery with the watermark at the current (zero-ack)
         // state, so a first window lost outright is detected at the very
         // first timer fire.
@@ -328,6 +365,37 @@ impl ArFrontend {
             self.retx_timeout(),
             token::RETRANSMIT | (self.retx_epoch << token::BITS),
         ));
+    }
+
+    /// Restart the in-flight frame's upload from chunk 0 (lost
+    /// FrameResult, or a freshly adopted server with empty state).
+    fn replay_frame(&mut self, ctx: &mut Ctx<'_>) {
+        self.acked.iter_mut().for_each(|a| *a = false);
+        self.acked_chunks = 0;
+        let window_chunks = (self.cfg.window_bytes / self.cfg.chunk_bytes).max(1);
+        let resend = window_chunks.min(self.total_chunks);
+        for c in 0..resend {
+            self.send_chunk(ctx, c);
+        }
+        self.next_chunk = resend;
+    }
+
+    /// Move the session to a different CI server (the MRS resolved
+    /// elsewhere). The new server has no session state, so the in-flight
+    /// frame — if any — is replayed from scratch, exactly like the lost
+    /// FrameResult path. The interruption recorded is the gap since the
+    /// session last made forward progress.
+    fn adopt_server(&mut self, ctx: &mut Ctx<'_>, server: Ipv4Addr) {
+        self.failovers += 1;
+        let gap = ctx.now() - self.last_progress_at;
+        self.failover_log.push((ctx.now(), gap));
+        self.current_server = server;
+        if self.uploading {
+            self.replay_frame(ctx);
+            self.result_stall_checks = 0;
+            self.retx_watermark = (self.seq, self.acked_chunks);
+            self.arm_retx(ctx);
+        }
     }
 
     fn check_retransmit(&mut self, ctx: &mut Ctx<'_>) {
@@ -358,14 +426,7 @@ impl ArFrontend {
                 // Lost FrameResult: the server already consumed its copy
                 // of the frame, so replay the upload from scratch to make
                 // it reassemble and reprocess (acks re-clock the window).
-                self.acked.iter_mut().for_each(|a| *a = false);
-                self.acked_chunks = 0;
-                let window_chunks = (self.cfg.window_bytes / self.cfg.chunk_bytes).max(1);
-                let resend = window_chunks.min(self.total_chunks);
-                for c in 0..resend {
-                    self.send_chunk(ctx, c);
-                }
-                self.next_chunk = resend;
+                self.replay_frame(ctx);
             } else {
                 // Selective repeat: resend exactly the outstanding (sent
                 // but unacked) chunks — the server acks duplicates, so an
@@ -394,6 +455,7 @@ impl ArFrontend {
             return;
         }
         self.uploading = false;
+        self.last_progress_at = ctx.now();
         self.frames.push(FrameStats {
             seq,
             captured_at: self.captured_at,
@@ -427,7 +489,7 @@ impl ArFrontend {
                 landmark,
                 rx_power_dbm: rx,
             };
-            self.send_app(ctx, (self.cfg.server, AR_PORT), &msg, 0);
+            self.send_app(ctx, (self.current_server, AR_PORT), &msg, 0);
         }
     }
 
@@ -440,18 +502,40 @@ impl ArFrontend {
 impl Node for ArFrontend {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, pkt: Packet) {
         match AppMsg::from_packet(&pkt) {
-            Some(AppMsg::MrsAck { ok: true, .. }) if self.phase == Phase::Streaming => {
-                // Re-anchor confirmation after a cell change; streaming
-                // never stopped (selective repeat bridged the gap).
-                self.reanchor_acks += 1;
+            Some(AppMsg::MrsAck { ok, server, .. }) if self.phase == Phase::Streaming => {
+                if ok {
+                    // Re-anchor confirmation after a cell change;
+                    // streaming never stopped (selective repeat bridged
+                    // the gap).
+                    self.reanchor_acks += 1;
+                }
+                // The MRS resolved a *different* server: the serving
+                // MEC's lease lapsed (or was restored). Fail the session
+                // over regardless of `ok` — ok:false with an address
+                // means no dedicated bearer could be set up, so the new
+                // leg simply rides the default bearer.
+                if let Some(s) = server {
+                    if s != self.current_server {
+                        self.adopt_server(ctx, s);
+                    }
+                }
             }
-            Some(AppMsg::MrsAck { ok: false, .. }) if self.phase == Phase::Streaming => {}
-            Some(AppMsg::MrsAck { ok, .. }) if self.phase == Phase::AwaitingMrs => {
+            Some(AppMsg::MrsAck { ok, server, .. }) if self.phase == Phase::AwaitingMrs => {
                 if let Some(t0) = self.mrs_requested_at {
                     self.bearer_setup = Some(ctx.now() - t0);
                 }
                 if ok {
                     self.phase = Phase::Streaming;
+                    // Anchor to whatever the MRS resolved (it may not be
+                    // the configured default, e.g. a dead local MEC at
+                    // boot time).
+                    if let Some(s) = server {
+                        self.current_server = s;
+                    }
+                    self.last_progress_at = ctx.now();
+                    if let Some(period) = self.cfg.lease_recheck {
+                        ctx.schedule_in(period, token::RECHECK);
+                    }
                     if self.has_reports() {
                         self.send_reports(ctx);
                         ctx.schedule_in(self.cfg.report_period, token::REPORT);
@@ -470,6 +554,7 @@ impl Node for ArFrontend {
                     if !*slot {
                         *slot = true;
                         self.acked_chunks += 1;
+                        self.last_progress_at = ctx.now();
                         if self.next_chunk < self.total_chunks {
                             let c = self.next_chunk;
                             self.next_chunk += 1;
@@ -558,6 +643,24 @@ impl Node for ArFrontend {
                         create: true,
                     };
                     self.send_app(ctx, (mrs_addr, MRS_PORT), &msg, 0);
+                }
+            }
+            token::RECHECK if self.phase == Phase::Streaming => {
+                // Periodic lease recheck: idempotent re-request. If the
+                // serving MEC is still live the MRS answers with the same
+                // address (no-op); if its lease lapsed, the answer names
+                // the failover target and `adopt_server` runs.
+                if let Some((mrs_addr, service)) = self.cfg.mrs.clone() {
+                    self.lease_rechecks += 1;
+                    let msg = AppMsg::MrsRequest {
+                        service,
+                        ue_addr: self.cfg.ue_ip,
+                        create: true,
+                    };
+                    self.send_app(ctx, (mrs_addr, MRS_PORT), &msg, 0);
+                }
+                if let Some(period) = self.cfg.lease_recheck {
+                    ctx.schedule_in(period, token::RECHECK);
                 }
             }
             _ => {}

@@ -8,7 +8,7 @@
 //! behaviour).
 
 use crate::locmgr::LocalizationManager;
-use crate::msg::{AppMsg, FrameMeta, AR_PORT};
+use crate::msg::{AppMsg, FrameMeta, AR_PORT, MRS_PORT};
 use crate::search::{candidates, SearchContext, SearchStrategy};
 use acacia_geo::floor::FloorPlan;
 use acacia_simnet::packet::Packet;
@@ -92,6 +92,12 @@ pub struct ArServerConfig {
     /// Descriptors actually executed per side during matching (op
     /// accounting stays full-scale). Smaller = faster simulation.
     pub exec_cap: usize,
+    /// MRS lease target: `(mrs_addr, service)` this server beats for.
+    /// `None` disables heartbeats (the default; lease monitoring is a
+    /// failover-scenario feature).
+    pub heartbeat: Option<(Ipv4Addr, String)>,
+    /// Liveness beat period when `heartbeat` is configured.
+    pub heartbeat_period: Duration,
 }
 
 impl ArServerConfig {
@@ -102,6 +108,8 @@ impl ArServerConfig {
             device: Device::I7Octa,
             strategy: SearchStrategy::ACACIA_DEFAULT,
             exec_cap: 48,
+            heartbeat: None,
+            heartbeat_period: acacia_lte::Timers::DEFAULT.heartbeat_period,
         }
     }
 }
@@ -133,6 +141,7 @@ struct Assembly {
 }
 
 const TOKEN_RESULT: u64 = 1;
+const TOKEN_HEARTBEAT: u64 = 2;
 
 /// The AR server node. Port 0 is its network interface.
 pub struct ArServer {
@@ -149,6 +158,15 @@ pub struct ArServer {
     pub records: Vec<FrameRecord>,
     /// rxPower reports ingested.
     pub reports_seen: u64,
+    /// Is the periodic heartbeat chain armed? A crash-restart erases the
+    /// pending timer along with the rest of the node's state, so the
+    /// first packet to reach the restarted server re-arms the chain —
+    /// recovery rides on traffic, not on conveniently surviving timers.
+    hb_live: bool,
+    /// Liveness beats sent to the MRS.
+    pub heartbeats_sent: u64,
+    /// Crash-restarts this server came back from.
+    pub restarts: u64,
 }
 
 impl ArServer {
@@ -171,7 +189,30 @@ impl ArServer {
             outbox: VecDeque::new(),
             records: Vec::new(),
             reports_seen: 0,
+            hb_live: false,
+            heartbeats_sent: 0,
+            restarts: 0,
         }
+    }
+
+    /// Timer token that starts the periodic MRS heartbeat:
+    /// `sim.schedule_timer(server, start, ArServer::HEARTBEAT)`.
+    pub const HEARTBEAT: u64 = TOKEN_HEARTBEAT;
+
+    /// Send one liveness beat and schedule the next.
+    fn beat(&mut self, ctx: &mut Ctx<'_>) {
+        let Some((mrs, service)) = self.cfg.heartbeat.clone() else {
+            return;
+        };
+        self.hb_live = true;
+        self.heartbeats_sent += 1;
+        let msg = AppMsg::Heartbeat {
+            service,
+            server: self.cfg.addr,
+        };
+        let pkt = msg.into_packet((self.cfg.addr, AR_PORT), (mrs, MRS_PORT), 0, ctx.now());
+        ctx.send(0, pkt);
+        ctx.schedule_in(self.cfg.heartbeat_period, TOKEN_HEARTBEAT);
     }
 
     /// Fraction of processed frames whose match equals the ground truth.
@@ -299,6 +340,12 @@ impl ArServer {
 
 impl Node for ArServer {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, pkt: Packet) {
+        if self.cfg.heartbeat.is_some() && !self.hb_live {
+            // First contact after a crash-restart (the pending beat timer
+            // died with the crash): resume beating so the MRS restores
+            // this instance's lease.
+            self.beat(ctx);
+        }
         if pkt.protocol == acacia_simnet::packet::proto::ICMP {
             // Liveness probes (the mobility experiment's interruption
             // meter) are echoed on the same path the AR traffic takes.
@@ -331,6 +378,21 @@ impl Node for ArServer {
             if let Some(pkt) = self.outbox.pop_front() {
                 ctx.send(0, pkt);
             }
+        } else if token == TOKEN_HEARTBEAT {
+            self.beat(ctx);
         }
+    }
+
+    fn on_restart(&mut self) {
+        // Crash-restart: every in-flight assembly, queued result and the
+        // serial-CPU backlog died with the process. `records` stays — it
+        // is the experiment's measurement ledger, not protocol state —
+        // and clients recover their in-flight frames through the
+        // application protocol (replay), not through server memory.
+        self.assembling.clear();
+        self.outbox.clear();
+        self.busy_until = Instant::ZERO;
+        self.hb_live = false;
+        self.restarts += 1;
     }
 }

@@ -31,6 +31,7 @@
 
 use crate::mobility::{MobilityConfig, MobilityMode, MobilityReport, MobilityScenario};
 use acacia_lte::enb::Enb;
+use acacia_lte::entities::GwControl;
 use acacia_lte::ue::{Ue, UeState};
 use acacia_simnet::fault::{FaultPlan, FaultRule, PacketClass};
 use acacia_simnet::sim::{NodeId, PortId};
@@ -121,12 +122,27 @@ pub struct ChaosReport {
     /// Handover procedures still open at any eNB after the drain
     /// (must be 0).
     pub outstanding_procedures: usize,
+    /// GW-C dedicated-bearer activation counter at the end of the run.
+    pub dedicated_active: u64,
+    /// Dedicated bearers actually present in the GW-C session table; must
+    /// equal `dedicated_active` once the drain settles.
+    pub dedicated_live: u64,
+    /// Dedicated activations still mid-flight after the drain (must be 0).
+    pub dedicated_pending: u64,
 }
 
 impl ChaosReport {
     /// Did every UE land in a legal state with nothing outstanding?
     pub fn clean(&self) -> bool {
-        self.wedged_ues == 0 && self.outstanding_procedures == 0
+        self.wedged_ues == 0 && self.outstanding_procedures == 0 && self.conserved()
+    }
+
+    /// Recovery-counter conservation: every dedicated-bearer activation
+    /// the GW-C ever acknowledged is still accounted for by a bearer in
+    /// its session table, with none mid-flight — chaos may delay or retry
+    /// activations, but must never leak or double-count one.
+    pub fn conserved(&self) -> bool {
+        self.dedicated_active == self.dedicated_live && self.dedicated_pending == 0
     }
 }
 
@@ -204,6 +220,9 @@ impl ChaosScenario {
             congestion_drops: 0,
             wedged_ues: 0,
             outstanding_procedures: 0,
+            dedicated_active: 0,
+            dedicated_live: 0,
+            dedicated_pending: 0,
         };
         for &enb in &net.enbs {
             let e = net.sim.node_ref::<Enb>(enb);
@@ -224,6 +243,10 @@ impl ChaosScenario {
                 report.wedged_ues += 1;
             }
         }
+        let gwc = net.sim.node_ref::<GwControl>(net.gwc);
+        report.dedicated_active = gwc.dedicated_active;
+        report.dedicated_live = gwc.dedicated_live();
+        report.dedicated_pending = gwc.dedicated_pending();
         for (endpoint, _label) in &self.fault_points {
             if let Some(stats) = net.sim.link_stats(*endpoint) {
                 report.injected_drops += stats.drops_injected;

@@ -36,6 +36,7 @@ use acacia_lte::enb::Enb;
 use acacia_lte::entities::{pcrf_port, GwControl};
 use acacia_lte::mobility::Waypoint;
 use acacia_lte::network::{addr, CellConfig, LteConfig, LteNetwork};
+use acacia_lte::timers::Timers;
 use acacia_lte::ue::{AppSelector, Ue, UeState};
 use acacia_lte::wire::Protocol;
 use acacia_simnet::fault::{FaultPlan, FaultRule, PacketClass};
@@ -73,6 +74,18 @@ pub struct CityConfig {
     pub ctrl_drop_rate: f64,
     /// Seed for the per-link fault streams.
     pub fault_seed: u64,
+    /// MEC failover wiring (server heartbeats, MRS lease monitoring,
+    /// neighbor/cloud fallback registrations, the core routes a failed-
+    /// over session rides). `None` = the classic city run, byte-identical
+    /// to before this option existed.
+    pub failover: Option<FailoverWiring>,
+}
+
+/// Failover wiring knobs for the city scenario.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FailoverWiring {
+    /// Heartbeat / lease-audit / recheck intervals.
+    pub timers: Timers,
 }
 
 impl CityConfig {
@@ -90,6 +103,7 @@ impl CityConfig {
             exec_cap: 24,
             ctrl_drop_rate: 0.0,
             fault_seed: 7,
+            failover: None,
         }
     }
 
@@ -238,6 +252,16 @@ pub struct CityScenario {
     pub clients: Vec<NodeId>,
     /// Per-region MEC server nodes.
     pub servers: Vec<NodeId>,
+    /// Per-region MEC server data-plane addresses.
+    pub server_addrs: Vec<std::net::Ipv4Addr>,
+    /// The MRS node.
+    pub mrs: NodeId,
+    /// The MRS address.
+    pub mrs_addr: std::net::Ipv4Addr,
+    /// Cloud fallback AR server (failover wiring only).
+    pub cloud: Option<NodeId>,
+    /// Cloud fallback address (failover wiring only).
+    pub cloud_addr: Option<std::net::Ipv4Addr>,
     cfg: CityConfig,
     /// Last observed serving cell per UE (drives the device-manager
     /// re-anchor leg after handovers).
@@ -292,14 +316,23 @@ impl CityScenario {
                 &acacia_d2d::technology::ProximityTech::LteDirect.pathloss(),
             ));
             let server_addr = addr::mec(r, 0);
+            // With failover wiring, each MEC server beats its lease to
+            // the cloud MRS (heartbeats ride the failover core path).
+            let heartbeat = cfg
+                .failover
+                .map(|w| ((addr::CLOUD_BASE, format!("{SERVICE}-r{r}")), w));
             let (server, assigned) = net.add_mec_server_in_region(
                 r as u32,
                 Box::new(ArServer::new(
                     ArServerConfig {
-                        addr: server_addr,
                         device: Device::I7Octa,
                         strategy: SearchStrategy::Naive,
                         exec_cap: cfg.exec_cap,
+                        heartbeat: heartbeat.as_ref().map(|(h, _)| h.clone()),
+                        heartbeat_period: heartbeat
+                            .map(|(_, w)| w.timers.heartbeat_period)
+                            .unwrap_or(Timers::DEFAULT.heartbeat_period),
+                        ..ArServerConfig::new(server_addr)
                     },
                     db.clone(),
                     floor,
@@ -314,6 +347,9 @@ impl CityScenario {
         // One cloud MRS knows every region's server under a per-region
         // service name; each client asks for its own region's service.
         let mrs_addr = addr::CLOUD_BASE;
+        let cloud_ar_addr = cfg
+            .failover
+            .map(|_| std::net::Ipv4Addr::from(u32::from(addr::CLOUD_BASE) + 1));
         let mut mrs_node = Mrs::new(mrs_addr);
         for (r, &server_addr) in server_addrs.iter().enumerate() {
             mrs_node.register_service(
@@ -323,6 +359,33 @@ impl CityScenario {
                     distance: 1.0,
                 },
             );
+        }
+        if let Some(w) = cfg.failover {
+            // Lease-monitor the MEC servers, and register the failover
+            // ladder behind each one: the neighbor region's MEC (one hop
+            // worse) and the shared cloud AR server (last resort, not
+            // monitored — the cloud has no MEC lifecycle).
+            mrs_node.enable_lease_monitoring(w.timers);
+            for (r, &server_addr) in server_addrs.iter().enumerate() {
+                mrs_node.monitor_server(server_addr);
+                if cfg.regions > 1 {
+                    let neighbor = server_addrs[(r + 1) % cfg.regions];
+                    mrs_node.register_service(
+                        &format!("{SERVICE}-r{r}"),
+                        ServerInstance {
+                            addr: neighbor,
+                            distance: 2.0,
+                        },
+                    );
+                }
+                mrs_node.register_service(
+                    &format!("{SERVICE}-r{r}"),
+                    ServerInstance {
+                        addr: cloud_ar_addr.expect("failover wiring"),
+                        distance: 100.0,
+                    },
+                );
+            }
         }
         let (mrs, assigned) = net.add_cloud_server(
             Box::new(mrs_node),
@@ -334,6 +397,29 @@ impl CityScenario {
             (net.pcrf, pcrf_port::AF),
             LinkConfig::delay_only(Duration::from_micros(500)),
         );
+        let cloud = cfg.failover.map(|_| {
+            let floor = FloorPlan::retail_store();
+            let locmgr = LocalizationManager::new(LocalizationMetadata::for_floor(
+                &floor,
+                &acacia_d2d::technology::ProximityTech::LteDirect.pathloss(),
+            ));
+            let (cloud, assigned) = net.add_cloud_server(
+                Box::new(ArServer::new(
+                    ArServerConfig {
+                        device: Device::I7Octa,
+                        strategy: SearchStrategy::Naive,
+                        exec_cap: cfg.exec_cap,
+                        ..ArServerConfig::new(cloud_ar_addr.expect("failover wiring"))
+                    },
+                    db.clone(),
+                    floor,
+                    locmgr,
+                )),
+                LinkConfig::delay_only(Duration::from_micros(800)),
+            );
+            assert_eq!(Some(assigned), cloud_ar_addr);
+            cloud
+        });
 
         let scene_ids: Vec<u64> = db.in_subsections(&[0]).iter().map(|o| o.id).collect();
         let frame_interval = cfg.frame_interval();
@@ -349,6 +435,7 @@ impl CityScenario {
                 frame_count: cfg.frame_count,
                 min_frame_interval: Some(frame_interval),
                 scene_ids: scene_ids.clone(),
+                lease_recheck: cfg.failover.map(|w| w.timers.lease_recheck_period),
                 ..ArFrontendConfig::new(ue_ip, server_addrs[r])
             };
             let client = net.connect_ue_app(
@@ -359,20 +446,49 @@ impl CityScenario {
             clients.push(client);
         }
 
+        if cfg.failover.is_some() {
+            // Every UE is attached and every server placed: snapshot the
+            // failover core routes (cross-region default-bearer paths +
+            // the heartbeat path to the cloud MRS).
+            net.enable_failover_core_path();
+        }
+
         let last_serving = (0..ue_count).map(|i| net.serving_cell(i)).collect();
         CityScenario {
             net,
             clients,
             servers,
+            server_addrs,
+            mrs,
+            mrs_addr,
+            cloud,
+            cloud_addr: cloud_ar_addr,
             cfg,
             last_serving,
         }
+    }
+
+    /// The configuration the scenario was built with.
+    pub fn config(&self) -> &CityConfig {
+        &self.cfg
     }
 
     /// Schedule every session kickoff and walk (and, when configured, the
     /// control-plane fault plans), returning the run's timing anchors.
     pub fn schedule(&mut self) -> CityTimeline {
         let start = self.net.sim.now();
+        if let Some(w) = self.cfg.failover {
+            // Start the lease machinery: each MEC server's heartbeat
+            // chain and the MRS audit loop (both self-rescheduling).
+            for &server in &self.servers {
+                self.net
+                    .sim
+                    .schedule_timer(server, start, ArServer::HEARTBEAT);
+            }
+            self.net
+                .sim
+                .schedule_timer(self.mrs, start + w.timers.lease_check_period, Mrs::LEASE_AUDIT);
+        }
         let stagger = self.cfg.stagger();
         let walk_s = 2.0 * (WALK_FAR_M - WALK_NEAR_M) / self.cfg.speed_mps;
         for (i, &client) in self.clients.iter().enumerate() {

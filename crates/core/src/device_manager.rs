@@ -187,6 +187,24 @@ impl DeviceManager {
         actions
     }
 
+    /// The serving MEC's lease lapsed (the MRS evicted it, or the client
+    /// noticed a dead session leg): re-request connectivity for every app
+    /// bound to `service` that wants it. The resulting `Create` is
+    /// idempotent at the MRS — it re-resolves to the closest **live**
+    /// instance, which is exactly the failover re-resolution step of the
+    /// recovery ladder.
+    pub fn on_lease_lapse(&mut self, service: &str) -> Option<ConnectivityAction> {
+        for entry in self.apps.iter_mut().flatten() {
+            if entry.info.service == service && entry.wants_conn {
+                entry.conn = ConnState::Requested;
+                return Some(ConnectivityAction::Create {
+                    service: entry.info.service.clone(),
+                });
+            }
+        }
+        None
+    }
+
     /// The MRS answered a connectivity request for `service`.
     pub fn on_mrs_ack(&mut self, service: &str, ok: bool) {
         for slot in self.apps.iter_mut().flatten() {
@@ -394,6 +412,37 @@ mod tests {
         );
         dm.on_mrs_ack("acme", true);
         assert!(dm.has_connectivity(app));
+    }
+
+    #[test]
+    fn lease_lapse_rerequests_for_opted_in_apps_only() {
+        let mut dm = DeviceManager::new();
+        let mut modem = Modem::new();
+        let app = dm.register_app(
+            &mut modem,
+            ServiceInfo {
+                service: "acme".into(),
+                interests: vec![],
+            },
+        );
+        // Before opting in: a lapse is nobody's business.
+        assert_eq!(dm.on_lease_lapse("acme"), None);
+        dm.on_discovery(&event("acme", "x"));
+        dm.on_mrs_ack("acme", true);
+        assert!(dm.has_connectivity(app));
+        // Lease lapses: re-resolution fires and the app drops to
+        // Requested until the (re-)ack lands.
+        assert_eq!(
+            dm.on_lease_lapse("acme"),
+            Some(ConnectivityAction::Create {
+                service: "acme".into()
+            })
+        );
+        assert!(!dm.has_connectivity(app));
+        dm.on_mrs_ack("acme", true);
+        assert!(dm.has_connectivity(app));
+        // Other services are untouched.
+        assert_eq!(dm.on_lease_lapse("other"), None);
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod arserver;
 pub mod chaos;
 pub mod city;
 pub mod device_manager;
+pub mod failover;
 pub mod loaded;
 pub mod locmgr;
 pub mod mobility;

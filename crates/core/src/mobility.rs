@@ -235,10 +235,10 @@ impl MobilityScenario {
         let make_server = |addr: Ipv4Addr| {
             ArServer::new(
                 ArServerConfig {
-                    addr,
                     device: Device::I7Octa,
                     strategy: SearchStrategy::Naive,
                     exec_cap: cfg.exec_cap,
+                    ..ArServerConfig::new(addr)
                 },
                 db.clone(),
                 floor.clone(),

@@ -4,13 +4,28 @@
 //! The MRS keeps a registry of CI services and the MEC servers hosting
 //! them, picks the **closest** CI server for a requesting UE, and signals
 //! the PCRF over Rx to create/delete the dedicated-bearer connectivity.
+//!
+//! # Lease monitoring
+//!
+//! With [`Mrs::enable_lease_monitoring`], registered servers are expected
+//! to send periodic [`AppMsg::Heartbeat`]s. A lease audit runs every
+//! [`Timers::lease_check_period`]; a server whose beats are missing in at
+//! least `lease_miss_n` of its last `lease_window_m` audits is **evicted**
+//! — it stops being eligible for resolution, so the next device-manager
+//! re-resolution fails over to the next-closest instance (a neighbor
+//! region's MEC, or the cloud). A dead server that beats again (e.g.
+//! after a crash-restart) is restored at the next audit. Liveness is per
+//! *server address*: one eviction removes the server from every service
+//! it backs.
 
 use crate::msg::{AppMsg, MRS_PORT};
 use acacia_lte::qci::Qci;
+use acacia_lte::timers::Timers;
 use acacia_lte::wire::{ControlMsg, PolicyRule};
 use acacia_simnet::packet::Packet;
 use acacia_simnet::sim::{Ctx, Node, PortId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
 use std::net::Ipv4Addr;
 
 /// A CI server instance registered for a service.
@@ -38,38 +53,112 @@ struct Pending {
     server: Ipv4Addr,
 }
 
+/// Lease health of one monitored server.
+#[derive(Debug, Clone)]
+pub struct ServerHealth {
+    /// Beats received since the last lease audit.
+    beats_since_audit: u32,
+    /// Miss history of the last `lease_window_m` audits (`true` = miss).
+    window: VecDeque<bool>,
+    /// Is the server currently eligible for resolution?
+    pub live: bool,
+    /// Total beats received.
+    pub beats: u64,
+    /// Total audits that saw no beat.
+    pub misses: u64,
+    /// Times this server was evicted.
+    pub evictions: u64,
+    /// Times this server was restored after an eviction.
+    pub restores: u64,
+}
+
+impl ServerHealth {
+    fn new() -> ServerHealth {
+        ServerHealth {
+            beats_since_audit: 0,
+            window: VecDeque::new(),
+            live: true,
+            beats: 0,
+            misses: 0,
+            evictions: 0,
+            restores: 0,
+        }
+    }
+}
+
+/// Aggregated lease health of one service (all instances).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceHealth {
+    /// Registered instances.
+    pub instances: usize,
+    /// Instances currently eligible for resolution.
+    pub live: usize,
+    /// Total beats across instances.
+    pub beats: u64,
+    /// Total missed audits across instances.
+    pub misses: u64,
+    /// Total evictions across instances.
+    pub evictions: u64,
+    /// Total post-eviction restores across instances.
+    pub restores: u64,
+}
+
 /// The MRS node.
 pub struct Mrs {
     /// Own address.
     pub addr: Ipv4Addr,
     /// Dedicated-bearer QCI handed to the PCRF.
     pub qci: Qci,
-    registry: HashMap<String, Vec<ServerInstance>>,
-    pending: HashMap<u32, Pending>,
+    registry: BTreeMap<String, Vec<ServerInstance>>,
+    pending: BTreeMap<u32, Pending>,
     /// Stable (service, UE) → service-id binding: a re-request (e.g. the
     /// device manager re-confirming connectivity after a handover) must
     /// carry the *same* id so the PCEF can recognise it as idempotent
     /// instead of stacking a second bearer.
-    allocated: HashMap<(String, Ipv4Addr), u32>,
+    allocated: BTreeMap<(String, Ipv4Addr), u32>,
     next_service_id: u32,
+    /// Lease timers; `None` until lease monitoring is enabled.
+    monitoring: Option<Timers>,
+    /// Per-server lease health, keyed by server address. Only servers
+    /// explicitly enrolled with [`Mrs::monitor_server`] are audited;
+    /// un-enrolled servers (e.g. the cloud fallback) are always live.
+    health: BTreeMap<Ipv4Addr, ServerHealth>,
     /// Requests served (create + delete).
     pub requests: u64,
-    /// Requests rejected (unknown service).
+    /// Requests rejected (unknown service or no live instance).
     pub rejected: u64,
+    /// Heartbeats ingested.
+    pub heartbeats_seen: u64,
+    /// Lease audits run.
+    pub audits: u64,
+    /// Servers evicted (total events, not currently-dead count).
+    pub evictions: u64,
+    /// Servers restored after an eviction.
+    pub restores: u64,
 }
 
 impl Mrs {
+    /// Timer token that runs one lease audit and re-arms the next:
+    /// `sim.schedule_timer(mrs, start, Mrs::LEASE_AUDIT)`.
+    pub const LEASE_AUDIT: u64 = 1;
+
     /// New MRS.
     pub fn new(addr: Ipv4Addr) -> Mrs {
         Mrs {
             addr,
             qci: Qci(7),
-            registry: HashMap::new(),
-            pending: HashMap::new(),
-            allocated: HashMap::new(),
+            registry: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            allocated: BTreeMap::new(),
             next_service_id: 1,
+            monitoring: None,
+            health: BTreeMap::new(),
             requests: 0,
             rejected: 0,
+            heartbeats_seen: 0,
+            audits: 0,
+            evictions: 0,
+            restores: 0,
         }
     }
 
@@ -81,13 +170,102 @@ impl Mrs {
             .push(server);
     }
 
-    /// The closest registered server for a service.
+    /// Turn on heartbeat/lease auditing with the given intervals. The
+    /// audit itself runs off the [`Mrs::LEASE_AUDIT`] timer, which the
+    /// harness must arm once.
+    pub fn enable_lease_monitoring(&mut self, timers: Timers) {
+        assert!(
+            timers.lease_miss_n <= timers.lease_window_m,
+            "miss-N-of-M needs N <= M"
+        );
+        self.monitoring = Some(timers);
+    }
+
+    /// Enroll a server address in lease auditing. Un-enrolled servers
+    /// never expire (use for the cloud fallback, which has no MEC
+    /// lifecycle).
+    pub fn monitor_server(&mut self, server: Ipv4Addr) {
+        self.health.entry(server).or_insert_with(ServerHealth::new);
+    }
+
+    /// Is `server` currently eligible for resolution?
+    fn is_live(&self, server: Ipv4Addr) -> bool {
+        self.health.get(&server).is_none_or(|h| h.live)
+    }
+
+    /// The closest registered **live** server for a service.
     pub fn closest(&self, service: &str) -> Option<&ServerInstance> {
-        self.registry.get(service)?.iter().min_by(|a, b| {
-            a.distance
-                .partial_cmp(&b.distance)
-                .expect("distance is finite")
-        })
+        self.registry
+            .get(service)?
+            .iter()
+            .filter(|s| self.is_live(s.addr))
+            .min_by(|a, b| {
+                a.distance
+                    .partial_cmp(&b.distance)
+                    .expect("distance is finite")
+            })
+    }
+
+    /// Lease health of one monitored server.
+    pub fn server_health(&self, server: Ipv4Addr) -> Option<&ServerHealth> {
+        self.health.get(&server)
+    }
+
+    /// Aggregated lease health of every instance backing `service`.
+    pub fn service_health(&self, service: &str) -> ServiceHealth {
+        let mut out = ServiceHealth::default();
+        let Some(instances) = self.registry.get(service) else {
+            return out;
+        };
+        out.instances = instances.len();
+        for inst in instances {
+            match self.health.get(&inst.addr) {
+                Some(h) => {
+                    out.live += h.live as usize;
+                    out.beats += h.beats;
+                    out.misses += h.misses;
+                    out.evictions += h.evictions;
+                    out.restores += h.restores;
+                }
+                None => out.live += 1, // un-enrolled ⇒ always live
+            }
+        }
+        out
+    }
+
+    /// One lease audit pass: score each enrolled server's beat window,
+    /// evict the dead, restore the recovered.
+    fn audit(&mut self) {
+        let Some(t) = self.monitoring else { return };
+        self.audits += 1;
+        let mut evictions = 0u64;
+        let mut restores = 0u64;
+        for h in self.health.values_mut() {
+            let beat = h.beats_since_audit > 0;
+            h.beats_since_audit = 0;
+            if !beat {
+                h.misses += 1;
+            }
+            h.window.push_back(!beat);
+            while h.window.len() > t.lease_window_m as usize {
+                h.window.pop_front();
+            }
+            let missed = h.window.iter().filter(|&&m| m).count() as u32;
+            if h.live && missed >= t.lease_miss_n {
+                h.live = false;
+                h.evictions += 1;
+                evictions += 1;
+            } else if !h.live && beat {
+                // A dead server that beats again is back: clear the miss
+                // history so one stale window can't re-evict it.
+                h.live = true;
+                h.restores += 1;
+                h.window.clear();
+                restores += 1;
+            }
+        }
+        self.evictions += evictions;
+        self.restores += restores;
     }
 
     fn answer(
@@ -111,51 +289,57 @@ impl Mrs {
 impl Node for Mrs {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, in_port: PortId, pkt: Packet) {
         match in_port {
-            port::DATA => {
-                let Some(AppMsg::MrsRequest {
+            port::DATA => match AppMsg::from_packet(&pkt) {
+                Some(AppMsg::Heartbeat { server, .. }) => {
+                    self.heartbeats_seen += 1;
+                    if let Some(h) = self.health.get_mut(&server) {
+                        h.beats_since_audit += 1;
+                        h.beats += 1;
+                    }
+                }
+                Some(AppMsg::MrsRequest {
                     service,
                     ue_addr,
                     create,
-                }) = AppMsg::from_packet(&pkt)
-                else {
-                    return;
-                };
-                self.requests += 1;
-                let reply_to = (pkt.src, pkt.src_port);
-                let Some(server) = self.closest(&service).map(|s| s.addr) else {
-                    self.rejected += 1;
-                    self.answer(ctx, reply_to, &service, false, None);
-                    return;
-                };
-                let key = (service.clone(), ue_addr);
-                let service_id = match self.allocated.get(&key) {
-                    Some(&id) => id,
-                    None => {
-                        let id = self.next_service_id;
-                        self.next_service_id += 1;
-                        self.allocated.insert(key, id);
-                        id
-                    }
-                };
-                self.pending.insert(
-                    service_id,
-                    Pending {
-                        service: service.clone(),
-                        reply_to,
-                        server,
-                    },
-                );
-                let rule = PolicyRule {
-                    service_id,
-                    ue_addr,
-                    server_addr: server,
-                    server_port: 0,
-                    qci: self.qci,
-                    install: create,
-                };
-                let msg = ControlMsg::RxAuthRequest { rule };
-                ctx.send(port::RX, msg.into_packet(self.addr, Ipv4Addr::UNSPECIFIED));
-            }
+                }) => {
+                    self.requests += 1;
+                    let reply_to = (pkt.src, pkt.src_port);
+                    let Some(server) = self.closest(&service).map(|s| s.addr) else {
+                        self.rejected += 1;
+                        self.answer(ctx, reply_to, &service, false, None);
+                        return;
+                    };
+                    let key = (service.clone(), ue_addr);
+                    let service_id = match self.allocated.get(&key) {
+                        Some(&id) => id,
+                        None => {
+                            let id = self.next_service_id;
+                            self.next_service_id += 1;
+                            self.allocated.insert(key, id);
+                            id
+                        }
+                    };
+                    self.pending.insert(
+                        service_id,
+                        Pending {
+                            service: service.clone(),
+                            reply_to,
+                            server,
+                        },
+                    );
+                    let rule = PolicyRule {
+                        service_id,
+                        ue_addr,
+                        server_addr: server,
+                        server_port: 0,
+                        qci: self.qci,
+                        install: create,
+                    };
+                    let msg = ControlMsg::RxAuthRequest { rule };
+                    ctx.send(port::RX, msg.into_packet(self.addr, Ipv4Addr::UNSPECIFIED));
+                }
+                _ => {}
+            },
             port::RX => {
                 let Some(ControlMsg::RxAuthAnswer { service_id, ok }) =
                     ControlMsg::from_packet(&pkt)
@@ -170,6 +354,15 @@ impl Node for Mrs {
                 self.answer(ctx, p.reply_to, &service, ok, server);
             }
             _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == Self::LEASE_AUDIT {
+            if let Some(t) = self.monitoring {
+                self.audit();
+                ctx.schedule_in(t.lease_check_period, Self::LEASE_AUDIT);
+            }
         }
     }
 }
@@ -237,5 +430,114 @@ mod tests {
         let m = sim.node_ref::<Mrs>(mrs);
         assert_eq!(m.requests, 1);
         assert_eq!(m.rejected, 1);
+    }
+
+    fn beat_from(server: Ipv4Addr) -> Packet {
+        AppMsg::Heartbeat {
+            service: "acme".into(),
+            server,
+        }
+        .into_packet(
+            (server, 9000),
+            (ip(100), MRS_PORT),
+            0,
+            acacia_simnet::time::Instant::ZERO,
+        )
+    }
+
+    /// Drive the audit directly (unit-level; the failover scenario covers
+    /// the timer-driven path end to end).
+    #[test]
+    fn miss_n_of_m_evicts_and_resolution_falls_over() {
+        let timers = Timers::default();
+        let mut mrs = Mrs::new(ip(100));
+        mrs.enable_lease_monitoring(timers);
+        mrs.register_service(
+            "acme",
+            ServerInstance {
+                addr: ip(1),
+                distance: 1.0,
+            },
+        );
+        mrs.register_service(
+            "acme",
+            ServerInstance {
+                addr: ip(2),
+                distance: 2.0,
+            },
+        );
+        mrs.monitor_server(ip(1));
+        // ip(2) is the (un-enrolled) fallback: always live.
+        for _ in 0..timers.lease_miss_n {
+            assert_eq!(mrs.closest("acme").unwrap().addr, ip(1));
+            mrs.audit();
+        }
+        assert_eq!(mrs.evictions, 1, "N consecutive misses evict");
+        assert_eq!(mrs.closest("acme").unwrap().addr, ip(2), "failover");
+        let h = mrs.server_health(ip(1)).unwrap();
+        assert!(!h.live);
+        assert_eq!(h.misses, timers.lease_miss_n as u64);
+        let sh = mrs.service_health("acme");
+        assert_eq!((sh.instances, sh.live, sh.evictions), (2, 1, 1));
+    }
+
+    #[test]
+    fn a_beat_restores_an_evicted_server() {
+        let timers = Timers::default();
+        let mut mrs = Mrs::new(ip(100));
+        mrs.enable_lease_monitoring(timers);
+        mrs.register_service(
+            "acme",
+            ServerInstance {
+                addr: ip(1),
+                distance: 1.0,
+            },
+        );
+        mrs.monitor_server(ip(1));
+        for _ in 0..timers.lease_miss_n {
+            mrs.audit();
+        }
+        assert!(mrs.closest("acme").is_none(), "sole instance evicted");
+        // The restarted server beats again.
+        let mut sim_pkt = beat_from(ip(1));
+        sim_pkt.dst_port = MRS_PORT;
+        // Feed the beat through the health table directly (packet path is
+        // covered by the scenario tests).
+        mrs.heartbeats_seen += 1;
+        let h = mrs.health.get_mut(&ip(1)).unwrap();
+        h.beats_since_audit += 1;
+        h.beats += 1;
+        mrs.audit();
+        assert_eq!(mrs.restores, 1);
+        assert_eq!(mrs.closest("acme").unwrap().addr, ip(1), "restored");
+        let _ = sim_pkt;
+    }
+
+    #[test]
+    fn isolated_misses_inside_the_window_do_not_evict() {
+        let timers = Timers::default();
+        let mut mrs = Mrs::new(ip(100));
+        mrs.enable_lease_monitoring(timers);
+        mrs.register_service(
+            "acme",
+            ServerInstance {
+                addr: ip(1),
+                distance: 1.0,
+            },
+        );
+        mrs.monitor_server(ip(1));
+        // One silent audit in every three: at most 2 misses land in any
+        // 5-audit window, below the default 3-of-5 threshold.
+        for _ in 0..8 {
+            for _ in 0..2 {
+                let h = mrs.health.get_mut(&ip(1)).unwrap();
+                h.beats_since_audit += 1;
+                h.beats += 1;
+                mrs.audit();
+            }
+            mrs.audit(); // one silent audit
+        }
+        assert_eq!(mrs.evictions, 0, "lone misses tolerated");
+        assert!(mrs.server_health(ip(1)).unwrap().live);
     }
 }

@@ -82,6 +82,16 @@ pub enum AppMsg {
         /// Create (true) or delete (false) connectivity.
         create: bool,
     },
+    /// CI server → MRS: periodic liveness beat for the lease table. A
+    /// server that stops beating is evicted from service resolution
+    /// after the MRS misses N of its last M lease audits.
+    Heartbeat {
+        /// Service the server is registered under (diagnostic; liveness
+        /// is tracked per server address).
+        service: String,
+        /// The beating server's address.
+        server: Ipv4Addr,
+    },
     /// MRS → device manager: connectivity outcome.
     MrsAck {
         /// Service the answer refers to.
@@ -164,6 +174,10 @@ mod tests {
                 service: "acme".into(),
                 ue_addr: ip(1),
                 create: true,
+            },
+            AppMsg::Heartbeat {
+                service: "acme".into(),
+                server: ip(3),
             },
             AppMsg::MrsAck {
                 service: "acme".into(),

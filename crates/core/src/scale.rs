@@ -243,10 +243,10 @@ impl ScaleScenario {
         let server_addr = acacia_lte::network::addr::MEC_BASE;
         let (server, assigned) = net.add_mec_server(Box::new(ArServer::new(
             ArServerConfig {
-                addr: server_addr,
                 device: Device::I7Octa,
                 strategy: SearchStrategy::Naive,
                 exec_cap: cfg.exec_cap,
+                ..ArServerConfig::new(server_addr)
             },
             db.clone(),
             floor,

@@ -252,10 +252,10 @@ impl Scenario {
         let make_server = |addr: Ipv4Addr| {
             ArServer::new(
                 ArServerConfig {
-                    addr,
                     device: cfg.server_device,
                     strategy,
                     exec_cap: cfg.exec_cap,
+                    ..ArServerConfig::new(addr)
                 },
                 db.clone(),
                 floor.clone(),

@@ -26,10 +26,10 @@ fn setup(strategy: SearchStrategy) -> (Simulator, NodeId, NodeId, ObjectDb, Floo
     let locmgr = LocalizationManager::new(LocalizationMetadata::for_floor(&floor, &model));
     let server = ArServer::new(
         ArServerConfig {
-            addr: SERVER,
             device: acacia_vision::compute::Device::I7Octa,
             strategy,
             exec_cap: 16,
+            ..ArServerConfig::new(SERVER)
         },
         db.clone(),
         floor.clone(),

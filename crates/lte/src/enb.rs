@@ -12,24 +12,13 @@ use crate::log::MsgLog;
 use crate::qci::Qci;
 use crate::radio::{self, port, RadioPayload, RadioScheduler};
 use crate::wire::{ControlMsg, ErabSetup};
+use crate::timers::Timers;
 use crate::{gtpu, tft::Tft};
 use acacia_simnet::packet::Packet;
 use acacia_simnet::sim::{Ctx, Node, PortId, TimerHandle};
 use acacia_simnet::time::Duration;
 use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
-
-/// Guard before retransmitting an unanswered X2 Handover Request (the
-/// TX2RELOCprep analogue; see DESIGN.md's substitution ledger).
-const HO_PREP_GUARD: Duration = Duration::from_millis(60);
-/// Guard on the forwarding phase: if the target never signals UE Context
-/// Release, give up and release locally (TX2RELOCoverall analogue).
-const HO_OVERALL_GUARD: Duration = Duration::from_millis(1500);
-/// Guard before retransmitting an unanswered Path Switch Request.
-const PS_GUARD: Duration = Duration::from_millis(120);
-/// Transmissions of X2 Handover Request / Path Switch Request before the
-/// procedure is abandoned (cancel / core-detour fallback).
-const HO_MAX_ATTEMPTS: u32 = 3;
 
 /// Per-bearer forwarding state at the eNB.
 #[derive(Debug, Clone)]
@@ -173,6 +162,9 @@ pub struct Enb {
     /// `None` disables the mechanism (procedures driven by the harness).
     pub auto_idle: Option<acacia_simnet::time::Duration>,
     log: MsgLog,
+    /// Guard/retry intervals ([`crate::timers::Timers`]); the defaults
+    /// reproduce the historical hard-coded constants.
+    pub timers: Timers,
     /// X2 neighbours (peer cells).
     x2_peers: Vec<X2Peer>,
     /// Outgoing handovers in progress, keyed by UE.
@@ -231,6 +223,7 @@ impl Enb {
             dl: RadioScheduler::new(dl_rate_bps),
             auto_idle: None,
             log,
+            timers: Timers::default(),
             x2_peers: Vec::new(),
             ho: BTreeMap::new(),
             ho_in: BTreeMap::new(),
@@ -450,7 +443,7 @@ impl Enb {
             bearers,
             txid,
         };
-        let guard = self.arm_guard(ctx, HO_PREP_GUARD);
+        let guard = self.arm_guard(ctx, self.timers.x2_prep_guard);
         self.ho.insert(
             imsi,
             HoPhase::Preparing {
@@ -489,7 +482,7 @@ impl Enb {
             erabs,
             txid,
         };
-        let guard = self.arm_guard(ctx, PS_GUARD);
+        let guard = self.arm_guard(ctx, self.timers.path_switch_guard);
         if let Some(hin) = self.ho_in.get_mut(&imsi) {
             hin.ps = Some(PsState {
                 attempts: 1,
@@ -645,7 +638,7 @@ impl Enb {
                         ul_count: self.ul_forwarded as u32,
                     },
                 );
-                let guard = self.arm_guard(ctx, HO_OVERALL_GUARD);
+                let guard = self.arm_guard(ctx, self.timers.ho_overall_guard);
                 self.ho.insert(
                     imsi,
                     HoPhase::Forwarding {
@@ -788,8 +781,8 @@ impl Enb {
             else {
                 return;
             };
-            if attempts < HO_MAX_ATTEMPTS {
-                let new_guard = self.arm_guard(ctx, HO_PREP_GUARD);
+            if attempts < self.timers.ho_max_attempts {
+                let new_guard = self.arm_guard(ctx, self.timers.x2_prep_guard);
                 if let Some(HoPhase::Preparing {
                     attempts, guard, ..
                 }) = self.ho.get_mut(&imsi)
@@ -835,8 +828,8 @@ impl Enb {
                 let ps = self.ho_in[&imsi].ps.as_ref().expect("matched above");
                 (ps.attempts, ps.request.clone())
             };
-            if attempts < HO_MAX_ATTEMPTS {
-                let new_guard = self.arm_guard(ctx, PS_GUARD);
+            if attempts < self.timers.ho_max_attempts {
+                let new_guard = self.arm_guard(ctx, self.timers.path_switch_guard);
                 if let Some(ps) = self.ho_in.get_mut(&imsi).and_then(|h| h.ps.as_mut()) {
                     ps.attempts += 1;
                     ps.guard = new_guard;

@@ -659,6 +659,14 @@ pub struct GwControl {
     pub dedicated_reanchored: u64,
     /// Dedicated bearers torn down because the target cell has no MEC.
     pub dedicated_released: u64,
+    /// GW-U failure notices processed.
+    pub gwu_failure_notices: u64,
+    /// Dedicated bearers flushed because their local GW-U died (a
+    /// subset of `dedicated_released`).
+    pub gwu_flush_released: u64,
+    /// Dedicated-bearer installs NACKed because the anchoring GW-U has
+    /// no path to the UE's serving eNB (cross-region failover target).
+    pub dedicated_rejected_no_path: u64,
 }
 
 impl GwControl {
@@ -674,6 +682,9 @@ impl GwControl {
             dedicated_active: 0,
             dedicated_reanchored: 0,
             dedicated_released: 0,
+            gwu_failure_notices: 0,
+            gwu_flush_released: 0,
+            dedicated_rejected_no_path: 0,
         }
     }
 
@@ -686,6 +697,23 @@ impl GwControl {
     /// added after construction).
     pub fn topology_mut(&mut self) -> &mut GwTopology {
         &mut self.topo
+    }
+
+    /// Dedicated bearers currently installed across all sessions, counted
+    /// from the session table itself. Conservation invariant:
+    /// `dedicated_active == dedicated_live()` whenever no activation is
+    /// mid-flight (the chaos/failover soaks assert this).
+    pub fn dedicated_live(&self) -> u64 {
+        self.sessions.values().map(|s| s.dedicated.len() as u64).sum()
+    }
+
+    /// Dedicated-bearer activations currently mid-flight (pending
+    /// CreateBearerResponse).
+    pub fn dedicated_pending(&self) -> u64 {
+        self.sessions
+            .values()
+            .map(|s| s.pending_dedicated.len() as u64)
+            .sum()
     }
 
     fn send(&mut self, ctx: &mut Ctx<'_>, port: PortId, dst: Ipv4Addr, msg: ControlMsg) {
@@ -974,6 +1002,32 @@ impl GwControl {
                         );
                         return;
                     };
+                    // A local anchor only works if that GW-U has a direct
+                    // path to the UE's serving eNB. A failover target in
+                    // a *different* region does not — NACK so the client
+                    // rides the default bearer through the core instead
+                    // of blackholing uplink on a half-built local leg.
+                    let reachable = match self.sessions[&imsi].enb_addr {
+                        Some(enb) => self
+                            .topo
+                            .local_for_server(rule.server_addr)
+                            .is_some_and(|g| g.serves_enb(enb)),
+                        None => true,
+                    };
+                    if !reachable {
+                        self.dedicated_rejected_no_path += 1;
+                        let sid = rule.service_id;
+                        self.send(
+                            ctx,
+                            gwc_port::PCRF,
+                            pkt_peer(ctx),
+                            GxReauthAnswer {
+                                service_id: sid,
+                                ok: false,
+                            },
+                        );
+                        return;
+                    }
                     // Network-initiated dedicated bearer with the *local*
                     // GW-U as the F-TEID target (paper step 3).
                     let ebi = Ebi(6
@@ -1225,6 +1279,38 @@ impl GwControl {
                         self.dedicated_active.saturating_sub(dedicated.len() as u64);
                 }
                 self.remove_sgw_rules(ctx, imsi);
+            }
+            // Dead local GW-U: flush every dedicated bearer anchored on
+            // the failed switch — controller state and PCEF accounting
+            // only. The switch's flow table died with it (and a restart
+            // comes back empty), so no removal FlowMods chase the dead
+            // GW-U, and the default bearer via the core SGW-U is left
+            // untouched. UE traffic re-classifies onto the default
+            // bearer as soon as the client re-anchors away from the
+            // dead MEC (the dedicated TFT stops matching).
+            GwuFailureIndication { gwu_addr } => {
+                self.gwu_failure_notices += 1;
+                let mut flushed = 0u64;
+                let topo = &self.topo;
+                let owned_by_dead = |server: Ipv4Addr| {
+                    topo.local_for_server(server)
+                        .is_some_and(|g| g.addr == gwu_addr)
+                };
+                for s in self.sessions.values_mut() {
+                    let before = s.dedicated.len();
+                    s.dedicated.retain(|_, (_, r)| !owned_by_dead(r.server_addr));
+                    flushed += (before - s.dedicated.len()) as u64;
+                    // A pending activation on the dead switch can never
+                    // complete; drop it so the late CreateBearerResponse
+                    // (if any) is a recognised no-op.
+                    s.pending_dedicated
+                        .retain(|_, (r, _)| !owned_by_dead(r.server_addr));
+                }
+                if flushed > 0 {
+                    self.gwu_flush_released += flushed;
+                    self.dedicated_released += flushed;
+                    self.dedicated_active = self.dedicated_active.saturating_sub(flushed);
+                }
             }
             // X2 handover completed: re-anchor every S1 leg on the target
             // eNB. The default bearer's SGW-U downlink rule is rewritten;

@@ -48,6 +48,7 @@ pub mod qci;
 pub mod radio;
 pub mod switch;
 pub mod tft;
+pub mod timers;
 pub mod ue;
 pub mod wire;
 
@@ -57,6 +58,7 @@ pub use network::{LteConfig, LteNetwork};
 pub use qci::Qci;
 pub use switch::{FlowSwitch, SwitchCosts};
 pub use tft::{Direction, PacketFilter, Tft};
+pub use timers::Timers;
 pub use wire::{ControlMsg, PolicyRule, Protocol};
 
 /// Convenient glob-import surface.

@@ -239,6 +239,10 @@ pub struct LteNetwork {
     cloud_servers: usize,
     bg_installed: bool,
     detour_installed: bool,
+    /// Has [`LteNetwork::enable_failover_core_path`] wired the per-site
+    /// core routes? Off by default — the flag gates every route delta so
+    /// existing scenarios stay byte-identical.
+    mec_core_routes: bool,
 }
 
 /// One local (MEC) GW-U site: the switch, its server-side router, and the
@@ -248,6 +252,10 @@ struct LocalSite {
     gwu: NodeId,
     router: NodeId,
     servers: Vec<Ipv4Addr>,
+    /// Attached UE addresses camped in this site's region (snapshotted by
+    /// [`LteNetwork::enable_failover_core_path`]); these keep the local
+    /// GW-U fast path when the site router grows a core-facing default.
+    ue_hosts: Vec<Ipv4Addr>,
 }
 
 /// Port on the Internet router reserved for the core-detour link toward
@@ -256,6 +264,14 @@ const INET_DETOUR_PORT: PortId = 64;
 /// Port on the local GW-U reserved for the core-detour link (1 and 4+ are
 /// eNB-facing, 2 faces the MEC router, 0 is OpenFlow control).
 const LOCAL_DETOUR_PORT: PortId = 3;
+/// Port on each *site router* reserved for the failover core-path link
+/// (0 faces the local GW-U, 1.. fan out to the site's servers).
+const SITE_DETOUR_PORT: PortId = 63;
+/// First Internet-router port for the per-site failover links (site `s`
+/// lands on `INET_SITE_BASE + s`). Only used in per-region mode, where
+/// the single-site [`INET_DETOUR_PORT`] detour is asserted off, so the
+/// shared base is safe.
+const INET_SITE_BASE: PortId = 64;
 
 impl LteNetwork {
     /// Build the topology.
@@ -514,6 +530,7 @@ impl LteNetwork {
                 gwu,
                 router,
                 servers: Vec::new(),
+                ue_hosts: Vec::new(),
             });
         }
         let local_gwu = local_sites[0].gwu;
@@ -617,6 +634,7 @@ impl LteNetwork {
             cloud_servers: 0,
             bg_installed: false,
             detour_installed: false,
+            mec_core_routes: false,
         }
     }
 
@@ -680,16 +698,7 @@ impl LteNetwork {
         );
         // Route server-bound traffic out, and UE-bound responses back into
         // the local GW-U (default route on port 0).
-        {
-            let mut t = acacia_simnet::router::RouteTable::new();
-            t.add(acacia_simnet::router::Ipv4Net::default_route(), 0);
-            for (i, &a) in self.local_sites[s].servers.iter().enumerate() {
-                t.add(acacia_simnet::router::Ipv4Net::host(a), i + 1);
-            }
-            self.sim
-                .node_mut::<acacia_simnet::router::Router>(site_router)
-                .set_table(t);
-        }
+        self.rebuild_site_routes(s);
         // Tell the GW-C this address lives on site `s`'s MEC.
         // (GwTopology is owned by the GW-C node.)
         self.with_gwc_topology(|topo| topo.locals[s].servers.push(server_addr));
@@ -748,6 +757,97 @@ impl LteNetwork {
         (id, server_addr)
     }
 
+    /// (Re)program site `s`'s server-side router: host routes fanning out
+    /// to the site's servers, plus either a default back into the local
+    /// GW-U (classic shape) or — with the failover core path on — host
+    /// routes keeping *own-region* UEs on the GW-U fast path while
+    /// everything else (foreign UEs, the cloud MRS) exits toward the
+    /// Internet exchange.
+    fn rebuild_site_routes(&mut self, s: usize) {
+        let site_router = self.local_sites[s].router;
+        let mut t = acacia_simnet::router::RouteTable::new();
+        for (i, &a) in self.local_sites[s].servers.iter().enumerate() {
+            t.add(acacia_simnet::router::Ipv4Net::host(a), i + 1);
+        }
+        if self.mec_core_routes {
+            for &a in &self.local_sites[s].ue_hosts {
+                t.add(acacia_simnet::router::Ipv4Net::host(a), 0);
+            }
+            t.add(
+                acacia_simnet::router::Ipv4Net::default_route(),
+                SITE_DETOUR_PORT,
+            );
+        } else {
+            t.add(acacia_simnet::router::Ipv4Net::default_route(), 0);
+        }
+        self.sim
+            .node_mut::<acacia_simnet::router::Router>(site_router)
+            .set_table(t);
+    }
+
+    /// Make every MEC server reachable over the **default bearer through
+    /// the core** (UE → SGW/PGW-U → Internet exchange → site router), and
+    /// every MEC server able to reach the cloud (MRS heartbeats) and
+    /// foreign-region UEs the same way. This is the data path a failed-
+    /// over session rides when its new CI server sits in a different
+    /// region — no local GW-U shortcut exists there — and the return path
+    /// for that server's downlink.
+    ///
+    /// Per-region mode only (the single-site `core_detour` covers the
+    /// other shape and is mutually exclusive). Call **after** every UE
+    /// has attached and every MEC/cloud server has been added: the site
+    /// routes snapshot the attached UE addresses so each site keeps its
+    /// local fast path for its own region's UEs.
+    pub fn enable_failover_core_path(&mut self) {
+        assert!(
+            !self.cfg.core_detour,
+            "the failover core path replaces the single-site core detour"
+        );
+        if self.mec_core_routes {
+            return;
+        }
+        self.mec_core_routes = true;
+        let inet = LinkConfig::rate_limited(self.cfg.core_rate_bps, self.cfg.inet_delay)
+            .with_queue(self.cfg.core_queue_bytes);
+        // Snapshot attached UE addresses per region (region = camp cell's
+        // region, which is also the UE node's shard region).
+        let mut ue_hosts: Vec<(u32, Ipv4Addr)> = Vec::new();
+        for i in 0..self.ues.len() {
+            let imsi = self.imsi(i);
+            let addr = self.sim.node_ref::<GwControl>(self.gwc).ue_addr(imsi);
+            if let Some(a) = addr {
+                ue_hosts.push((self.sim.region_of(self.ues[i]), a));
+            }
+        }
+        for s in 0..self.local_sites.len() {
+            let router = self.local_sites[s].router;
+            self.sim.connect(
+                (router, SITE_DETOUR_PORT),
+                (self.inet_router, INET_SITE_BASE + s),
+                inet.clone(),
+            );
+            let region = self.local_sites[s].region;
+            self.local_sites[s].ue_hosts = ue_hosts
+                .iter()
+                .filter(|&&(r, _)| r == region)
+                .map(|&(_, a)| a)
+                .collect();
+            self.rebuild_site_routes(s);
+        }
+        self.rebuild_inet_routes();
+    }
+
+    /// Node id and data-plane address of `region`'s local GW-U — the
+    /// crash-injection target for correlated region outages.
+    pub fn local_gwu_in_region(&self, region: u32) -> (NodeId, Ipv4Addr) {
+        let s = self
+            .local_sites
+            .iter()
+            .position(|site| site.region == region)
+            .unwrap_or_else(|| panic!("region {region} has no local GW-U site"));
+        (self.local_sites[s].gwu, addr::local_gwu(s))
+    }
+
     /// (Re)program the Internet exchange: default route into the core,
     /// host routes for cloud servers, and — when the core detour is on —
     /// host routes steering MEC-server traffic down the detour link.
@@ -763,6 +863,12 @@ impl LteNetwork {
             for site in &self.local_sites {
                 for &a in &site.servers {
                     t.add(acacia_simnet::router::Ipv4Net::host(a), INET_DETOUR_PORT);
+                }
+            }
+        } else if self.mec_core_routes {
+            for (s, site) in self.local_sites.iter().enumerate() {
+                for &a in &site.servers {
+                    t.add(acacia_simnet::router::Ipv4Net::host(a), INET_SITE_BASE + s);
                 }
             }
         }

@@ -348,6 +348,18 @@ impl Node for FlowSwitch {
             self.process(ctx, pkt);
         }
     }
+
+    fn on_restart(&mut self) {
+        // A crash-restarted switch boots with an empty flow table: per-
+        // session rules only come back when the controller reinstalls
+        // them (the failover ladder's rebind path). Everything volatile
+        // goes: rules, the kernel cache, queued work, paging buffers.
+        self.rules.clear();
+        self.cache.clear();
+        self.pending.clear();
+        self.page_buffer.clear();
+        self.busy_until = Instant::ZERO;
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,95 @@
+//! Centralized retry/guard-timer configuration.
+//!
+//! Every recovery-relevant interval in the LTE stack (and the MEC
+//! heartbeat/lease protocol layered on top of it in `acacia_core`) lives
+//! in one [`Timers`] struct so experiments can sweep them instead of
+//! hunting magic numbers across `enb.rs` / `ue.rs` / `mrs.rs`. The
+//! defaults reproduce the values the constants carried before
+//! centralization — attaching `Timers::default()` is byte-identical to
+//! the old hard-coded behaviour.
+
+use acacia_simnet::time::Duration;
+
+/// Guard, retry and lease intervals for the recovery ladder.
+///
+/// All durations are engine time. The struct is `Copy` so nodes embed it
+/// by value; construct with [`Timers::default`] and override fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timers {
+    /// Guard before retransmitting an unanswered X2 Handover Request
+    /// (the TX2RELOCprep analogue; see DESIGN.md's substitution ledger).
+    pub x2_prep_guard: Duration,
+    /// Guard on the forwarding phase: if the target never signals UE
+    /// Context Release, the source gives up and releases locally
+    /// (TX2RELOCoverall analogue).
+    pub ho_overall_guard: Duration,
+    /// Guard before retransmitting an unanswered Path Switch Request.
+    pub path_switch_guard: Duration,
+    /// Transmissions of X2 Handover Request / Path Switch Request before
+    /// the procedure is abandoned (cancel / core-detour fallback).
+    pub ho_max_attempts: u32,
+    /// How long after a measurement report the UE waits for downlink
+    /// progress before declaring the serving leg dead and
+    /// re-establishing on the reported target (T304 / RLF analogue).
+    pub t304: Duration,
+    /// Retry period for unanswered RRC Service Requests.
+    pub sr_retry: Duration,
+    /// Period at which a registered MEC service sends liveness
+    /// heartbeats to the MRS.
+    pub heartbeat_period: Duration,
+    /// Period at which the MRS audits its lease table for missed
+    /// heartbeats.
+    pub lease_check_period: Duration,
+    /// A server instance is evicted when at least this many of the last
+    /// [`Timers::lease_window_m`] audits saw no fresh heartbeat
+    /// (miss-N-of-M; tolerates isolated loss on the heartbeat path).
+    pub lease_miss_n: u32,
+    /// Size of the sliding audit window for miss-N-of-M eviction.
+    pub lease_window_m: u32,
+    /// Period at which the device manager re-validates the resolved MEC
+    /// lease with the MRS; a lapsed lease triggers re-resolution and a
+    /// client-side session failover.
+    pub lease_recheck_period: Duration,
+}
+
+impl Timers {
+    /// The documented defaults (identical to the pre-centralization
+    /// constants; heartbeat/lease values sized so detection completes
+    /// well inside one `figures failover` outage step).
+    pub const DEFAULT: Timers = Timers {
+        x2_prep_guard: Duration::from_millis(60),
+        ho_overall_guard: Duration::from_millis(1500),
+        path_switch_guard: Duration::from_millis(120),
+        ho_max_attempts: 3,
+        t304: Duration::from_millis(300),
+        sr_retry: Duration::from_millis(1000),
+        heartbeat_period: Duration::from_millis(100),
+        lease_check_period: Duration::from_millis(120),
+        lease_miss_n: 3,
+        lease_window_m: 5,
+        lease_recheck_period: Duration::from_millis(250),
+    };
+}
+
+impl Default for Timers {
+    fn default() -> Timers {
+        Timers::DEFAULT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_historical_constants() {
+        let t = Timers::default();
+        assert_eq!(t.x2_prep_guard, Duration::from_millis(60));
+        assert_eq!(t.ho_overall_guard, Duration::from_millis(1500));
+        assert_eq!(t.path_switch_guard, Duration::from_millis(120));
+        assert_eq!(t.ho_max_attempts, 3);
+        assert_eq!(t.t304, Duration::from_millis(300));
+        assert_eq!(t.sr_retry, Duration::from_millis(1000));
+        assert!(t.lease_miss_n <= t.lease_window_m);
+    }
+}

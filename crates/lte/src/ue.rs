@@ -13,6 +13,7 @@ use crate::mobility::{A3Config, A3Tracker, CellSite, Trajectory};
 use crate::qci::Qci;
 use crate::radio::{self, port, RadioPayload, RadioScheduler};
 use crate::tft::{Direction, Tft};
+use crate::timers::Timers;
 use crate::wire::ControlMsg;
 use acacia_simnet::packet::Packet;
 use acacia_simnet::sim::{Ctx, Node, PortId, TimerHandle};
@@ -103,13 +104,6 @@ pub mod token {
     pub const SR_RETRY_BASE: u64 = 1 << 33;
 }
 
-/// How long after a measurement report the UE waits for downlink progress
-/// before declaring the serving leg dead and re-establishing on the
-/// reported target (the T304 / radio-link-failure analogue).
-const T304: Duration = Duration::from_millis(300);
-/// Retry period for unanswered service requests.
-const SR_RETRY_PERIOD: Duration = Duration::from_millis(1000);
-
 /// Armed when a measurement report is sent; resolved by downlink progress
 /// (handover worked or was cancelled in time) or by the T304 fire
 /// (re-establish on the target).
@@ -184,6 +178,9 @@ pub struct Ue {
     pub bearers: Vec<UeBearer>,
     /// Walk + measurement state (None for a stationary UE).
     pub mobility: Option<UeMobility>,
+    /// Guard/retry intervals ([`crate::timers::Timers`]); the defaults
+    /// reproduce the historical hard-coded constants.
+    pub timers: Timers,
     apps: Vec<(AppSelector, PortId)>,
     ul: RadioScheduler,
     /// Uplink packets buffered while idle, flushed after the service
@@ -242,6 +239,7 @@ impl Ue {
             state: UeState::Detached,
             bearers: Vec::new(),
             mobility: None,
+            timers: Timers::default(),
             apps: Vec::new(),
             ul: RadioScheduler::new(ul_rate_bps),
             idle_buffer: Vec::new(),
@@ -420,7 +418,8 @@ impl Ue {
                 if let Some(h) = self.t304_timer.take() {
                     ctx.cancel_timer(h);
                 }
-                self.t304_timer = Some(ctx.schedule_in_cancellable(T304, token::T304_BASE + epoch));
+                self.t304_timer =
+                    Some(ctx.schedule_in_cancellable(self.timers.t304, token::T304_BASE + epoch));
             }
         }
     }
@@ -460,7 +459,7 @@ impl Ue {
             ctx.cancel_timer(h);
         }
         self.sr_timer = Some(
-            ctx.schedule_in_cancellable(SR_RETRY_PERIOD, token::SR_RETRY_BASE + self.sr_epoch),
+            ctx.schedule_in_cancellable(self.timers.sr_retry, token::SR_RETRY_BASE + self.sr_epoch),
         );
     }
 

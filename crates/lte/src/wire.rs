@@ -387,6 +387,16 @@ pub enum ControlMsg {
         /// Subscriber.
         imsi: Imsi,
     },
+    /// O&M / failure-detection plane → GW-C: a local GW-U died; flush
+    /// every dedicated bearer anchored on it (the `DBc` stale-flow
+    /// flush generalised to a whole switch). The dead switch's flow
+    /// table died with it — and a restarted GW-U comes back empty — so
+    /// no removal FlowMods are addressed to the failed GW-U itself.
+    #[serde(rename = "GWUF")]
+    GwuFailureIndication {
+        /// Data-plane address of the failed local GW-U.
+        gwu_addr: Ipv4Addr,
+    },
     /// MME → GW-C: UE idle; release S1-U downlink path.
     #[serde(rename = "RABq")]
     ReleaseAccessBearersRequest {
@@ -633,6 +643,7 @@ impl ControlMsg {
             | DeleteBearerRequest { .. }
             | DeleteBearerResponse { .. }
             | DeleteBearerCommand { .. }
+            | GwuFailureIndication { .. }
             | ReleaseAccessBearersRequest { .. }
             | ReleaseAccessBearersResponse { .. }
             | ModifyBearerRequest { .. }
@@ -693,6 +704,7 @@ impl ControlMsg {
             DeleteBearerRequest { .. } => "DeleteBearerRequest",
             DeleteBearerResponse { .. } => "DeleteBearerResponse",
             DeleteBearerCommand { .. } => "DeleteBearerCommand",
+            GwuFailureIndication { .. } => "GwuFailureIndication",
             ReleaseAccessBearersRequest { .. } => "ReleaseAccessBearersRequest",
             ReleaseAccessBearersResponse { .. } => "ReleaseAccessBearersResponse",
             ModifyBearerRequest { .. } => "ModifyBearerRequest",
@@ -759,6 +771,7 @@ impl ControlMsg {
             DeleteBearerRequest { .. } => 95,
             DeleteBearerResponse { .. } => 90,
             DeleteBearerCommand { .. } => 85,
+            GwuFailureIndication { .. } => 70,
             ReleaseAccessBearersRequest { .. } => 70, // (*)
             ReleaseAccessBearersResponse { .. } => 70, // (*)
             ModifyBearerRequest { .. } => 120,        // (*)

@@ -38,6 +38,7 @@
 
 #![allow(unsafe_code)]
 
+use crate::fault::NodeOutageSet;
 use crate::sim::{
     Action, Ctx, EvKey, EvKind, EvPayload, NodeId, NodeMeta, ShardCounters, Simulator,
 };
@@ -152,6 +153,10 @@ struct Lane<'a> {
     links: SlicePtr<'a, Vec<Option<crate::link::Link>>>,
     meta: SlicePtr<'a, NodeMeta>,
     shard_of: &'a [u32],
+    /// Compiled node outage schedules (read-only during a run; empty when
+    /// no node-fault plan is attached). Per-node progress lives in
+    /// [`NodeMeta`], which this lane owns for its shard's nodes.
+    faults: &'a [NodeOutageSet],
     queue: &'a mut TimerWheel<EvPayload, EvKey>,
     ctr: &'a mut ShardCounters,
     outbox: Option<Outbox<'a>>,
@@ -183,12 +188,27 @@ impl Lane<'_> {
             "event routed to the wrong shard"
         );
         // Cancelled guard timers die here, before the node is touched.
-        if let EvKind::Timer(_, _, Some(guard)) = ev.kind {
+        if let EvKind::Timer(_, _, Some(guard), _) = ev.kind {
             // Safety: node (and its meta) belongs to this shard.
             let m = unsafe { self.meta.get_mut(node_id) };
             if !m.timers.invalidate(guard) {
                 self.ctr.timer_skipped += 1;
                 return;
+            }
+        }
+        // Node-lifecycle faults: a down node rejects the event; a
+        // completed crash-restart erases the node's state first.
+        let mut tx_blocked = false;
+        if !self.faults.is_empty()
+            && self
+                .faults
+                .get(node_id)
+                .is_some_and(|s| !s.windows.is_empty())
+        {
+            match self.fault_gate(node_id, at, &ev.kind) {
+                FaultGate::Reject => return,
+                FaultGate::DeliverTxBlocked => tx_blocked = true,
+                FaultGate::Deliver => {}
             }
         }
         // Safety: node belongs to this shard; it is taken out for the
@@ -216,13 +236,75 @@ impl Lane<'_> {
                     let pkt = ev.pkt.expect("arrival without a packet");
                     node.on_packet(&mut ctx, port, pkt);
                 }
-                EvKind::Timer(_, token, _) => node.on_timer(&mut ctx, token),
+                EvKind::Timer(_, token, _, _) => node.on_timer(&mut ctx, token),
             }
         }
         // Safety: same element as above; the previous borrow ended.
         *unsafe { self.nodes.get_mut(node_id) } = Some(node);
-        self.apply_actions(node_id, &mut actions);
+        self.apply_actions(node_id, &mut actions, tx_blocked);
         self.scratch = actions;
+    }
+
+    /// Decide whether an event for a fault-targeted node is delivered. Lazily
+    /// advances the node through its outage schedule: a crash-restart window
+    /// that has fully passed erases the node's state (and bumps its timer
+    /// epoch) before anything else reaches it. All decisions depend only on
+    /// the event's own `(node, at, kind)` — never on other shards — so the
+    /// outcome is identical at every shard count.
+    fn fault_gate(&mut self, node_id: NodeId, at: Instant, kind: &EvKind) -> FaultGate {
+        let windows = &self.faults[node_id].windows;
+        // Safety: the node's meta belongs to this shard.
+        let m = unsafe { self.meta.get_mut(node_id) };
+        // Complete every window that has fully passed.
+        while (m.fault_pos as usize) < windows.len() && windows[m.fault_pos as usize].until <= at {
+            let w = windows[m.fault_pos as usize];
+            m.fault_pos += 1;
+            if w.erase {
+                m.epoch = m.epoch.wrapping_add(1);
+                self.ctr.node_restarts += 1;
+                // Safety: node belongs to this shard; it is taken out for
+                // the duration of the restart hook only.
+                let slot = unsafe { self.nodes.get_mut(node_id) };
+                let mut node = slot
+                    .take()
+                    .unwrap_or_else(|| panic!("node {node_id} re-entered during restart"));
+                node.on_restart();
+                *unsafe { self.nodes.get_mut(node_id) } = Some(node);
+            }
+        }
+        let in_window = windows
+            .get(m.fault_pos as usize)
+            .copied()
+            .filter(|w| w.from <= at);
+        if let Some(w) = in_window {
+            debug_assert!(at < w.until);
+            if w.erase {
+                // Crashed: nothing reaches the node, timers included.
+                match kind {
+                    EvKind::Arrive(..) => self.ctr.node_rejected += 1,
+                    EvKind::Timer(..) => self.ctr.node_timer_dropped += 1,
+                }
+                return FaultGate::Reject;
+            }
+            // Partitioned: deliveries bounce; timers still fire below, but
+            // whatever they send is discarded.
+            if matches!(kind, EvKind::Arrive(..)) {
+                self.ctr.node_rejected += 1;
+                return FaultGate::Reject;
+            }
+        }
+        // A timer armed before the node's last crash-restart never fires.
+        if let EvKind::Timer(_, _, _, armed_epoch) = *kind {
+            if armed_epoch != m.epoch {
+                self.ctr.node_timer_dropped += 1;
+                return FaultGate::Reject;
+            }
+        }
+        if in_window.is_some() {
+            FaultGate::DeliverTxBlocked
+        } else {
+            FaultGate::Deliver
+        }
     }
 
     /// Content-derived key for the next event emitted by `src`.
@@ -253,10 +335,17 @@ impl Lane<'_> {
         }
     }
 
-    fn apply_actions(&mut self, node_id: NodeId, actions: &mut Vec<Action>) {
+    fn apply_actions(&mut self, node_id: NodeId, actions: &mut Vec<Action>, tx_blocked: bool) {
         for action in actions.drain(..) {
             match action {
                 Action::Send { port, pkt } => {
+                    if tx_blocked {
+                        // The emitting node is partitioned: its timers run
+                        // but nothing it sends reaches the network.
+                        self.ctr.node_tx_dropped += 1;
+                        drop(pkt);
+                        continue;
+                    }
                     let now = self.now;
                     // Safety: the link table row of the dispatched node
                     // belongs to this shard (links are owned by their
@@ -285,12 +374,14 @@ impl Lane<'_> {
                 Action::Timer { at, token, guard } => {
                     let at = at.max(self.now);
                     let key = self.next_key(node_id);
+                    // Safety: the arming node's meta belongs to this shard.
+                    let epoch = unsafe { self.meta.get_mut(node_id) }.epoch;
                     // Timers always fire on the arming node's own shard.
                     self.queue.schedule(
                         at,
                         key,
                         EvPayload {
-                            kind: EvKind::Timer(node_id, token, guard),
+                            kind: EvKind::Timer(node_id, token, guard, epoch),
                             pkt: None,
                         },
                     );
@@ -301,6 +392,16 @@ impl Lane<'_> {
 }
 
 use crate::packet::Packet;
+
+/// Verdict of [`Lane::fault_gate`] for one event.
+enum FaultGate {
+    /// Deliver normally.
+    Deliver,
+    /// Deliver (a partitioned node's timer), but discard its sends.
+    DeliverTxBlocked,
+    /// Drop the event; counters were already updated.
+    Reject,
+}
 
 /// Serial driver: one lane over the whole simulator. Runs every pending
 /// event with `at <= limit`; leaves `sim.now` at the last dispatched
@@ -314,6 +415,7 @@ pub(crate) fn run_serial(sim: &mut Simulator, limit: Instant) -> u64 {
         links: SlicePtr::new(&mut sim.links),
         meta: SlicePtr::new(&mut sim.meta),
         shard_of: &sim.shard_of,
+        faults: &sim.node_faults,
         queue: &mut sim.queues[0],
         ctr: &mut sim.counters[0],
         outbox: None,
@@ -364,6 +466,7 @@ struct LaneParts<'a> {
     links: SlicePtr<'a, Vec<Option<crate::link::Link>>>,
     meta: SlicePtr<'a, NodeMeta>,
     shard_of: &'a [u32],
+    faults: &'a [NodeOutageSet],
     queues: SlicePtr<'a, TimerWheel<EvPayload, EvKey>>,
     counters: SlicePtr<'a, ShardCounters>,
     out: SlicePtr<'a, Vec<OutEntry>>,
@@ -381,6 +484,7 @@ impl<'a> LaneParts<'a> {
             links: self.links,
             meta: self.meta,
             shard_of: self.shard_of,
+            faults: self.faults,
             queue: self.queues.get_mut(s),
             ctr: self.counters.get_mut(s),
             outbox: Some(Outbox {
@@ -427,6 +531,7 @@ pub(crate) fn run_parallel(sim: &mut Simulator, limit: Instant) -> u64 {
     let active: Vec<usize> = (0..nsh).filter(|&s| owned[s]).collect();
 
     let shard_of: &[u32] = &sim.shard_of;
+    let faults: &[NodeOutageSet] = &sim.node_faults;
     let nodes = SlicePtr::new(&mut sim.nodes);
     let links = SlicePtr::new(&mut sim.links);
     let meta = SlicePtr::new(&mut sim.meta);
@@ -439,6 +544,7 @@ pub(crate) fn run_parallel(sim: &mut Simulator, limit: Instant) -> u64 {
         links,
         meta,
         shard_of,
+        faults,
         queues,
         counters,
         out,

@@ -29,7 +29,7 @@
 //! cancelled ([`Ctx::cancel_timer`]) so dead expiries are dropped at the
 //! queue instead of round-tripping through a node.
 
-use crate::fault::FaultPlan;
+use crate::fault::{FaultPlan, NodeFaultPlan, NodeOutageSet};
 use crate::link::{Link, LinkConfig, LinkStats};
 use crate::packet::Packet;
 use crate::time::{Duration, Instant};
@@ -75,6 +75,18 @@ pub trait Node: Any + Send {
 
     /// A timer scheduled with [`Ctx::schedule_at`]/[`Ctx::schedule_in`] fired.
     fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+
+    /// Crash-restart recovery hook: erase every piece of application-visible
+    /// state, as if the process had been restarted from scratch. The engine
+    /// invokes it when a
+    /// [`NodeFaultKind::CrashRestart`](crate::fault::NodeFaultKind) outage
+    /// ends, before the first post-restart event reaches the node. The
+    /// default panics: a node type must opt in by defining what "empty"
+    /// means, so that recovery is forced through the protocol rather than
+    /// through conveniently preserved memory.
+    fn on_restart(&mut self) {
+        panic!("node does not support crash-restart (implement Node::on_restart)");
+    }
 }
 
 /// Content-derived event tie-break key: the originating node (or
@@ -172,6 +184,13 @@ pub(crate) struct NodeMeta {
     pub(crate) ev_ctr: u64,
     pub(crate) pkt_ctr: u64,
     pub(crate) timers: TimerSlab,
+    /// Lifecycle epoch, bumped at every crash-restart: timers carry the
+    /// epoch they were armed in, and a stale epoch never fires (a restarted
+    /// node has no timers).
+    pub(crate) epoch: u32,
+    /// Number of fault windows this node has fully passed through (lazy
+    /// cursor into its [`NodeOutageSet`], advanced at dispatch time).
+    pub(crate) fault_pos: u32,
 }
 
 impl NodeMeta {
@@ -181,6 +200,8 @@ impl NodeMeta {
             ev_ctr: 0,
             pkt_ctr: 0,
             timers: TimerSlab::default(),
+            epoch: 0,
+            fault_pos: 0,
         }
     }
 }
@@ -208,6 +229,16 @@ pub(crate) struct ShardCounters {
     pub(crate) xsent: u64,
     /// Cross-shard arrivals accepted from other shards' outboxes.
     pub(crate) xrecv: u64,
+    /// Packet deliveries rejected because the destination node was down
+    /// (crashed or partitioned).
+    pub(crate) node_rejected: u64,
+    /// Timer expiries dropped because the node was crashed, or because the
+    /// timer was armed before the node's last crash-restart.
+    pub(crate) node_timer_dropped: u64,
+    /// Crash-restart recoveries performed ([`Node::on_restart`] calls).
+    pub(crate) node_restarts: u64,
+    /// Sends discarded because the emitting node was partitioned.
+    pub(crate) node_tx_dropped: u64,
     /// Instant of the last event dispatched on this shard.
     pub(crate) last_at: Instant,
 }
@@ -304,8 +335,9 @@ pub(crate) enum EvKind {
     /// Packet delivery at (node, port).
     Arrive(NodeId, PortId),
     /// Timer expiry at node with a token, optionally guarded by a
-    /// cancellation handle.
-    Timer(NodeId, u64, Option<TimerHandle>),
+    /// cancellation handle, stamped with the node's lifecycle epoch at
+    /// arming time (a timer armed before a crash-restart never fires).
+    Timer(NodeId, u64, Option<TimerHandle>, u32),
 }
 
 /// Event payload stored in the wheel (the `(at, key)` pair lives in the
@@ -318,7 +350,7 @@ pub(crate) struct EvPayload {
 impl EvPayload {
     pub(crate) fn node(&self) -> NodeId {
         match self.kind {
-            EvKind::Arrive(n, _) | EvKind::Timer(n, _, _) => n,
+            EvKind::Arrive(n, _) | EvKind::Timer(n, _, _, _) => n,
         }
     }
 }
@@ -343,6 +375,9 @@ pub struct Simulator {
     /// Packets injected by the harness (conservation accounting).
     injected: u64,
     pub(crate) counters: Vec<ShardCounters>,
+    /// Compiled node-lifecycle outage schedules, indexed by node; empty
+    /// when no [`NodeFaultPlan`] is attached (the no-plan fast path).
+    pub(crate) node_faults: Vec<NodeOutageSet>,
     /// Cached conservative lookahead; `None` = recompute on next parallel
     /// run (topology or link delay changed).
     pub(crate) lookahead: Option<Duration>,
@@ -375,6 +410,7 @@ impl Simulator {
             ext_ctr: 0,
             injected: 0,
             counters: vec![ShardCounters::default(); shards],
+            node_faults: Vec::new(),
             lookahead: None,
             scratch: Vec::new(),
         }
@@ -529,11 +565,12 @@ impl Simulator {
     pub fn schedule_timer(&mut self, node: NodeId, at: Instant, token: u64) {
         let key = self.ext_key();
         let shard = self.shard_of[node] as usize;
+        let epoch = self.meta[node].epoch;
         self.queues[shard].schedule(
             at,
             key,
             EvPayload {
-                kind: EvKind::Timer(node, token, None),
+                kind: EvKind::Timer(node, token, None, epoch),
                 pkt: None,
             },
         );
@@ -607,6 +644,43 @@ impl Simulator {
         if let Some(link) = self.link_mut(from) {
             link.set_fault_plan(None);
         }
+    }
+
+    /// Attach a node-lifecycle fault plan. Probability draws are resolved
+    /// here (from the plan's own seeded stream, keyed by rule content, so
+    /// insertion order is irrelevant) and the plan is compiled into
+    /// per-node outage schedules. Replaces any previous plan. Attach after
+    /// the topology is built; nodes added later are never faulted. A plan
+    /// whose rules all miss their draws behaves byte-identically to no
+    /// plan at all.
+    pub fn attach_node_fault_plan(&mut self, plan: &NodeFaultPlan) {
+        self.node_faults = plan.compile(self.nodes.len());
+    }
+
+    /// Detach the node-lifecycle fault plan, if any.
+    pub fn clear_node_fault_plan(&mut self) {
+        self.node_faults.clear();
+    }
+
+    /// Packet deliveries rejected because the destination node was down.
+    pub fn node_arrivals_rejected(&self) -> u64 {
+        self.counters.iter().map(|c| c.node_rejected).sum()
+    }
+
+    /// Timer expiries dropped by node faults (node crashed at expiry, or
+    /// the timer predates the node's last crash-restart).
+    pub fn node_timers_dropped(&self) -> u64 {
+        self.counters.iter().map(|c| c.node_timer_dropped).sum()
+    }
+
+    /// Crash-restart recoveries performed ([`Node::on_restart`] calls).
+    pub fn node_restarts(&self) -> u64 {
+        self.counters.iter().map(|c| c.node_restarts).sum()
+    }
+
+    /// Sends discarded because the emitting node was partitioned.
+    pub fn node_sends_dropped(&self) -> u64 {
+        self.counters.iter().map(|c| c.node_tx_dropped).sum()
     }
 
     /// Statistics of the link leaving `(node, port)`, if connected.
@@ -844,6 +918,246 @@ mod tests {
                 _ => {}
             }
         }
+    }
+
+    use crate::fault::{NodeFaultPlan, NodeFaultRule};
+
+    /// Source that sends one ping every 10 ms, `max` times.
+    struct Ticker {
+        dst: Ipv4Addr,
+        sent: u32,
+        max: u32,
+    }
+    impl Node for Ticker {
+        fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortId, _: Packet) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+            if self.sent < self.max {
+                self.sent += 1;
+                let pkt =
+                    Packet::icmp(Ipv4Addr::new(10, 0, 0, 1), self.dst, 56).with_created(ctx.now());
+                ctx.send(0, pkt);
+                ctx.schedule_in(Duration::from_millis(10), token);
+            }
+        }
+    }
+
+    /// Fault-target node: counts deliveries and self-rescheduled ticks.
+    /// `trace` is harness-side instrumentation and survives restarts; the
+    /// node's own state (`seen`, `ticks`) is erased by `on_restart`.
+    struct Tally {
+        seen: u32,
+        trace: Vec<u32>,
+        ticks: u32,
+        tick_every: Option<Duration>,
+        long_timer_at: Option<Instant>,
+        long_fired: bool,
+    }
+    impl Tally {
+        fn new() -> Tally {
+            Tally {
+                seen: 0,
+                trace: Vec::new(),
+                ticks: 0,
+                tick_every: None,
+                long_timer_at: None,
+                long_fired: false,
+            }
+        }
+    }
+    impl Node for Tally {
+        fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortId, _: Packet) {
+            self.seen += 1;
+            self.trace.push(self.seen);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+            match token {
+                0 => {
+                    if self.tick_every.is_some() {
+                        ctx.schedule_in(Duration::ZERO, 1);
+                    }
+                    if let Some(at) = self.long_timer_at {
+                        ctx.schedule_at(at, 2);
+                    }
+                }
+                1 => {
+                    self.ticks += 1;
+                    let pkt = Packet::icmp(
+                        Ipv4Addr::new(10, 0, 0, 2),
+                        Ipv4Addr::new(10, 0, 0, 1),
+                        56,
+                    )
+                    .with_created(ctx.now());
+                    ctx.send(0, pkt);
+                    if let Some(d) = self.tick_every {
+                        ctx.schedule_in(d, 1);
+                    }
+                }
+                2 => self.long_fired = true,
+                _ => {}
+            }
+        }
+        fn on_restart(&mut self) {
+            self.seen = 0;
+            self.ticks = 0;
+        }
+    }
+
+    fn ticker_tally(sim: &mut Simulator, regions: [u32; 2], tally: Tally) -> (NodeId, NodeId) {
+        let ticker = sim.add_node_in_region(
+            Box::new(Ticker {
+                dst: Ipv4Addr::new(10, 0, 0, 2),
+                sent: 0,
+                max: 30,
+            }),
+            regions[0],
+        );
+        let t = sim.add_node_in_region(Box::new(tally), regions[1]);
+        sim.connect(
+            (ticker, 0),
+            (t, 0),
+            LinkConfig::delay_only(Duration::from_millis(1)),
+        );
+        sim.schedule_timer(ticker, Instant::ZERO, 0);
+        (ticker, t)
+    }
+
+    #[test]
+    fn crash_restart_rejects_deliveries_and_erases_state() {
+        let mut sim = Simulator::new(5);
+        let (_, tally) = ticker_tally(&mut sim, [0, 0], Tally::new());
+        // Arrivals land at 1, 11, ..., 291 ms. Down for [100, 150) ms:
+        // the five arrivals at 101..141 bounce, and the node restarts
+        // empty before the 151 ms delivery.
+        let plan = NodeFaultPlan::new(1).with_rule(NodeFaultRule::crash_restart(
+            tally,
+            Instant::from_millis(100),
+            Duration::from_millis(50),
+        ));
+        sim.attach_node_fault_plan(&plan);
+        sim.run_until_idle();
+        assert_eq!(sim.node_arrivals_rejected(), 5);
+        assert_eq!(sim.node_restarts(), 1);
+        let t = sim.node_ref::<Tally>(tally);
+        assert_eq!(t.seen, 15, "10 pre-crash + 15 post-restart, reset between");
+        let expect: Vec<u32> = (1..=10).chain(1..=15).collect();
+        assert_eq!(t.trace, expect, "state restarted from empty");
+    }
+
+    #[test]
+    fn timers_armed_before_a_crash_never_fire() {
+        let mut sim = Simulator::new(5);
+        let mut tally = Tally::new();
+        tally.tick_every = Some(Duration::from_millis(7));
+        tally.long_timer_at = Some(Instant::from_millis(200));
+        let (_, tally) = ticker_tally(&mut sim, [0, 0], tally);
+        sim.schedule_timer(tally, Instant::ZERO, 0);
+        let plan = NodeFaultPlan::new(1).with_rule(NodeFaultRule::crash_restart(
+            tally,
+            Instant::from_millis(100),
+            Duration::from_millis(50),
+        ));
+        sim.attach_node_fault_plan(&plan);
+        sim.run_until_idle();
+        let t = sim.node_ref::<Tally>(tally);
+        // The tick chain dies inside the crash window (its next expiry is
+        // rejected, so nothing reschedules it) and the pre-crash long
+        // timer is epoch-stale by the time it pops at 200 ms.
+        assert_eq!(t.ticks, 0, "ticks erased at restart and chain is dead");
+        assert!(!t.long_fired, "pre-crash timer must not survive the restart");
+        assert!(sim.node_timers_dropped() >= 2);
+        assert_eq!(sim.node_restarts(), 1);
+    }
+
+    #[test]
+    fn partition_preserves_state_and_cuts_traffic_both_ways() {
+        let mut sim = Simulator::new(5);
+        let mut tally = Tally::new();
+        tally.tick_every = Some(Duration::from_millis(7));
+        let (_, tally) = ticker_tally(&mut sim, [0, 0], tally);
+        sim.schedule_timer(tally, Instant::ZERO, 0);
+        let plan = NodeFaultPlan::new(1).with_rule(NodeFaultRule::partition(
+            tally,
+            Instant::from_millis(100),
+            Duration::from_millis(50),
+        ));
+        sim.attach_node_fault_plan(&plan);
+        // The tick chain reschedules forever, so bound the run instead of
+        // draining to idle.
+        sim.run_until(Instant::from_millis(300));
+        let t = sim.node_ref::<Tally>(tally);
+        assert_eq!(sim.node_arrivals_rejected(), 5, "deliveries bounce");
+        assert_eq!(sim.node_restarts(), 0, "a partition is not a crash");
+        assert!(
+            sim.node_sends_dropped() >= 7,
+            "tick sends inside the window go nowhere"
+        );
+        assert_eq!(sim.node_timers_dropped(), 0, "timers keep firing");
+        assert_eq!(t.seen, 25, "10 before + 15 after, state preserved");
+        let expect: Vec<u32> = (1..=25).collect();
+        assert_eq!(t.trace, expect, "no reset across a partition");
+    }
+
+    #[test]
+    fn empty_or_all_miss_node_plan_is_byte_identical_to_none() {
+        let run = |plan: Option<NodeFaultPlan>| {
+            let mut sim = Simulator::new(42);
+            let (_, tally) = ticker_tally(&mut sim, [0, 0], Tally::new());
+            if let Some(p) = plan {
+                sim.attach_node_fault_plan(&p);
+            }
+            sim.run_until_idle();
+            (
+                sim.node_ref::<Tally>(tally).trace.clone(),
+                sim.events_processed(),
+            )
+        };
+        let baseline = run(None);
+        assert_eq!(baseline, run(Some(NodeFaultPlan::new(7))));
+        let all_miss = NodeFaultPlan::new(7).with_rule(
+            NodeFaultRule::crash_stop(1, Instant::from_millis(50)).with_probability(0.0),
+        );
+        assert_eq!(baseline, run(Some(all_miss)));
+    }
+
+    #[test]
+    fn node_faults_are_shard_invariant() {
+        let run = |shards: usize| {
+            let mut sim = Simulator::with_shards(42, shards);
+            let mut tally = Tally::new();
+            tally.tick_every = Some(Duration::from_millis(7));
+            let (_, tally) = ticker_tally(&mut sim, [0, 1], tally);
+            sim.schedule_timer(tally, Instant::ZERO, 0);
+            let plan = NodeFaultPlan::new(3).with_rule(NodeFaultRule::crash_restart(
+                tally,
+                Instant::from_millis(100),
+                Duration::from_millis(50),
+            ));
+            sim.attach_node_fault_plan(&plan);
+            sim.run_until_idle();
+            (
+                sim.node_ref::<Tally>(tally).trace.clone(),
+                sim.events_processed(),
+                sim.node_arrivals_rejected(),
+                sim.node_restarts(),
+            )
+        };
+        let serial = run(1);
+        for shards in [2, 4] {
+            assert_eq!(serial, run(shards), "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn crash_stop_silences_a_node_forever() {
+        let mut sim = Simulator::new(5);
+        let (_, tally) = ticker_tally(&mut sim, [0, 0], Tally::new());
+        let plan = NodeFaultPlan::new(1)
+            .with_rule(NodeFaultRule::crash_stop(tally, Instant::from_millis(100)));
+        sim.attach_node_fault_plan(&plan);
+        sim.run_until_idle();
+        assert_eq!(sim.node_restarts(), 0);
+        assert_eq!(sim.node_arrivals_rejected(), 20);
+        assert_eq!(sim.node_ref::<Tally>(tally).seen, 10);
     }
 
     #[test]

@@ -246,6 +246,13 @@ impl Node for Reflector {
             }
         }
     }
+
+    fn on_restart(&mut self) {
+        // Configuration (the service time) survives a crash-restart; the
+        // dynamic state — counters and responses in flight — does not.
+        self.reflected = 0;
+        self.pending.clear();
+    }
 }
 
 #[cfg(test)]

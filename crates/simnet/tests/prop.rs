@@ -279,3 +279,175 @@ proptest! {
         prop_assert_eq!(run(seed), run(seed));
     }
 }
+
+use acacia_simnet::fault::{FaultPlan, FaultRule, NodeFaultPlan, NodeFaultRule, PacketClass};
+
+proptest! {
+    /// `with_src_port` narrows a class to the packet's source port, and
+    /// composes conjunctively with the other dimensions.
+    #[test]
+    fn packet_class_src_port_filters(
+        sp in any::<u16>(),
+        dp in any::<u16>(),
+        want in any::<u16>(),
+    ) {
+        let p = Packet::udp((Ipv4Addr::new(1, 1, 1, 1), sp), (Ipv4Addr::new(2, 2, 2, 2), dp), 10);
+        prop_assert_eq!(PacketClass::src_port(want).matches(&p), sp == want);
+        prop_assert_eq!(PacketClass::any().with_src_port(want).matches(&p), sp == want);
+        // Both dimensions matching ⇒ the conjunction matches.
+        prop_assert!(PacketClass::any().with_src_port(sp).with_dst_port(dp).matches(&p));
+        // Breaking either dimension kills the match.
+        prop_assert!(!PacketClass::src_port(sp).with_dst_port(dp.wrapping_add(1)).matches(&p));
+        prop_assert!(!PacketClass::src_port(sp.wrapping_add(1)).with_dst_port(dp).matches(&p));
+    }
+}
+
+/// A ping/reflector mesh with a node-fault plan: the full observable
+/// trace of the run.
+fn faulted_trace(
+    sim_seed: u64,
+    plan: Option<&NodeFaultPlan>,
+    packet_faults: Option<FaultPlan>,
+) -> (Vec<Vec<Duration>>, u64, u64, u64, u64, u64) {
+    let mut sim = Simulator::new(sim_seed);
+    let mut pings = Vec::new();
+    let mut refls = Vec::new();
+    for i in 0..3u8 {
+        let ping = sim.add_node(Box::new(PingAgent::new(
+            Ipv4Addr::new(10, 0, i, 1),
+            Ipv4Addr::new(10, 0, i, 2),
+            Duration::from_millis(3),
+            12,
+        )));
+        let refl = sim.add_node(Box::new(Reflector::new()));
+        sim.connect(
+            (ping, 0),
+            (refl, 0),
+            LinkConfig::delay_only(Duration::from_millis(1)).with_jitter(Duration::from_micros(200)),
+        );
+        pings.push(ping);
+        refls.push(refl);
+    }
+    if let Some(fp) = packet_faults {
+        sim.attach_fault_plan((pings[0], 0), fp);
+    }
+    if let Some(p) = plan {
+        sim.attach_node_fault_plan(p);
+    }
+    for &p in &pings {
+        sim.schedule_timer(p, Instant::ZERO, PingAgent::KICKOFF);
+    }
+    sim.run_until_idle();
+    (
+        pings
+            .iter()
+            .map(|&p| sim.node_ref::<PingAgent>(p).rtts().to_vec())
+            .collect(),
+        sim.events_processed(),
+        sim.node_restarts(),
+        sim.node_arrivals_rejected(),
+        sim.node_sends_dropped(),
+        sim.node_timers_dropped(),
+    )
+}
+
+/// The three rules every plan permutation below is built from: one
+/// probabilistic crash-restart per reflector plus a partition on a ping.
+fn fault_rules(ats_us: &[u64; 3], outage_us: u64, p: f64) -> Vec<NodeFaultRule> {
+    // Node ids follow `faulted_trace`'s creation order: ping i = 2i,
+    // reflector i = 2i + 1.
+    vec![
+        NodeFaultRule::crash_restart(
+            1,
+            Instant::from_micros(ats_us[0]),
+            Duration::from_micros(outage_us),
+        )
+        .with_probability(p),
+        NodeFaultRule::crash_restart(
+            3,
+            Instant::from_micros(ats_us[1]),
+            Duration::from_micros(outage_us),
+        )
+        .with_probability(p),
+        NodeFaultRule::partition(
+            4,
+            Instant::from_micros(ats_us[2]),
+            Duration::from_micros(outage_us),
+        )
+        .with_probability(p),
+    ]
+}
+
+proptest! {
+    /// A [`NodeFaultPlan`]'s outcome is a function of `(seed, rule set)`
+    /// only: inserting the same rules in any order — including
+    /// probabilistic rules, whose draws are keyed by rule content — gives
+    /// a byte-identical run.
+    #[test]
+    fn node_fault_plan_is_insertion_order_invariant(
+        sim_seed in any::<u64>(),
+        plan_seed in any::<u64>(),
+        at0_us in 1_000u64..30_000,
+        at1_us in 1_000u64..30_000,
+        at2_us in 1_000u64..30_000,
+        outage_us in 500u64..20_000,
+        p in 0.0f64..=1.0,
+        rot in 0usize..3,
+        rev in any::<bool>(),
+    ) {
+        let rules = fault_rules(&[at0_us, at1_us, at2_us], outage_us, p);
+        let forward = {
+            let mut plan = NodeFaultPlan::new(plan_seed);
+            for r in &rules {
+                plan.add_rule(r.clone());
+            }
+            faulted_trace(sim_seed, Some(&plan), None)
+        };
+        let permuted = {
+            let mut reordered = rules.clone();
+            reordered.rotate_left(rot);
+            if rev {
+                reordered.reverse();
+            }
+            let mut plan = NodeFaultPlan::new(plan_seed);
+            for r in reordered {
+                plan.add_rule(r);
+            }
+            faulted_trace(sim_seed, Some(&plan), None)
+        };
+        prop_assert_eq!(forward, permuted);
+    }
+
+    /// Faults off ⇒ byte-identical to no plan at all: an empty node-fault
+    /// plan, a node-fault plan whose rules all have probability zero, and
+    /// a packet fault plan whose only rule never fires must all leave the
+    /// run untouched.
+    #[test]
+    fn faults_off_is_byte_identical_to_no_plan(
+        sim_seed in any::<u64>(),
+        plan_seed in any::<u64>(),
+        at0_us in 1_000u64..30_000,
+        at1_us in 1_000u64..30_000,
+        at2_us in 1_000u64..30_000,
+        outage_us in 500u64..20_000,
+    ) {
+        let baseline = faulted_trace(sim_seed, None, None);
+
+        let empty = NodeFaultPlan::new(plan_seed);
+        prop_assert_eq!(&faulted_trace(sim_seed, Some(&empty), None), &baseline);
+
+        let mut dormant = NodeFaultPlan::new(plan_seed);
+        for r in fault_rules(&[at0_us, at1_us, at2_us], outage_us, 0.0) {
+            dormant.add_rule(r);
+        }
+        prop_assert_eq!(&faulted_trace(sim_seed, Some(&dormant), None), &baseline);
+
+        let no_drops = FaultPlan::new(plan_seed)
+            .with_rule(FaultRule::drop(PacketClass::any(), 0.0));
+        prop_assert_eq!(&faulted_trace(sim_seed, None, Some(no_drops)), &baseline);
+
+        // And the engine's fault counters all stayed zero.
+        let (_, _, restarts, rejected, sends, timers) = baseline;
+        prop_assert_eq!((restarts, rejected, sends, timers), (0, 0, 0, 0));
+    }
+}

@@ -34,10 +34,10 @@ fn run_clients(n: usize) -> Vec<f64> {
     let server_addr = acacia_lte::network::addr::MEC_BASE;
     let (server, assigned) = net.add_mec_server(Box::new(ArServer::new(
         ArServerConfig {
-            addr: server_addr,
             device: Device::I7Octa,
             strategy: SearchStrategy::Naive,
             exec_cap: 16,
+            ..ArServerConfig::new(server_addr)
         },
         db.clone(),
         floor.clone(),
@@ -118,10 +118,10 @@ fn both_ues_hold_independent_dedicated_bearers() {
     let server_addr = acacia_lte::network::addr::MEC_BASE;
     let _ = net.add_mec_server(Box::new(ArServer::new(
         ArServerConfig {
-            addr: server_addr,
             device: Device::I7Octa,
             strategy: SearchStrategy::Naive,
             exec_cap: 16,
+            ..ArServerConfig::new(server_addr)
         },
         db,
         floor,

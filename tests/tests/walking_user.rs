@@ -57,10 +57,10 @@ fn moving_user_repoints_the_search_space() {
     let server_addr = acacia_lte::network::addr::MEC_BASE;
     let (server, _) = net.add_mec_server(Box::new(ArServer::new(
         ArServerConfig {
-            addr: server_addr,
             device: Device::I7Octa,
             strategy: SearchStrategy::ACACIA_DEFAULT,
             exec_cap: 16,
+            ..ArServerConfig::new(server_addr)
         },
         db.clone(),
         floor.clone(),
